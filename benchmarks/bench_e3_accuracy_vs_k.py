@@ -1,0 +1,58 @@
+"""E3 — estimation accuracy vs sketch size (the paper's accuracy figure).
+
+For each dataset: mean relative error of Ĵ / ĈN / ÂA over two-hop query
+pairs, as k sweeps.  Expected shape (and asserted): every curve decays,
+consistently with the O(1/sqrt(k)) standard error of the underlying
+collision estimator.
+"""
+
+from __future__ import annotations
+
+from _common import accuracy_datasets, emit, k_grid, oracle_for, query_pairs, stream_of
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.experiments import accuracy_profile
+from repro.eval.reporting import format_series
+
+MEASURES = ("jaccard", "common_neighbors", "adamic_adar")
+PAIRS = 400
+
+
+def run_dataset(dataset: str):
+    oracle = oracle_for(dataset)
+    pairs = query_pairs(dataset, PAIRS, seed=3)
+    curves = {measure: [] for measure in MEASURES}
+    for k in k_grid():
+        predictor = MinHashLinkPredictor(SketchConfig(k=k, seed=4))
+        predictor.process(stream_of(dataset))
+        profile = accuracy_profile(predictor, oracle, pairs, MEASURES)
+        for measure in MEASURES:
+            curves[measure].append((k, profile[measure]["mre"]))
+    return curves
+
+
+def test_e3_accuracy_vs_k(benchmark):
+    datasets_to_run = accuracy_datasets()
+
+    def run_all():
+        return {dataset: run_dataset(dataset) for dataset in datasets_to_run}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for dataset, curves in results.items():
+        blocks.append(
+            format_series(
+                f"E3: mean relative error vs k on {dataset} ({PAIRS} two-hop pairs)",
+                "k",
+                curves,
+                precision=3,
+            )
+        )
+    emit("e3_accuracy_vs_k", "\n\n".join(blocks))
+
+    for dataset, curves in results.items():
+        for measure, points in curves.items():
+            errors = [error for _, error in points]
+            # Shape: smallest k must be markedly worse than largest k
+            # (1/sqrt(k) decay), and the largest-k error must be usable.
+            assert errors[0] > errors[-1], (dataset, measure)
+            assert errors[-1] < 0.45, (dataset, measure)

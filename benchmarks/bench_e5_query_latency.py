@@ -1,0 +1,112 @@
+"""E5 — pairwise query latency (the paper's query-time figure).
+
+Measures online per-pair scoring cost on a warm store: MinHash at
+several k (O(k) slot comparison), the biased predictor, and the exact
+snapshot (O(min-degree) set intersection).
+
+Expected shape (asserted): sketch query time is independent of vertex
+degree — the hub-pair and leaf-pair latencies coincide — while the
+exact oracle's hub queries cost measurably more than its leaf queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit, oracle_for, query_pairs, stream_of
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle
+
+DATASET = "synth-facebook"
+_RESULTS = {}
+
+
+def _warm_predictor(k: int) -> MinHashLinkPredictor:
+    predictor = MinHashLinkPredictor(SketchConfig(k=k, seed=2))
+    predictor.process(stream_of(DATASET))
+    return predictor
+
+
+def _pairs_by_degree(oracle: ExactOracle):
+    degrees = sorted(
+        oracle.graph.vertices(), key=oracle.graph.degree, reverse=True
+    )
+    hubs = degrees[:40]
+    leaves = degrees[-40:]
+    hub_pairs = [(hubs[i], hubs[i + 1]) for i in range(0, 38, 2)]
+    leaf_pairs = [(leaves[i], leaves[i + 1]) for i in range(0, 38, 2)]
+    return hub_pairs, leaf_pairs
+
+
+CASES = {}
+
+
+def _build_cases():
+    if CASES:
+        return
+    oracle = oracle_for(DATASET)
+    hub_pairs, leaf_pairs = _pairs_by_degree(oracle)
+    mixed = query_pairs(DATASET, 200, seed=5)
+    for k in (32, 128, 512):
+        predictor = _warm_predictor(k)
+        CASES[f"minhash k={k} (mixed)"] = (predictor, mixed)
+    predictor128 = _warm_predictor(128)
+    CASES["minhash k=128 (hubs)"] = (predictor128, hub_pairs)
+    CASES["minhash k=128 (leaves)"] = (predictor128, leaf_pairs)
+    CASES["exact (mixed)"] = (oracle, mixed)
+    CASES["exact (hubs)"] = (oracle, hub_pairs)
+    CASES["exact (leaves)"] = (oracle, leaf_pairs)
+
+
+def _query_all(predictor, pairs):
+    for u, v in pairs:
+        predictor.score(u, v, "adamic_adar")
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "minhash k=32 (mixed)",
+        "minhash k=128 (mixed)",
+        "minhash k=512 (mixed)",
+        "minhash k=128 (hubs)",
+        "minhash k=128 (leaves)",
+        "exact (mixed)",
+        "exact (hubs)",
+        "exact (leaves)",
+    ],
+)
+def test_e5_query_latency(benchmark, case):
+    _build_cases()
+    predictor, pairs = CASES[case]
+    benchmark.pedantic(_query_all, args=(predictor, pairs), rounds=3, iterations=1)
+    _RESULTS[case] = benchmark.stats.stats.mean / len(pairs)
+
+
+def test_e5_report_and_shape(benchmark):
+    assert len(_RESULTS) == 8, "timing cases must run first"
+
+    def build_rows():
+        return [
+            [case, seconds * 1e6] for case, seconds in _RESULTS.items()
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit(
+        "e5_query_latency",
+        format_table(
+            ["case", "µs / query"],
+            rows,
+            title=f"E5: pairwise Adamic–Adar query latency on {DATASET}",
+            precision=1,
+        ),
+    )
+    # Shape: sketch latency is degree-independent (hubs ~ leaves within
+    # noise), the exact oracle pays for hub degrees.
+    sketch_ratio = (
+        _RESULTS["minhash k=128 (hubs)"] / _RESULTS["minhash k=128 (leaves)"]
+    )
+    exact_ratio = _RESULTS["exact (hubs)"] / _RESULTS["exact (leaves)"]
+    assert sketch_ratio < 3.0
+    assert exact_ratio > sketch_ratio

@@ -1,0 +1,63 @@
+"""E6 — accuracy along the stream (the paper's stability figure).
+
+Runs the predictor and the exact oracle in lockstep over a temporal
+(growth-order) stream and measures the mean relative error at evenly
+spaced checkpoints.  Expected shape (asserted): the error stays flat —
+sketch accuracy does not degrade as the graph accumulates, which is
+what makes the method usable on unbounded streams.
+"""
+
+from __future__ import annotations
+
+from _common import SCALE, emit
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.experiments import progressive_accuracy
+from repro.eval.reporting import format_series, sparkline
+from repro.graph.generators import barabasi_albert
+
+MEASURES = ("jaccard", "common_neighbors", "adamic_adar")
+EDGES = 40_000 if SCALE == "full" else 15_000
+CHECKPOINTS = 8 if SCALE == "full" else 5
+
+
+def run_experiment():
+    stream = barabasi_albert(n=EDGES // 5, m=5, seed=12)[:EDGES]
+    return progressive_accuracy(
+        lambda: MinHashLinkPredictor(SketchConfig(k=256, seed=13)),
+        stream,
+        checkpoint_count=CHECKPOINTS,
+        pairs_per_checkpoint=200,
+        measures=list(MEASURES),
+        seed=14,
+    )
+
+
+def test_e6_progressive_accuracy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    curves = {
+        measure: [(row["edges"], row[measure]) for row in rows]
+        for measure in MEASURES
+    }
+    shapes = "\n".join(
+        f"  {measure:<18} {sparkline([row[measure] for row in rows])}"
+        for measure in MEASURES
+    )
+    emit(
+        "e6_progressive",
+        format_series(
+            "E6: mean relative error at stream checkpoints "
+            f"(BA growth stream, k=256, {EDGES} edges)",
+            "edges",
+            curves,
+            precision=3,
+        )
+        + "\nshape (flat = no degradation):\n"
+        + shapes,
+    )
+    # Shape: no degradation — the last checkpoint must not be much
+    # worse than the curve's overall level.
+    for measure in MEASURES:
+        errors = [row[measure] for row in rows]
+        mean_error = sum(errors) / len(errors)
+        assert errors[-1] < 1.6 * mean_error, measure
+        assert mean_error < 0.6, measure

@@ -1,0 +1,89 @@
+"""Audience overlap on a directed follow stream.
+
+Directed graphs ask two different questions about a pair of accounts:
+
+* **out-direction** — do they *follow* the same accounts?  (shared
+  interests)
+* **in-direction** — are they *followed by* the same accounts?
+  (shared audience — the co-citation signal used for "accounts to
+  watch together" and ad-audience lookalikes)
+
+This example streams a directed power-law follow graph through the
+direction-aware predictor (`repro.core.directed`), then shows pairs
+where the two directions disagree strongly — information a folded
+undirected analysis destroys — and validates the estimates against the
+exact directed oracle.
+
+Run:  python examples/audience_overlap.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import DirectedExactOracle, DirectedMinHashPredictor, SketchConfig
+from repro.eval.reporting import format_table
+from repro.graph.generators import chung_lu
+
+
+def main() -> None:
+    # A directed power-law stream: Chung-Lu arcs kept directed.
+    arcs = chung_lu(n=3000, edges=24000, exponent=2.2, seed=31)
+    sketch = DirectedMinHashPredictor(SketchConfig(k=256, seed=32))
+    oracle = DirectedExactOracle()
+    for arc in arcs:
+        sketch.update(arc.u, arc.v)
+        oracle.update(arc.u, arc.v)
+    print(f"ingested {len(arcs)} follow arcs, {sketch.vertex_count} accounts\n")
+
+    # Candidate pairs that share at least one *follower* (in-witness).
+    rng = random.Random(33)
+    followers = [
+        v for v in oracle.graph.vertices() if oracle.graph.out_degree(v) >= 2
+    ]
+    pairs = set()
+    while len(pairs) < 400:
+        follower = rng.choice(followers)
+        u, v = rng.sample(sorted(oracle.graph.successors(follower)), 2)
+        pairs.add((min(u, v), max(u, v)))
+
+    # Rank by estimated shared audience; show both directions.
+    scored = sorted(
+        pairs,
+        key=lambda p: -sketch.score_directed(p[0], p[1], "common_neighbors", "in"),
+    )[:10]
+    rows = []
+    for u, v in scored:
+        rows.append(
+            [
+                f"({u},{v})",
+                sketch.score_directed(u, v, "common_neighbors", "in"),
+                oracle.score_directed(u, v, "common_neighbors", "in"),
+                sketch.score_directed(u, v, "common_neighbors", "out"),
+                oracle.score_directed(u, v, "common_neighbors", "out"),
+            ]
+        )
+    print(
+        format_table(
+            ["pair", "ĈN in", "CN in", "ĈN out", "CN out"],
+            rows,
+            title="Top shared-audience pairs (estimated vs exact, both directions)",
+            precision=2,
+        )
+    )
+
+    asymmetric = sum(
+        1
+        for u, v in pairs
+        if oracle.score_directed(u, v, "common_neighbors", "in") >= 3
+        and oracle.score_directed(u, v, "common_neighbors", "out") == 0
+    )
+    print(
+        f"\n{asymmetric} of {len(pairs)} candidate pairs share >=3 followers "
+        "but follow nobody in common — structure a folded undirected "
+        "analysis cannot express."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Collaboration recommendation on a co-authorship stream.
+
+The scenario the paper's introduction motivates: a bibliographic service
+watches papers (co-authorship edges) arrive and must recommend likely
+*future* collaborators without materialising the whole graph.
+
+This example replays the first 70% of a CondMat-profile stream into the
+sketch predictor, then scores the held-out future: of the author pairs
+who actually collaborate later, how many does each method rank highly?
+
+Run:  python examples/coauthorship_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.experiments import ranking_quality, temporal_ranking_task
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle, NeighborReservoirBaseline
+from repro.graph import datasets
+
+
+def main() -> None:
+    edges = datasets.load("synth-condmat")
+    print(
+        "co-authorship stream (ca-CondMat profile): "
+        f"{len(edges)} edges; predicting the last 30% from the first 70%"
+    )
+
+    train, positives, negatives = temporal_ranking_task(
+        edges, train_fraction=0.7, negative_ratio=5.0, max_positives=400, seed=1
+    )
+    print(
+        f"task: rank {len(positives)} future collaborations against "
+        f"{len(negatives)} random non-collaborating pairs\n"
+    )
+
+    methods = {
+        "minhash sketch (k=128)": MinHashLinkPredictor(SketchConfig(k=128, seed=2)),
+        "neighbor reservoir (256 ids)": NeighborReservoirBaseline(256, seed=2),
+        "exact snapshot": ExactOracle(),
+    }
+    for predictor in methods.values():
+        predictor.process(train)
+
+    rows = []
+    for label, predictor in methods.items():
+        for measure in ("common_neighbors", "adamic_adar"):
+            result = ranking_quality(
+                predictor, positives, negatives, measure, precision_levels=(50, 100)
+            )
+            rows.append(
+                [
+                    label,
+                    measure,
+                    result.auc,
+                    result.precision[50],
+                    result.precision[100],
+                    result.average_precision,
+                ]
+            )
+
+    print(
+        format_table(
+            ["method", "measure", "AUC", "prec@50", "prec@100", "AP"],
+            rows,
+            title="Future-collaboration ranking quality",
+            precision=3,
+        )
+    )
+    print(
+        "\nReading: the sketch method should land within a few points of "
+        "the exact snapshot while storing a constant "
+        "~2KB per author instead of full co-author lists."
+    )
+
+
+if __name__ == "__main__":
+    main()

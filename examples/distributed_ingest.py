@@ -1,0 +1,100 @@
+"""Scale-out ingestion: sketch stream partitions in parallel, then merge.
+
+MinHash sketches are mergeable — per-vertex slot minima combine by
+elementwise minimum and degree counters add — so a long stream can be
+split across workers and the per-worker predictors combined afterwards
+into a state *bit-identical* to a single-pass run.  This example
+demonstrates the workflow with real OS processes (multiprocessing) over
+four partitions of a co-authorship stream, then verifies the merged
+predictor against a sequential reference.
+
+Run:  python examples/distributed_ingest.py
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import Pool
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle
+from repro.graph import datasets
+
+CONFIG = SketchConfig(k=128, seed=99)
+WORKERS = 4
+
+
+def sketch_partition(edges_part) -> bytes:
+    """Worker: sketch one stream partition, return a checkpoint blob."""
+    import io
+
+    from repro.core.persistence import save_predictor
+
+    predictor = MinHashLinkPredictor(CONFIG)
+    predictor.process(edges_part)
+    buffer = io.BytesIO()
+    save_predictor(predictor, buffer)
+    return buffer.getvalue()
+
+
+def main() -> None:
+    edges = datasets.load("synth-condmat")
+    print(f"stream: {len(edges)} co-authorship edges, {WORKERS} workers\n")
+
+    partitions = [edges[i::WORKERS] for i in range(WORKERS)]
+    start = time.perf_counter()
+    with Pool(WORKERS) as pool:
+        blobs = pool.map(sketch_partition, partitions)
+    parallel_seconds = time.perf_counter() - start
+
+    # Merge the worker states on the coordinator.
+    import io
+
+    from repro.core.persistence import load_predictor
+
+    workers = [load_predictor(io.BytesIO(blob)) for blob in blobs]
+    merged = workers[0]
+    for worker in workers[1:]:
+        merged = merged.merge(worker)
+
+    # Sequential reference for verification.
+    start = time.perf_counter()
+    reference = MinHashLinkPredictor(CONFIG)
+    reference.process(edges)
+    sequential_seconds = time.perf_counter() - start
+
+    oracle = ExactOracle()
+    oracle.process(edges)
+    pairs = sample_two_hop_pairs(oracle.graph, 2000, seed=5)
+    disagreements = sum(
+        1
+        for u, v in pairs
+        if merged.score(u, v, "adamic_adar") != reference.score(u, v, "adamic_adar")
+    )
+    blob_mib = sum(len(b) for b in blobs) / (1 << 20)
+    print(
+        format_table(
+            ["run", "wall seconds", "vertices sketched"],
+            [
+                [f"{WORKERS} workers (parallel)", parallel_seconds, merged.vertex_count],
+                ["single pass (reference)", sequential_seconds, reference.vertex_count],
+            ],
+            title="Ingestion",
+            precision=2,
+        )
+    )
+    print(
+        f"\nmerged-vs-sequential disagreements on {len(pairs)} queries: "
+        f"{disagreements} (merge is exact)\n"
+        f"worker state shipped to the coordinator: {blob_mib:.1f} MiB total.\n"
+        "At this toy scale, checkpoint (de)serialisation dominates the\n"
+        "wall clock — the point here is the *exactness* of the merge;\n"
+        "the speedup appears when partitions are long-running streams\n"
+        "and state shipping is amortised (or workers share memory)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Quickstart: sketch-based link prediction in five minutes.
+
+Builds the paper's MinHash predictor over a social-graph stream, asks it
+the three paper measures for a handful of vertex pairs, and shows the
+answers next to exact ground truth and the memory both methods paid.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExactOracle, MinHashLinkPredictor, SketchConfig
+from repro.core import memory_report
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.eval.reporting import format_table
+from repro.graph import datasets
+
+
+def main() -> None:
+    # 1. A graph stream.  synth-facebook mimics the SNAP ego-Facebook
+    #    profile: 4k vertices, 88k edges, mean degree ~44.
+    edges = datasets.load("synth-facebook")
+    print(f"stream: {len(edges)} edges from {datasets.spec('synth-facebook').description!r}")
+
+    # 2. The streaming predictor: k=128 slots per vertex, one pass.
+    #    SketchConfig.for_accuracy(epsilon, delta) sizes k from an
+    #    accuracy target instead, if you prefer guarantees to knobs.
+    predictor = MinHashLinkPredictor(SketchConfig(k=128, seed=42))
+    predictor.process(edges)
+
+    # (Only for this demo: an exact oracle to show the truth next to
+    # the estimates.  Real deployments keep just the sketches.)
+    oracle = ExactOracle()
+    oracle.process(edges)
+
+    # 3. Query pairs online.  estimate() bundles all paper measures.
+    pairs = sample_two_hop_pairs(oracle.graph, 8, seed=7)
+    rows = []
+    for u, v in pairs:
+        est = predictor.estimate(u, v)
+        rows.append(
+            [
+                f"({u},{v})",
+                est.jaccard,
+                oracle.score(u, v, "jaccard"),
+                est.common_neighbors,
+                oracle.score(u, v, "common_neighbors"),
+                est.adamic_adar,
+                oracle.score(u, v, "adamic_adar"),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["pair", "Ĵ", "J", "ĈN", "CN", "ÂA", "AA"],
+            rows,
+            title="Sketch estimates vs exact values (two-hop query pairs)",
+            precision=3,
+        )
+    )
+
+    # 4. What the constant-space claim means in bytes.
+    sketch_memory = memory_report(predictor)
+    exact_memory = memory_report(oracle)
+    print()
+    print(
+        format_table(
+            ["method", "vertices", "nominal bytes", "bytes/vertex"],
+            [
+                [
+                    "minhash sketches",
+                    sketch_memory.vertices,
+                    sketch_memory.nominal_bytes,
+                    sketch_memory.nominal_bytes_per_vertex,
+                ],
+                [
+                    "exact adjacency",
+                    exact_memory.vertices,
+                    exact_memory.nominal_bytes,
+                    exact_memory.nominal_bytes / max(exact_memory.vertices, 1),
+                ],
+            ],
+            title="Memory: bounded per vertex (sketch) vs degree-dependent (exact)",
+            precision=1,
+        )
+    )
+    print(
+        "\nThe sketch spends a fixed "
+        f"{predictor.config.bytes_per_vertex() + 8} bytes per vertex no "
+        "matter how hubs grow; exact adjacency grows with every edge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Whole-graph discovery: find look-alike accounts with no candidate list.
+
+The pairwise predictor answers "how similar are u and v?"; this example
+answers the harder production question "*which* pairs are similar?" —
+e.g. sockpuppet/duplicate-account detection, where accounts operated by
+one actor follow nearly identical sets of users.
+
+Because every vertex already carries a MinHash signature, LSH banding
+over the existing sketches retrieves high-Jaccard pairs directly
+(`repro.core.lshindex`): no quadratic scan, no candidate generation, no
+second pass over the stream.
+
+The stream here is a SNAP-profile social graph with five planted
+sockpuppet rings (accounts sharing ≥80% of their neighborhoods).
+
+Run:  python examples/similar_accounts_lsh.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import LshCandidateIndex, MinHashLinkPredictor, SketchConfig
+from repro.core.lshindex import bands_for_threshold
+from repro.eval.reporting import format_table
+from repro.graph import datasets, from_pairs, shuffled
+
+
+def planted_sockpuppet_stream(seed: int = 7):
+    """The synth-facebook stream plus five rings of 3 cloned accounts."""
+    base = list(datasets.load("synth-facebook"))
+    rng = random.Random(seed)
+    clones = []
+    ring_members = {}
+    next_id = 100_000  # well above the organic id range
+    originals = rng.sample(range(500), 5)
+    graph = {}
+    for edge in base:
+        graph.setdefault(edge.u, set()).add(edge.v)
+        graph.setdefault(edge.v, set()).add(edge.u)
+    for ring, original in enumerate(originals):
+        neighbors = sorted(graph[original])
+        members = [next_id + 10 * ring, next_id + 10 * ring + 1]
+        ring_members[ring] = [original] + members
+        for member in members:
+            # Each clone follows ~90% of the original's neighborhood.
+            for w in neighbors:
+                if rng.random() < 0.9:
+                    clones.append((member, w))
+    edges = [(e.u, e.v) for e in base] + clones
+    return shuffled(list(from_pairs(edges)), seed=seed), ring_members
+
+
+def main() -> None:
+    stream, rings = planted_sockpuppet_stream()
+    predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=11))
+    predictor.process(stream)
+    print(f"ingested {len(stream)} edges; {predictor.vertex_count} accounts sketched")
+
+    bands, rows = bands_for_threshold(predictor.config.k, threshold=0.6)
+    index = LshCandidateIndex(predictor, bands=bands, rows=rows, min_degree=5)
+    print(
+        f"LSH index: {bands} bands x {rows} rows "
+        f"(S-curve threshold {index.threshold:.2f}), "
+        f"{index.bucket_count()} buckets\n"
+    )
+
+    top = index.top_pairs(limit=15, min_jaccard=0.5)
+    planted = {
+        frozenset(pair)
+        for members in rings.values()
+        for i, a in enumerate(members)
+        for b in members[i + 1 :]
+        for pair in [(a, b)]
+    }
+    rows_out = []
+    for candidate, score in top:
+        is_planted = frozenset((candidate.u, candidate.v)) in planted
+        rows_out.append(
+            [candidate.u, candidate.v, candidate.jaccard, "ring" if is_planted else ""]
+        )
+    print(
+        format_table(
+            ["account A", "account B", "Ĵ", "planted?"],
+            rows_out,
+            title="Top look-alike account pairs (no candidate list used)",
+            precision=3,
+        )
+    )
+    found = sum(1 for row in rows_out if row[3] == "ring")
+    print(
+        f"\n{found} of the top {len(rows_out)} discovered pairs are planted "
+        f"sockpuppet relations; the organic hits are genuinely "
+        "overlapping friend circles."
+    )
+
+
+if __name__ == "__main__":
+    main()

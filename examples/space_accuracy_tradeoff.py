@@ -1,0 +1,79 @@
+"""The space/accuracy dial: choosing k for your memory budget.
+
+Sweeps the sketch size k, measuring (a) bytes per vertex and (b) the
+mean relative error of the three paper measures against exact ground
+truth, so you can read off the k your accuracy target needs — and
+compares the observed Jaccard error with the ε the Hoeffding bound
+promises at each k.
+
+Run:  python examples/space_accuracy_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.eval.experiments import accuracy_profile
+from repro.eval.metrics import mean_absolute_error
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle
+from repro.graph import datasets
+
+MEASURES = ("jaccard", "common_neighbors", "adamic_adar")
+
+
+def main() -> None:
+    edges = datasets.load("synth-grqc")
+    oracle = ExactOracle()
+    oracle.process(edges)
+    pairs = sample_two_hop_pairs(oracle.graph, 500, seed=5)
+    truths = [oracle.score(u, v, "jaccard") for u, v in pairs]
+
+    rows = []
+    for k in (16, 32, 64, 128, 256, 512):
+        config = SketchConfig(k=k, seed=6)
+        predictor = MinHashLinkPredictor(config)
+        predictor.process(edges)
+        profile = accuracy_profile(predictor, oracle, pairs, MEASURES)
+        estimates = [predictor.score(u, v, "jaccard") for u, v in pairs]
+        observed_mae = mean_absolute_error(estimates, truths)
+        rows.append(
+            [
+                k,
+                config.bytes_per_vertex() + 8,
+                profile["jaccard"]["mre"],
+                profile["common_neighbors"]["mre"],
+                profile["adamic_adar"]["mre"],
+                observed_mae,
+                config.jaccard_epsilon(0.05),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "k",
+                "bytes/vertex",
+                "MRE(J)",
+                "MRE(CN)",
+                "MRE(AA)",
+                "MAE(J) observed",
+                "ε(J) guaranteed",
+            ],
+            rows,
+            title=(
+                "Space vs accuracy on synth-grqc "
+                f"({len(pairs)} two-hop query pairs)"
+            ),
+            precision=3,
+        )
+    )
+    print(
+        "\nReading: every error column shrinks like 1/sqrt(k) (double the "
+        "memory, ~30% less error); the observed MAE sits well inside the "
+        "guaranteed ε, which holds for 95% of pairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

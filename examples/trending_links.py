@@ -1,0 +1,110 @@
+"""Trending connections: recency-aware prediction on a drifting stream.
+
+Interaction graphs drift: who-messages-whom this month looks different
+from six months ago, and a recommender that averages over all history
+keeps suggesting yesterday's friends.  This example contrasts
+
+* the **full-history** predictor (the paper's default), and
+* the **sliding-window** predictor (`repro.core.windowed`, pane-rotated
+  sketches that forget old panes whole),
+
+on a stream whose community structure flips halfway through.  Both are
+asked to estimate *current* common-neighbor counts (ground truth = the
+recent half only).
+
+Run:  python examples/trending_links.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.windowed import WindowedMinHashPredictor
+from repro.eval.metrics import mean_relative_error
+from repro.eval.reporting import format_table
+from repro.exact import ExactOracle
+from repro.graph.generators import planted_partition
+from repro.graph.stream import Edge
+
+
+def drifting_stream(seed: int = 17):
+    """Community structure A, then the blocks shift by half a block."""
+    phase_a = planted_partition(
+        n=1500, communities=15, internal_edges=20000, external_edges=1500, seed=seed
+    )
+    raw_b = planted_partition(
+        n=1500, communities=15, internal_edges=20000, external_edges=1500, seed=seed + 1
+    )
+    shift = 50
+    phase_b = [
+        Edge((e.u + shift) % 1500, (e.v + shift) % 1500, e.timestamp)
+        for e in raw_b
+        if (e.u + shift) % 1500 != (e.v + shift) % 1500
+    ]
+    return list(phase_a), phase_b
+
+
+def main() -> None:
+    phase_a, phase_b = drifting_stream()
+    stream = phase_a + phase_b
+    print(
+        f"stream: {len(phase_a)} edges of old structure, then "
+        f"{len(phase_b)} of new structure\n"
+    )
+
+    config = SketchConfig(k=192, seed=18)
+    full_history = MinHashLinkPredictor(config)
+    windowed = WindowedMinHashPredictor(
+        config, pane_edges=len(phase_b) // 2, panes=2
+    )
+    for predictor in (full_history, windowed):
+        predictor.process(stream)
+
+    recent_truth = ExactOracle()
+    recent_truth.process(phase_b)
+
+    # Query pairs inside the *new* communities.
+    rng = random.Random(19)
+    pairs = []
+    while len(pairs) < 200:
+        community = rng.randrange(15)
+        low = (community * 100 + 50) % 1500
+        u = (low + rng.randrange(100)) % 1500
+        v = (low + rng.randrange(100)) % 1500
+        if (
+            u != v
+            and u in recent_truth.graph
+            and v in recent_truth.graph
+            and not recent_truth.graph.has_edge(u, v)
+        ):
+            pairs.append((u, v))
+    truths = [recent_truth.score(u, v, "common_neighbors") for u, v in pairs]
+
+    rows = []
+    for label, predictor in (
+        ("full history", full_history),
+        (f"window (~{windowed.window_edges} recent edges)", windowed),
+    ):
+        estimates = [predictor.score(u, v, "common_neighbors") for u, v in pairs]
+        rows.append(
+            [label, mean_relative_error(estimates, truths), predictor.nominal_bytes() // 1024]
+        )
+    print(
+        format_table(
+            ["predictor", "CN error vs current structure", "state KiB"],
+            rows,
+            title="Estimating *current* common neighbors after structural drift",
+            precision=3,
+        )
+    )
+    print(
+        "\nReading: the window forgets the stale structure wholesale and "
+        "tracks the live one; the full-history sketch blends both and "
+        "overestimates badly.  Window state costs at most `panes` times "
+        "one store — still constant per vertex."
+    )
+
+
+if __name__ == "__main__":
+    main()

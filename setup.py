@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment lacks the ``wheel`` package, so PEP 660 editable
+installs cannot build; keeping a ``setup.py`` lets ``pip install -e .``
+fall back to ``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

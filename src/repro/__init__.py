@@ -1,0 +1,52 @@
+"""repro — sketch-based streaming link prediction.
+
+A from-scratch reproduction of *"Link prediction in graph streams"*
+(Zhao, Aggarwal & He, ICDE 2016): constant-space-per-vertex MinHash
+sketches that estimate Jaccard, common-neighbor and Adamic–Adar link
+prediction measures over unbounded edge streams, with a vertex-biased
+variant, exact and sampling baselines, synthetic SNAP-profile datasets,
+and a full evaluation harness.  (See DESIGN.md for why the requested
+"Dark Data" panel title resolves to this paper.)
+
+Quick start::
+
+    from repro import MinHashLinkPredictor, SketchConfig
+    from repro.graph import datasets
+
+    predictor = MinHashLinkPredictor(SketchConfig(k=128, seed=42))
+    predictor.process(datasets.load("synth-facebook"))
+    estimate = predictor.estimate(10, 42)
+    print(estimate.adamic_adar, "+/-", estimate.jaccard_std_error)
+
+The subpackages, bottom-up: :mod:`repro.hashing` (seeded hash
+families), :mod:`repro.sketches` (MinHash / bottom-k / weighted MinHash
+/ HLL / Count-Min / reservoir / Bloom), :mod:`repro.graph` (streams,
+generators, datasets, I/O), :mod:`repro.exact` (ground truth and
+baselines), :mod:`repro.core` (the paper's predictors), and
+:mod:`repro.eval` (splits, metrics, experiment machinery).
+"""
+
+from repro.core import (
+    BiasedMinHashLinkPredictor,
+    MinHashLinkPredictor,
+    PairEstimate,
+    SketchConfig,
+    build_predictor,
+)
+from repro.errors import ReproError
+from repro.exact import ExactOracle
+from repro.interface import LinkPredictor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasedMinHashLinkPredictor",
+    "ExactOracle",
+    "LinkPredictor",
+    "MinHashLinkPredictor",
+    "PairEstimate",
+    "ReproError",
+    "SketchConfig",
+    "build_predictor",
+    "__version__",
+]

@@ -1,0 +1,311 @@
+"""Command-line interface: ``repro-linkpred``.
+
+Four subcommands cover the everyday uses of the library without writing
+code:
+
+* ``repro-linkpred datasets`` — the registry of synthetic SNAP
+  stand-ins with their measured statistics (table E1).
+* ``repro-linkpred stats <file-or-dataset>`` — constant-memory stream
+  statistics of an edge list.
+* ``repro-linkpred predict <file-or-dataset>`` — ingest a stream with a
+  chosen method and print the top predicted links among two-hop
+  candidates; ``--save-checkpoint``/``--load-checkpoint`` persist and
+  reuse the sketch state across invocations.
+* ``repro-linkpred evaluate <file-or-dataset>`` — estimation accuracy
+  of a sketch method against the exact oracle on the same stream.
+* ``repro-linkpred discover <file-or-dataset>`` — LSH self-join: find
+  the most similar vertex pairs with no candidate list.
+* ``repro-linkpred triangles <file-or-dataset>`` — one-pass streaming
+  triangle count (optionally checked against the exact count).
+
+Input may be a registry dataset name or a path to a SNAP-format edge
+list (``u v [timestamp]`` rows, ``#`` comments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core import SketchConfig, build_predictor
+from repro.errors import ReproError
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.eval.experiments import accuracy_profile
+from repro.eval.reporting import format_table
+from repro.exact.oracle import ExactOracle
+from repro.graph import datasets
+from repro.graph.io import read_edge_list
+from repro.graph.stream import Edge, StreamStats
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_edges(source: str, seed: int) -> List[Edge]:
+    """Resolve a dataset name or an edge-list path into a stream."""
+    if source in datasets.DATASETS:
+        return datasets.load(source, seed=seed)
+    if os.path.exists(source):
+        return read_edge_list(source)
+    known = ", ".join(datasets.dataset_names())
+    raise ReproError(
+        f"{source!r} is neither a registry dataset ({known}) nor a file path"
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in datasets.dataset_names():
+        stats = datasets.statistics(name, seed=args.seed)
+        spec = datasets.spec(name)
+        rows.append(
+            [
+                name,
+                spec.stands_in_for,
+                int(stats["vertices"]),
+                int(stats["edges"]),
+                stats["mean_degree"],
+                int(stats["max_degree"]),
+                stats["tail_exponent"],
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "stands in for", "|V|", "|E|", "mean deg", "max deg", "tail α"],
+            rows,
+            title="Registry datasets (synthetic SNAP stand-ins)",
+            precision=2,
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = StreamStats()
+    for edge in _load_edges(args.source, args.seed):
+        stats.observe(edge)
+    rows = [
+        ["records", stats.records],
+        ["approx distinct vertices", int(stats.approximate_vertices())],
+        ["approx distinct edges", int(stats.approximate_edges())],
+        ["duplicate ratio", stats.duplicate_ratio()],
+    ]
+    print(format_table(["statistic", "value"], rows, title=f"Stream: {args.source}"))
+    return 0
+
+
+def _config_from_args(args: argparse.Namespace) -> SketchConfig:
+    return SketchConfig(k=args.k, seed=args.seed)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_predictor, save_predictor
+
+    edges = _load_edges(args.source, args.seed)
+    oracle = ExactOracle()  # used only to enumerate two-hop candidates
+    if args.load_checkpoint:
+        predictor = load_predictor(args.load_checkpoint)
+    else:
+        predictor = build_predictor(
+            args.method, _config_from_args(args), expected_vertices=None
+        )
+    for edge in edges:
+        predictor.update(edge.u, edge.v)
+        oracle.update(edge.u, edge.v)
+    if args.save_checkpoint:
+        saved = save_predictor(predictor, args.save_checkpoint)
+        print(f"checkpoint: {saved} vertex sketches -> {args.save_checkpoint}")
+    candidates = sample_two_hop_pairs(oracle.graph, args.candidates, seed=args.seed)
+    ranked = predictor.rank_candidates(candidates, args.measure, top=args.top)
+    rows = [[u, v, score] for (u, v), score in ranked]
+    print(
+        format_table(
+            ["u", "v", args.measure],
+            rows,
+            title=(
+                f"Top {args.top} predicted links on {args.source} "
+                f"({args.method}, k={args.k})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    edges = _load_edges(args.source, args.seed)
+    oracle = ExactOracle()
+    predictor = build_predictor(
+        args.method, _config_from_args(args), expected_vertices=None
+    )
+    for edge in edges:
+        predictor.update(edge.u, edge.v)
+        oracle.update(edge.u, edge.v)
+    pairs = sample_two_hop_pairs(oracle.graph, args.pairs, seed=args.seed)
+    measures = args.measures.split(",")
+    profile = accuracy_profile(predictor, oracle, pairs, measures)
+    rows = [
+        [measure, summary["mae"], summary["rmse"], summary["mre"]]
+        for measure, summary in profile.items()
+    ]
+    print(
+        format_table(
+            ["measure", "MAE", "RMSE", "mean rel err"],
+            rows,
+            title=(
+                f"{args.method} (k={args.k}) vs exact on {args.source}, "
+                f"{len(pairs)} two-hop pairs"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.core import MinHashLinkPredictor
+    from repro.core.lshindex import LshCandidateIndex, bands_for_threshold
+
+    edges = _load_edges(args.source, args.seed)
+    predictor = MinHashLinkPredictor(SketchConfig(k=args.k, seed=args.seed))
+    predictor.process(edges)
+    bands, rows = bands_for_threshold(args.k, args.threshold)
+    index = LshCandidateIndex(
+        predictor, bands=bands, rows=rows, min_degree=args.min_degree
+    )
+    top = index.top_pairs(limit=args.top, min_jaccard=args.threshold * 0.7)
+    table_rows = [[c.u, c.v, c.jaccard] for c, _ in top]
+    print(
+        format_table(
+            ["u", "v", "Ĵ"],
+            table_rows,
+            title=(
+                f"Most similar vertex pairs on {args.source} "
+                f"({bands} bands x {rows} rows, threshold ~{index.threshold:.2f}"
+                + (
+                    f"; {index.skipped_buckets} overfull buckets skipped)"
+                    if index.skipped_buckets
+                    else ")"
+                )
+            ),
+            precision=3,
+        )
+    )
+    return 0
+
+
+def _cmd_triangles(args: argparse.Namespace) -> int:
+    from repro.core.triangles import StreamingTriangleCounter
+
+    edges = _load_edges(args.source, args.seed)
+    counter = StreamingTriangleCounter(SketchConfig(k=args.k, seed=args.seed))
+    counter.process(edges)
+    rows = [
+        ["edges", counter.edges_seen],
+        ["streaming triangle estimate", counter.triangle_estimate()],
+        ["transitivity estimate", counter.transitivity_estimate()],
+    ]
+    if args.exact:
+        from repro.graph.adjacency import AdjacencyGraph
+        from repro.graph.algorithms import triangle_count
+
+        exact = triangle_count(AdjacencyGraph.from_edges(edges))
+        rows.append(["exact triangles", exact])
+        if exact:
+            rows.append(
+                ["relative error", abs(counter.triangle_estimate() - exact) / exact]
+            )
+    print(
+        format_table(
+            ["quantity", "value"], rows, title=f"Triangles: {args.source}"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed separately for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-linkpred",
+        description="Sketch-based streaming link prediction (ICDE 2016 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list registry datasets").set_defaults(
+        run=_cmd_datasets
+    )
+
+    stats = commands.add_parser("stats", help="constant-memory stream statistics")
+    stats.add_argument("source", help="dataset name or edge-list path")
+    stats.set_defaults(run=_cmd_stats)
+
+    def add_method_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("source", help="dataset name or edge-list path")
+        sub.add_argument(
+            "--method",
+            default="minhash",
+            choices=["minhash", "biased", "exact", "neighbor_reservoir"],
+        )
+        sub.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+
+    predict = commands.add_parser("predict", help="rank likely future links")
+    add_method_arguments(predict)
+    predict.add_argument("--measure", default="adamic_adar")
+    predict.add_argument("--candidates", type=int, default=2000)
+    predict.add_argument("--top", type=int, default=20)
+    predict.add_argument(
+        "--save-checkpoint", default="", help="write sketch state to this .npz"
+    )
+    predict.add_argument(
+        "--load-checkpoint",
+        default="",
+        help="resume from a checkpoint instead of a fresh predictor "
+        "(minhash method only)",
+    )
+    predict.set_defaults(run=_cmd_predict)
+
+    discover = commands.add_parser(
+        "discover", help="LSH self-join: most similar vertex pairs"
+    )
+    discover.add_argument("source", help="dataset name or edge-list path")
+    discover.add_argument("--k", type=int, default=256)
+    discover.add_argument(
+        "--threshold", type=float, default=0.6, help="S-curve similarity cut"
+    )
+    discover.add_argument("--top", type=int, default=20)
+    discover.add_argument("--min-degree", type=int, default=3)
+    discover.set_defaults(run=_cmd_discover)
+
+    triangles = commands.add_parser(
+        "triangles", help="one-pass streaming triangle count"
+    )
+    triangles.add_argument("source", help="dataset name or edge-list path")
+    triangles.add_argument("--k", type=int, default=256)
+    triangles.add_argument(
+        "--exact", action="store_true", help="also compute the exact count"
+    )
+    triangles.set_defaults(run=_cmd_triangles)
+
+    evaluate = commands.add_parser("evaluate", help="accuracy vs the exact oracle")
+    add_method_arguments(evaluate)
+    evaluate.add_argument(
+        "--measures", default="jaccard,common_neighbors,adamic_adar"
+    )
+    evaluate.add_argument("--pairs", type=int, default=1000)
+    evaluate.set_defaults(run=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

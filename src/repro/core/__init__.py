@@ -1,0 +1,57 @@
+"""The paper's contribution: sketch-based streaming link prediction.
+
+Public entry points:
+
+* :class:`~repro.core.predictor.MinHashLinkPredictor` — the uniform
+  MinHash method (Jaccard, common neighbors, Adamic–Adar, and the rest
+  of the measure registry).
+* :class:`~repro.core.biased.BiasedMinHashLinkPredictor` — the
+  vertex-biased variant specialised for weighted witness sums.
+* :class:`~repro.core.config.SketchConfig` — all knobs, plus the
+  accuracy-planning helpers derived from the Hoeffding guarantee.
+* :func:`~repro.core.registry.build_predictor` — string-keyed factory
+  over every method, including the exact oracle and the sampling
+  baselines.
+"""
+
+from repro.core.biased import BiasedMinHashLinkPredictor
+from repro.core.config import (
+    SketchConfig,
+    hoeffding_epsilon,
+    hoeffding_failure_probability,
+    required_k,
+)
+from repro.core.degrees import CountMinDegrees, DegreeTracker, ExactDegrees
+from repro.core.directed import DirectedExactOracle, DirectedMinHashPredictor
+from repro.core.lshindex import LshCandidateIndex, bands_for_threshold, lsh_threshold
+from repro.core.memory import MemoryReport, memory_report
+from repro.core.persistence import load_predictor, save_predictor
+from repro.core.predictor import MinHashLinkPredictor, PairEstimate
+from repro.core.registry import METHODS, build_predictor, equal_space_parameters
+from repro.core.windowed import WindowedMinHashPredictor
+
+__all__ = [
+    "BiasedMinHashLinkPredictor",
+    "CountMinDegrees",
+    "DegreeTracker",
+    "DirectedExactOracle",
+    "DirectedMinHashPredictor",
+    "ExactDegrees",
+    "LshCandidateIndex",
+    "METHODS",
+    "MemoryReport",
+    "MinHashLinkPredictor",
+    "PairEstimate",
+    "SketchConfig",
+    "WindowedMinHashPredictor",
+    "bands_for_threshold",
+    "build_predictor",
+    "equal_space_parameters",
+    "lsh_threshold",
+    "hoeffding_epsilon",
+    "hoeffding_failure_probability",
+    "load_predictor",
+    "memory_report",
+    "required_k",
+    "save_predictor",
+]

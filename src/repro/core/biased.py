@@ -1,0 +1,240 @@
+"""Vertex-biased streaming predictor for weighted-sum measures.
+
+The uniform predictor estimates Adamic–Adar by uniformly sampling the
+union and weighting matched witnesses — fine when witness weights are
+flat, wasteful when they are skewed: most slots land on high-degree
+witnesses that contribute almost nothing to ``Σ 1/ln d(w)``.  The
+paper's *vertex-biased sampling* spends slots in proportion to the
+weights instead.
+
+Method.  Each vertex carries a
+:class:`~repro.sketches.weighted_minhash.WeightedMinHash` of its
+neighbors, where neighbor ``w`` is inserted with weight
+``λ(w) = weight(d(w))`` (``1/ln d`` for Adamic–Adar).  By the
+exponential-minimum identity (see the sketch's module docstring), for a
+query pair ``(u, v)``::
+
+    p := P[slot minima coincide] = Λ(N(u) ∩ N(v)) / Λ(N(u) ∪ N(v))
+
+where ``Λ(S) = Σ_{w∈S} λ(w)``.  The sketches also maintain the running
+sums ``Λ(N(u))``, and inclusion–exclusion gives
+``Λ(∪) = Λ(u) + Λ(v) − Λ(∩)``; solving::
+
+    AA(u, v) = Λ(∩) = p · (Λ(u) + Λ(v)) / (1 + p)
+
+— structurally the same plug-in as the uniform CN estimator, but every
+slot now carries weight-proportional information, cutting variance on
+skewed graphs (experiment E9 measures the factor).
+
+Weight drift (the honest reconstruction caveat from DESIGN.md):
+``d(w)`` keeps growing after ``w`` was sketched, so ``λ`` drifts
+downward over time.  Two policies:
+
+* ``freeze`` — insert at arrival-time weight, never touch again.
+  Truly constant space; biased by the drift between a witness's
+  arrival-time and query-time degree.  The saving grace is that
+  ``1/ln d`` is *flat* in ``d`` for large ``d``, so drift mostly
+  matters for low-degree vertices.
+* ``refresh`` — additionally buffer up to ``refresh_buffer`` neighbor
+  ids per vertex; at query time, a vertex whose full neighborhood fits
+  the buffer lazily rebuilds its sketch (and ``Λ``) from *current*
+  degrees.  Hubs overflow the buffer and fall back to freeze — exactly
+  the regime where freezing is harmless (see above), making this the
+  "hybrid" policy DESIGN.md describes.  Extra space: at most
+  ``8 · refresh_buffer`` bytes per vertex, still constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SketchConfig
+from repro.core.degrees import ExactDegrees
+from repro.errors import ConfigurationError
+from repro.exact.measures import Measure, measure_by_name
+from repro.hashing import HashBank
+from repro.interface import LinkPredictor
+from repro.sketches.weighted_minhash import WeightedMinHash
+
+__all__ = ["BiasedMinHashLinkPredictor"]
+
+
+class BiasedMinHashLinkPredictor(LinkPredictor):
+    """Weighted-MinHash streaming estimator of one witness-sum measure.
+
+    Parameters
+    ----------
+    config:
+        Sketch parameters; ``weight_policy`` selects freeze vs refresh
+        (see module docstring).  Exact degrees are required — weights
+        are functions of degrees.
+    measure_name:
+        The witness-sum measure this predictor is specialised for
+        (default ``"adamic_adar"``).  :meth:`score` answers this measure
+        and ``preferential_attachment`` (free from degrees); other
+        measures raise — use
+        :class:`~repro.core.predictor.MinHashLinkPredictor` for the full
+        registry.
+    """
+
+    method_name = "biased_minhash"
+
+    __slots__ = (
+        "config",
+        "measure",
+        "_weight",
+        "bank",
+        "_sketches",
+        "_degrees",
+        "_buffers",
+        "_rebuilt_at",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        config: Optional[SketchConfig] = None,
+        measure_name: str = "adamic_adar",
+    ) -> None:
+        self.config = config or SketchConfig()
+        if self.config.degree_mode != "exact":
+            raise ConfigurationError(
+                "the biased predictor requires exact degrees "
+                "(weights are functions of degrees); got degree_mode="
+                f"{self.config.degree_mode!r}"
+            )
+        measure = measure_by_name(measure_name)
+        if measure.kind != "witness_sum":
+            raise ConfigurationError(
+                "the biased predictor targets witness-sum measures; "
+                f"{measure_name!r} is of kind {measure.kind!r}"
+            )
+        self.measure: Measure = measure
+        self._weight: Callable[[int], float] = measure.witness_weight  # type: ignore[assignment]
+        self.bank = HashBank(self.config.seed ^ 0xB1A5ED, self.config.k)
+        self._sketches: Dict[int, WeightedMinHash] = {}
+        self._degrees = ExactDegrees()
+        # refresh policy state; None values mark overflowed (hub) buffers.
+        self._buffers: Dict[int, Optional[List[int]]] = {}
+        self._rebuilt_at: Dict[int, int] = {}
+        self._clock = 0  # stream position, drives rebuild staleness
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _sketch_of(self, vertex: int) -> WeightedMinHash:
+        sketch = self._sketches.get(vertex)
+        if sketch is None:
+            sketch = WeightedMinHash(self.bank)
+            self._sketches[vertex] = sketch
+        return sketch
+
+    def _buffer_append(self, vertex: int, neighbor: int) -> None:
+        buffer = self._buffers.get(vertex, [])
+        if buffer is None:
+            return  # already overflowed: hub, frozen forever
+        buffer.append(neighbor)
+        if len(buffer) > self.config.refresh_buffer:
+            self._buffers[vertex] = None  # overflow: drop to bound memory
+        else:
+            self._buffers[vertex] = buffer
+
+    def update(self, u: int, v: int) -> None:
+        """Consume one stream edge.
+
+        Each endpoint is inserted into the other's weighted sketch at
+        its *current* (post-increment) degree weight.
+        """
+        if u == v:
+            raise ConfigurationError(f"self-loop on vertex {u} is not allowed")
+        self._clock += 1
+        self._degrees.increment(u)
+        self._degrees.increment(v)
+        self._sketch_of(u).update(v, self._weight(self._degrees.get(v)))
+        self._sketch_of(v).update(u, self._weight(self._degrees.get(u)))
+        if self.config.weight_policy == "refresh":
+            self._buffer_append(u, v)
+            self._buffer_append(v, u)
+
+    # ------------------------------------------------------------------
+    # Refresh policy
+    # ------------------------------------------------------------------
+
+    def _refreshed_sketch(self, vertex: int) -> WeightedMinHash:
+        """The vertex's sketch, lazily rebuilt at current weights when
+        the refresh policy applies and the full neighborhood is buffered."""
+        sketch = self._sketches[vertex]
+        if self.config.weight_policy != "refresh":
+            return sketch
+        buffer = self._buffers.get(vertex)
+        if buffer is None:
+            return sketch  # hub: frozen (λ drift negligible there)
+        if self._rebuilt_at.get(vertex) == self._clock:
+            return self._sketches[vertex]
+        rebuilt = WeightedMinHash(self.bank)
+        for neighbor in buffer:
+            rebuilt.update(neighbor, self._weight(self._degrees.get(neighbor)))
+        self._sketches[vertex] = rebuilt
+        self._rebuilt_at[vertex] = self._clock
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def degree(self, vertex: int) -> int:
+        return self._degrees.get(vertex)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices currently sketched."""
+        return len(self._sketches)
+
+    def score(self, u: int, v: int, measure_name: str) -> float:
+        """Estimate the configured measure: ``p·(Λu+Λv)/(1+p)``.
+
+        Also answers ``preferential_attachment`` (degrees only).  Any
+        other measure raises :class:`ConfigurationError` pointing at the
+        uniform predictor.
+        """
+        measure = measure_by_name(measure_name)
+        if measure.kind == "degree_product":
+            return float(self.degree(u) * self.degree(v))
+        if measure.name != self.measure.name:
+            raise ConfigurationError(
+                f"this biased predictor is specialised for "
+                f"{self.measure.name!r}; use MinHashLinkPredictor for "
+                f"{measure_name!r}"
+            )
+        if u not in self._sketches or v not in self._sketches:
+            return 0.0
+        su = self._refreshed_sketch(u)
+        sv = self._refreshed_sketch(v)
+        p = su.match_fraction(sv)
+        if p <= 0.0:
+            return 0.0
+        estimate = p * (su.weight_sum + sv.weight_sum) / (1.0 + p)
+        # Λ(∩) can exceed neither side's total weight.
+        return min(estimate, su.weight_sum, sv.weight_sum)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def nominal_bytes(self) -> int:
+        sketch_bytes = sum(s.nominal_bytes() for s in self._sketches.values())
+        buffer_bytes = sum(
+            8 * len(buffer)
+            for buffer in self._buffers.values()
+            if buffer is not None
+        )
+        return sketch_bytes + buffer_bytes + self._degrees.nominal_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"BiasedMinHashLinkPredictor(k={self.config.k}, "
+            f"measure={self.measure.name!r}, "
+            f"policy={self.config.weight_policy!r}, "
+            f"vertices={len(self._sketches)})"
+        )

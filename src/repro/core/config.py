@@ -1,0 +1,140 @@
+"""Configuration for the sketch-based predictors.
+
+One frozen dataclass gathers every knob the paper's method exposes, with
+eager validation (a bad configuration must fail at construction, before
+any stream has been consumed) and the accuracy-planning helpers that
+turn the Hoeffding guarantee into concrete parameter choices:
+
+    k slots  ⇒  P[|Ĵ - J| ≥ ε] ≤ 2·exp(-2kε²)
+
+so ``k = ln(2/δ) / (2ε²)`` suffices for ε-accuracy with probability
+1-δ — the "theoretical accuracy guarantee" the abstract advertises,
+checked empirically by experiment E10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SketchConfig", "required_k", "hoeffding_epsilon", "hoeffding_failure_probability"]
+
+_DEGREE_MODES = ("exact", "countmin")
+_WEIGHT_POLICIES = ("freeze", "refresh")
+
+
+def required_k(epsilon: float, delta: float) -> int:
+    """Smallest sketch size guaranteeing ``P[|Ĵ-J| ≥ ε] ≤ δ``.
+
+    From the Hoeffding bound on the mean of k i.i.d. indicator
+    variables: ``k = ceil(ln(2/δ) / (2 ε²))``.
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def hoeffding_epsilon(k: int, delta: float) -> float:
+    """The ε guaranteed at sketch size ``k`` with failure probability δ:
+    ``ε = sqrt(ln(2/δ) / (2k))``."""
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * k))
+
+
+def hoeffding_failure_probability(k: int, epsilon: float) -> float:
+    """The bound ``2·exp(-2kε²)`` itself (may exceed 1 for tiny k·ε²)."""
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return min(1.0, 2.0 * math.exp(-2.0 * k * epsilon * epsilon))
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Parameters of the MinHash-family predictors.
+
+    Attributes
+    ----------
+    k:
+        Slots per vertex sketch.  Space per vertex is ``16k`` bytes with
+        witness tracking (``8k`` without); Jaccard error decays as
+        ``1/sqrt(k)``.
+    seed:
+        Master seed; fully determines every hash function and therefore
+        the entire predictor state for a given stream.
+    track_witnesses:
+        Keep per-slot argmin ids (required for Adamic–Adar / resource
+        allocation; default True).
+    degree_mode:
+        ``"exact"`` — one exact counter per vertex (default, and the
+        paper's setting); ``"countmin"`` — approximate degrees in a
+        fixed-size Count-Min table (DESIGN.md ablation 3).
+    countmin_width / countmin_depth:
+        Count-Min dimensions for ``degree_mode="countmin"``.
+    weight_policy:
+        Biased predictor only: ``"freeze"`` (weight at edge arrival) or
+        ``"refresh"`` (rebuild from a bounded buffer; see
+        :mod:`repro.core.biased`).
+    refresh_buffer:
+        Biased/refresh only: per-vertex neighbor buffer capacity.
+    """
+
+    k: int = 128
+    seed: int = 0
+    track_witnesses: bool = True
+    degree_mode: str = "exact"
+    countmin_width: int = 1 << 14
+    countmin_depth: int = 4
+    weight_policy: str = "freeze"
+    refresh_buffer: int = 256
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be positive, got {self.k}")
+        if self.degree_mode not in _DEGREE_MODES:
+            raise ConfigurationError(
+                f"degree_mode must be one of {_DEGREE_MODES}, got {self.degree_mode!r}"
+            )
+        if self.weight_policy not in _WEIGHT_POLICIES:
+            raise ConfigurationError(
+                f"weight_policy must be one of {_WEIGHT_POLICIES}, "
+                f"got {self.weight_policy!r}"
+            )
+        if self.countmin_width < 1 or self.countmin_depth < 1:
+            raise ConfigurationError(
+                "countmin dimensions must be positive, got "
+                f"{self.countmin_width}x{self.countmin_depth}"
+            )
+        if self.refresh_buffer < 1:
+            raise ConfigurationError(
+                f"refresh_buffer must be positive, got {self.refresh_buffer}"
+            )
+
+    @classmethod
+    def for_accuracy(cls, epsilon: float, delta: float = 0.05, **overrides) -> "SketchConfig":
+        """Configuration sized from an accuracy target.
+
+        >>> SketchConfig.for_accuracy(0.1, 0.05).k
+        185
+        """
+        return cls(k=required_k(epsilon, delta), **overrides)
+
+    def with_k(self, k: int) -> "SketchConfig":
+        """Copy of this config at a different sketch size (sweeps)."""
+        return replace(self, k=k)
+
+    def jaccard_epsilon(self, delta: float = 0.05) -> float:
+        """The ε this configuration guarantees at failure probability δ."""
+        return hoeffding_epsilon(self.k, delta)
+
+    def bytes_per_vertex(self) -> int:
+        """Nominal per-vertex sketch bytes (excluding the degree word)."""
+        return self.k * (16 if self.track_witnesses else 8)

@@ -1,0 +1,96 @@
+"""Degree tracking for the streaming predictors.
+
+Every estimator in :mod:`repro.core.estimators` consumes vertex degrees.
+The paper maintains them exactly — one integer per vertex is already
+within the "constant space per vertex" budget — but DESIGN.md ablation 3
+asks what happens when even that word is approximated away, so both
+trackers implement one tiny protocol:
+
+* :class:`ExactDegrees` — a dict of counters; exact, 8 nominal bytes
+  per vertex.
+* :class:`CountMinDegrees` — a fixed-size conservative Count-Min table;
+  never underestimates, total space independent of the vertex count.
+
+Degrees count *edge arrivals* per endpoint.  On simple-graph streams
+(each undirected edge arrives once) that equals the true degree; on
+multi-edge streams callers should pre-filter with
+:func:`repro.graph.stream.deduplicated`, as every method documents.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+from repro.sketches.countmin import CountMin
+
+__all__ = ["DegreeTracker", "ExactDegrees", "CountMinDegrees"]
+
+
+class DegreeTracker(ABC):
+    """Minimal protocol shared by both degree-tracking modes."""
+
+    @abstractmethod
+    def increment(self, vertex: int) -> None:
+        """Count one new incident edge at ``vertex``."""
+
+    @abstractmethod
+    def get(self, vertex: int) -> int:
+        """Current degree belief (0 for unseen vertices)."""
+
+    @abstractmethod
+    def nominal_bytes(self) -> int:
+        """Packed size of the tracker state."""
+
+
+class ExactDegrees(DegreeTracker):
+    """Exact per-vertex degree counters (the paper's setting)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def increment(self, vertex: int) -> None:
+        self._counts[vertex] = self._counts.get(vertex, 0) + 1
+
+    def get(self, vertex: int) -> int:
+        return self._counts.get(vertex, 0)
+
+    def nominal_bytes(self) -> int:
+        return 8 * len(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"ExactDegrees(vertices={len(self._counts)})"
+
+
+class CountMinDegrees(DegreeTracker):
+    """Approximate degrees in a fixed-size Count-Min table.
+
+    Conservative updates keep the one-sided (over-)estimation tight on
+    the skewed degree distributions of real graphs.  Space is
+    ``8 * width * depth`` bytes regardless of how many vertices appear.
+    """
+
+    __slots__ = ("_sketch",)
+
+    def __init__(self, width: int = 1 << 14, depth: int = 4, seed: int = 0) -> None:
+        self._sketch = CountMin(width=width, depth=depth, seed=seed, conservative=True)
+
+    def increment(self, vertex: int) -> None:
+        self._sketch.update(vertex)
+
+    def get(self, vertex: int) -> int:
+        return self._sketch.estimate(vertex)
+
+    def nominal_bytes(self) -> int:
+        return self._sketch.nominal_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinDegrees(width={self._sketch.width}, "
+            f"depth={self._sketch.depth})"
+        )

@@ -1,0 +1,228 @@
+"""LSH self-join over the vertex sketches (extension).
+
+The paper's predictor answers *pairwise* queries: given ``(u, v)``,
+estimate the measure.  Many applications need the inverse: *find* the
+high-similarity pairs among millions of vertices without any candidate
+list.  Because every vertex already carries a MinHash signature, the
+classic banding construction (Indyk–Motwani LSH; Leskovec–Rajaraman–
+Ullman ch. 3) provides exactly that, for free:
+
+* split the ``k`` slots into ``bands`` groups of ``rows = k/bands``
+  consecutive slots;
+* within each band, hash the band's slot values to a bucket id; two
+  vertices collide in a band iff all ``rows`` slots agree there
+  (probability ``J^rows``);
+* a pair becomes a *candidate* if it collides in at least one band —
+  probability ``1 - (1 - J^rows)^bands``, an S-curve with threshold
+  ``J* ≈ (1/bands)^(1/rows)``.
+
+The index is built in one pass over the sketch store (``O(n·bands)``)
+and returns candidates whose estimated Jaccard clears a cut-off,
+optionally rescored by any registered measure.  Pairs that are already
+edges can be filtered by the caller (the sketches themselves cannot
+know adjacency — by design they summarise neighborhoods, not edges).
+
+Bucket blow-up guard: a bucket larger than ``max_bucket`` vertices is
+skipped (contributing ``O(bucket²)`` candidates from near-identical
+neighborhoods is usually a pathology, e.g. a crawler artifact); skipped
+buckets are counted and reported so silent truncation is impossible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.predictor import MinHashLinkPredictor
+from repro.errors import ConfigurationError
+from repro.hashing.mixers import MASK64, splitmix64
+
+__all__ = ["LshCandidateIndex", "lsh_threshold", "bands_for_threshold"]
+
+
+def lsh_threshold(bands: int, rows: int) -> float:
+    """The similarity at the S-curve's inflection, ``(1/b)^(1/r)``.
+
+    Pairs well above it are caught with probability near 1; pairs well
+    below, near 0.
+    """
+    if bands < 1 or rows < 1:
+        raise ConfigurationError(
+            f"bands and rows must be positive, got {bands}x{rows}"
+        )
+    return (1.0 / bands) ** (1.0 / rows)
+
+
+def bands_for_threshold(k: int, threshold: float) -> Tuple[int, int]:
+    """Choose ``(bands, rows)`` with ``bands*rows <= k`` whose S-curve
+    threshold is closest to ``threshold``.
+
+    >>> bands_for_threshold(128, 0.5)
+    (25, 5)
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
+    best: Tuple[int, int] = (1, k)
+    best_gap = abs(lsh_threshold(1, k) - threshold)
+    for rows in range(1, k + 1):
+        bands = k // rows
+        if bands < 1:
+            break
+        gap = abs(lsh_threshold(bands, rows) - threshold)
+        if gap < best_gap:
+            best, best_gap = (bands, rows), gap
+    return best
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One discovered pair with its estimated Jaccard."""
+
+    u: int
+    v: int
+    jaccard: float
+
+
+class LshCandidateIndex(object):
+    """Banding index over a predictor's vertex sketches.
+
+    Parameters
+    ----------
+    predictor:
+        A warm :class:`~repro.core.predictor.MinHashLinkPredictor`.
+        The index reads its slot arrays; it does not mutate them.
+    bands / rows:
+        Banding shape; ``bands * rows`` must not exceed the sketch
+        size ``k``.  Use :func:`bands_for_threshold` to derive a shape
+        from a similarity cut-off.
+    max_bucket:
+        Buckets larger than this are skipped (see module docstring).
+    min_degree:
+        Vertices below this degree are not indexed: their neighborhoods
+        are too small for a Jaccard self-join to mean anything, and
+        leaving them out keeps buckets informative.
+    """
+
+    __slots__ = ("predictor", "bands", "rows", "max_bucket", "min_degree", "_buckets", "skipped_buckets")
+
+    def __init__(
+        self,
+        predictor: MinHashLinkPredictor,
+        bands: int,
+        rows: int,
+        max_bucket: int = 200,
+        min_degree: int = 2,
+    ) -> None:
+        if bands < 1 or rows < 1:
+            raise ConfigurationError(
+                f"bands and rows must be positive, got {bands}x{rows}"
+            )
+        if bands * rows > predictor.config.k:
+            raise ConfigurationError(
+                f"bands*rows = {bands * rows} exceeds the sketch size "
+                f"k = {predictor.config.k}"
+            )
+        if max_bucket < 2:
+            raise ConfigurationError(f"max_bucket must be >= 2, got {max_bucket}")
+        self.predictor = predictor
+        self.bands = bands
+        self.rows = rows
+        self.max_bucket = max_bucket
+        self.min_degree = min_degree
+        self._buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self.skipped_buckets = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _band_signature(self, values, band: int) -> int:
+        """Deterministic 64-bit hash of one band's slot values.
+
+        Chained SplitMix64 over the band — stable across processes
+        (unlike Python's salted ``hash``), so index contents are
+        reproducible.
+        """
+        accumulator = band + 1
+        start = band * self.rows
+        for value in values[start : start + self.rows]:
+            accumulator = splitmix64((accumulator ^ int(value)) & MASK64)
+        return accumulator
+
+    def _build(self) -> None:
+        for vertex, sketch in self.predictor._sketches.items():
+            if self.predictor.degree(vertex) < self.min_degree:
+                continue
+            for band in range(self.bands):
+                signature = self._band_signature(sketch.values, band)
+                self._buckets[(band, signature)].append(vertex)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """This shape's S-curve similarity threshold."""
+        return lsh_threshold(self.bands, self.rows)
+
+    def capture_probability(self, jaccard: float) -> float:
+        """Probability a pair with the given true Jaccard is returned:
+        ``1 - (1 - J^rows)^bands``."""
+        if not 0.0 <= jaccard <= 1.0:
+            raise ConfigurationError(f"jaccard must be in [0, 1], got {jaccard}")
+        return 1.0 - (1.0 - jaccard**self.rows) ** self.bands
+
+    def candidate_pairs(self, min_jaccard: float = 0.0) -> Iterator[CandidatePair]:
+        """Yield distinct co-bucketed pairs with Ĵ ≥ ``min_jaccard``.
+
+        Each pair is yielded once (deduplicated across bands) with its
+        sketch-estimated Jaccard.  Overfull buckets are skipped and
+        counted in :attr:`skipped_buckets`.
+        """
+        self.skipped_buckets = 0
+        seen: Set[Tuple[int, int]] = set()
+        for bucket in self._buckets.values():
+            if len(bucket) < 2:
+                continue
+            if len(bucket) > self.max_bucket:
+                self.skipped_buckets += 1
+                continue
+            for i, u in enumerate(bucket):
+                for v in bucket[i + 1 :]:
+                    pair = (u, v) if u < v else (v, u)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    estimate = self.predictor.jaccard(pair[0], pair[1])
+                    if estimate >= min_jaccard:
+                        yield CandidatePair(pair[0], pair[1], estimate)
+
+    def top_pairs(
+        self, limit: int, measure_name: str = "jaccard", min_jaccard: float = 0.0
+    ) -> List[Tuple[CandidatePair, float]]:
+        """The ``limit`` best discovered pairs under any registered
+        measure (rescored through the predictor), ties broken on the
+        pair for determinism."""
+        if limit < 1:
+            raise ConfigurationError(f"limit must be positive, got {limit}")
+        scored = [
+            (pair, self.predictor.score(pair.u, pair.v, measure_name))
+            for pair in self.candidate_pairs(min_jaccard)
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0].u, item[0].v))
+        return scored[:limit]
+
+    def bucket_count(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"LshCandidateIndex(bands={self.bands}, rows={self.rows}, "
+            f"threshold={self.threshold:.3f}, buckets={len(self._buckets)})"
+        )

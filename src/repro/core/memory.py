@@ -1,0 +1,104 @@
+"""Memory accounting across predictor methods (experiment E2).
+
+Two honesty levels:
+
+* **Nominal bytes** — the packed C-struct size every component reports
+  through ``nominal_bytes()``.  This is the figure the paper's cost
+  model counts and the one used for equal-space comparisons, because it
+  is implementation-language-independent.
+* **Measured bytes** — recursive :func:`sys.getsizeof` over the live
+  Python objects, reported alongside so nobody mistakes interpreter
+  overhead for algorithmic space.
+
+:func:`memory_report` produces both for any
+:class:`~repro.interface.LinkPredictor`.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Set
+
+import numpy as np
+
+from repro.interface import LinkPredictor
+
+__all__ = ["MemoryReport", "memory_report", "deep_getsizeof"]
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Space accounting for one predictor at one stream position."""
+
+    method: str
+    vertices: int
+    nominal_bytes: int
+    measured_bytes: int
+
+    @property
+    def nominal_bytes_per_vertex(self) -> float:
+        """Nominal bytes per sketched vertex (the paper's unit)."""
+        return self.nominal_bytes / self.vertices if self.vertices else 0.0
+
+    @property
+    def interpreter_overhead(self) -> float:
+        """Measured/nominal ratio — pure-Python bookkeeping cost."""
+        return self.measured_bytes / self.nominal_bytes if self.nominal_bytes else 0.0
+
+    def row(self) -> str:
+        """One formatted table row (used by the E2 bench printer)."""
+        return (
+            f"{self.method:<20} {self.vertices:>9} "
+            f"{self.nominal_bytes:>14,} {self.nominal_bytes_per_vertex:>10.1f} "
+            f"{self.measured_bytes:>14,}"
+        )
+
+
+def deep_getsizeof(obj: Any, _seen: Set[int] | None = None) -> int:
+    """Recursive ``sys.getsizeof`` with cycle protection.
+
+    Handles the container types the predictors actually use (dict, set,
+    list, tuple, numpy arrays, objects with ``__dict__``/``__slots__``);
+    shared objects (e.g. the hash bank) are counted once.
+    """
+    if _seen is None:
+        _seen = set()
+    identity = id(obj)
+    if identity in _seen:
+        return 0
+    _seen.add(identity)
+    if isinstance(obj, np.ndarray):
+        # getsizeof of an owning array already includes its buffer; a
+        # view's buffer is charged to its owner (counted via _seen).
+        return int(sys.getsizeof(obj))
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            deep_getsizeof(k, _seen) + deep_getsizeof(v, _seen) for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_getsizeof(item, _seen) for item in obj)
+    else:
+        if hasattr(obj, "__dict__"):
+            size += deep_getsizeof(vars(obj), _seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += deep_getsizeof(getattr(obj, slot), _seen)
+    return size
+
+
+def memory_report(predictor: LinkPredictor) -> MemoryReport:
+    """Build a :class:`MemoryReport` for the predictor's current state."""
+    vertices = getattr(predictor, "vertex_count", None)
+    if vertices is None:
+        # Fall back to the degree table size exposed by all methods.
+        degrees = getattr(predictor, "_degrees", None)
+        vertices = len(degrees) if degrees is not None and hasattr(degrees, "__len__") else 0
+    return MemoryReport(
+        method=predictor.method_name,
+        vertices=int(vertices),
+        nominal_bytes=predictor.nominal_bytes(),
+        measured_bytes=deep_getsizeof(predictor),
+    )

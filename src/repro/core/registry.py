@@ -1,0 +1,105 @@
+"""Factory for predictor methods by name.
+
+Experiments, the CLI and downstream users construct methods from string
+names (``"minhash"``, ``"biased"``, ``"exact"``, ``"edge_reservoir"``,
+``"neighbor_reservoir"``), so one configuration file can sweep over
+methods without touching code.  The factory translates a
+:class:`~repro.core.config.SketchConfig` into each method's own notion
+of "equivalent parameters" — in particular, the equal-space rules used
+by experiment E8 are centralised in :func:`equal_space_parameters`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.biased import BiasedMinHashLinkPredictor
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor
+from repro.errors import ConfigurationError
+from repro.exact.baselines import EdgeReservoirBaseline, NeighborReservoirBaseline
+from repro.exact.oracle import ExactOracle
+from repro.interface import LinkPredictor
+
+__all__ = ["METHODS", "build_predictor", "equal_space_parameters"]
+
+
+def _build_minhash(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
+    return MinHashLinkPredictor(config)
+
+
+def _build_biased(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
+    return BiasedMinHashLinkPredictor(config)
+
+
+def _build_exact(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
+    return ExactOracle()
+
+
+def _build_edge_reservoir(
+    config: SketchConfig, expected_vertices: Optional[int]
+) -> LinkPredictor:
+    if expected_vertices is None:
+        raise ConfigurationError(
+            "edge_reservoir needs expected_vertices to derive an "
+            "equal-space capacity from the sketch configuration"
+        )
+    capacity = equal_space_parameters(config, expected_vertices)["edge_reservoir_capacity"]
+    return EdgeReservoirBaseline(capacity=capacity, seed=config.seed)
+
+
+def _build_neighbor_reservoir(
+    config: SketchConfig, expected_vertices: Optional[int]
+) -> LinkPredictor:
+    sample = equal_space_parameters(config, expected_vertices or 0)[
+        "neighbor_reservoir_sample"
+    ]
+    return NeighborReservoirBaseline(sample_size=sample, seed=config.seed)
+
+
+METHODS: Dict[str, Callable[[SketchConfig, Optional[int]], LinkPredictor]] = {
+    "minhash": _build_minhash,
+    "biased": _build_biased,
+    "exact": _build_exact,
+    "edge_reservoir": _build_edge_reservoir,
+    "neighbor_reservoir": _build_neighbor_reservoir,
+}
+
+
+def equal_space_parameters(config: SketchConfig, expected_vertices: int) -> Dict[str, int]:
+    """Translate a sketch budget into equal-space baseline parameters.
+
+    The MinHash predictor spends ``bytes_per_vertex() + 8`` nominal
+    bytes per vertex.  At that budget:
+
+    * the neighbor reservoir keeps ``bytes_per_vertex() / 8`` neighbor
+      ids per vertex (its entries are single words, the sketch's pairs);
+    * the edge reservoir gets the *total* byte pool
+      (``vertices * bytes_per_vertex / 8`` packed edges), which needs
+      the expected vertex count.
+    """
+    per_vertex = config.bytes_per_vertex()
+    return {
+        "neighbor_reservoir_sample": max(1, per_vertex // 8),
+        "edge_reservoir_capacity": max(1, expected_vertices * per_vertex // 8),
+    }
+
+
+def build_predictor(
+    method: str,
+    config: Optional[SketchConfig] = None,
+    expected_vertices: Optional[int] = None,
+) -> LinkPredictor:
+    """Construct a predictor by method name.
+
+    ``expected_vertices`` is needed only by the global-budget
+    ``edge_reservoir`` baseline (to size its equal-space capacity).
+    """
+    try:
+        factory = METHODS[method]
+    except KeyError:
+        known = ", ".join(METHODS)
+        raise ConfigurationError(
+            f"unknown method {method!r}; known methods: {known}"
+        ) from None
+    return factory(config or SketchConfig(), expected_vertices)

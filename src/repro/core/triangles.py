@@ -1,0 +1,105 @@
+"""Streaming triangle counting on top of the link-prediction sketches
+(application extension).
+
+A neat corollary of the paper's machinery: the number of triangles
+*closed by* an arriving edge ``(u, v)`` is exactly ``CN(u, v)`` at
+arrival time, so summing the streaming common-neighbor estimates over
+the edges of the stream estimates the global triangle count — one pass,
+constant space per vertex, no extra sketches::
+
+    T = Σ_{(u,v) in stream} CN_before(u, v)
+
+(each triangle is counted exactly once, by its last-arriving edge).
+
+:class:`StreamingTriangleCounter` wraps a
+:class:`~repro.core.predictor.MinHashLinkPredictor`: on each edge it
+queries the current ĈN of the endpoints *before* applying the update,
+accumulates the sum, and maintains everything the predictor normally
+maintains — so the same object still answers link-prediction queries.
+
+Accuracy: each ĈN term is the plug-in estimator of
+:mod:`repro.core.estimators` (asymptotically unbiased, error
+``O(1/√k)`` relative to the pair's union size); errors across edges are
+positively correlated through shared sketches, so the global relative
+error decays more slowly than ``1/√edges`` but in practice sits at a
+few percent for k≥128 (see ``tests/core/test_triangles.py`` for the
+measured tolerance on seeded streams).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor
+from repro.interface import LinkPredictor
+
+__all__ = ["StreamingTriangleCounter"]
+
+
+class StreamingTriangleCounter(LinkPredictor):
+    """One-pass triangle counter built on the MinHash predictor.
+
+    Exposes the full :class:`~repro.interface.LinkPredictor` protocol
+    (delegated to the inner predictor) plus :meth:`triangle_estimate`.
+    """
+
+    method_name = "triangle_counter"
+
+    __slots__ = ("predictor", "_triangle_sum", "edges_seen")
+
+    def __init__(self, config: Optional[SketchConfig] = None) -> None:
+        self.predictor = MinHashLinkPredictor(config)
+        self._triangle_sum = 0.0
+        self.edges_seen = 0
+
+    def update(self, u: int, v: int) -> None:
+        """Count the triangles this edge closes, then apply it."""
+        self._triangle_sum += self.predictor.score(u, v, "common_neighbors")
+        self.predictor.update(u, v)
+        self.edges_seen += 1
+
+    def triangle_estimate(self) -> float:
+        """Current estimate of the number of triangles seen so far."""
+        return self._triangle_sum
+
+    def transitivity_estimate(self) -> float:
+        """Global clustering estimate ``3T / wedges`` using the exact
+        degree table for the wedge count.
+
+        Only available under exact degrees (the default config).
+        """
+        degrees = self.predictor._degrees
+        counts = getattr(degrees, "_counts", None)
+        if counts is None:
+            raise NotImplementedError(
+                "transitivity needs the exact-degree table (degree_mode='exact')"
+            )
+        wedges = sum(d * (d - 1) // 2 for d in counts.values())
+        if wedges == 0:
+            return 0.0
+        return 3.0 * self._triangle_sum / wedges
+
+    # ------------------------------------------------------------------
+    # LinkPredictor delegation
+    # ------------------------------------------------------------------
+
+    def score(self, u: int, v: int, measure_name: str) -> float:
+        return self.predictor.score(u, v, measure_name)
+
+    def degree(self, vertex: int) -> int:
+        return self.predictor.degree(vertex)
+
+    @property
+    def vertex_count(self) -> int:
+        """Vertices currently sketched."""
+        return self.predictor.vertex_count
+
+    def nominal_bytes(self) -> int:
+        return self.predictor.nominal_bytes() + 8  # + the running sum
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingTriangleCounter(edges={self.edges_seen}, "
+            f"triangles~{self._triangle_sum:.0f})"
+        )

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers embedding the library can catch a single
+base class.  Subclasses are deliberately fine-grained: streaming systems
+run unattended and the *reason* a query or update was rejected matters
+(bad configuration is an operator mistake; an unknown vertex is a data
+question the caller may prefer to treat as "no information yet").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnknownVertexError",
+    "EmptyNeighborhoodError",
+    "StreamFormatError",
+    "DatasetError",
+    "EvaluationError",
+    "SketchStateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter was supplied to a constructor or factory.
+
+    Raised eagerly, at construction time, so misconfiguration is caught
+    before any stream data has been consumed.
+    """
+
+
+class UnknownVertexError(ReproError, KeyError):
+    """A query referenced a vertex that has never appeared in the stream."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError quotes its argument; be clearer.
+        return f"vertex {self.vertex!r} has never appeared in the stream"
+
+
+class EmptyNeighborhoodError(ReproError, ValueError):
+    """A measure that divides by neighborhood size was asked about an
+    isolated vertex (degree zero)."""
+
+
+class StreamFormatError(ReproError, ValueError):
+    """An edge-list file or stream record could not be parsed."""
+
+    def __init__(self, message: str, *, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class DatasetError(ReproError, LookupError):
+    """A dataset name was not found in the registry."""
+
+
+class EvaluationError(ReproError, ValueError):
+    """An evaluation was configured inconsistently (e.g. empty test set,
+    or a metric asked for more candidates than exist)."""
+
+
+class SketchStateError(ReproError, RuntimeError):
+    """A sketch operation was invalid for the sketch's current state
+    (e.g. merging sketches built from different hash seeds)."""

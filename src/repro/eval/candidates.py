@@ -1,0 +1,136 @@
+"""Candidate-pair samplers for accuracy and ranking experiments.
+
+Two kinds of pair populations matter:
+
+* **Accuracy studies** (E3, E6, E9) need pairs where the true measures
+  are *non-trivial* — uniformly random pairs in a sparse graph almost
+  never share a neighbor, making relative error meaningless.
+  :func:`sample_two_hop_pairs` draws pairs at graph distance two
+  (guaranteed ``CN >= 1``) via a degree-weighted walk, the natural
+  query distribution of a "who should connect next" workload.
+* **Ranking studies** (E7) need positives (held-out future edges) mixed
+  with hard negatives.  :func:`sample_negative_pairs` draws non-adjacent
+  pairs, two-hop by default so the negatives are not trivially
+  separable by CN > 0.
+
+All samplers are seeded and deduplicate pairs; they raise
+:class:`~repro.errors.EvaluationError` when the graph cannot supply the
+requested population (e.g. a forest has too few two-hop pairs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.graph.adjacency import AdjacencyGraph
+
+__all__ = ["sample_two_hop_pairs", "sample_random_pairs", "sample_negative_pairs"]
+
+_MAX_ATTEMPT_FACTOR = 200
+
+
+def _canonical(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def sample_two_hop_pairs(
+    graph: AdjacencyGraph,
+    count: int,
+    seed: int = 0,
+    require_non_adjacent: bool = True,
+) -> List[Tuple[int, int]]:
+    """Sample distinct pairs at graph distance two.
+
+    Walk: uniform vertex ``u`` (among non-isolated vertices), uniform
+    neighbor ``w``, uniform neighbor ``v`` of ``w``; keep if ``v ≠ u``
+    (and, by default, ``{u,v}`` is not an edge — candidates for *new*
+    links).  Every kept pair shares at least the witness ``w``.
+    """
+    vertices = [v for v in graph.vertices() if graph.degree(v) > 0]
+    if len(vertices) < 3:
+        raise EvaluationError("graph too small to sample two-hop pairs")
+    rng = random.Random(seed)
+    pairs: Set[Tuple[int, int]] = set()
+    attempts = 0
+    limit = _MAX_ATTEMPT_FACTOR * max(count, 1)
+    while len(pairs) < count:
+        attempts += 1
+        if attempts > limit:
+            raise EvaluationError(
+                f"could not find {count} two-hop pairs after {limit} attempts "
+                f"(found {len(pairs)}); the graph may be too sparse"
+            )
+        u = rng.choice(vertices)
+        w = rng.choice(tuple(graph.neighbors(u)))
+        v = rng.choice(tuple(graph.neighbors(w)))
+        if v == u:
+            continue
+        if require_non_adjacent and graph.has_edge(u, v):
+            continue
+        pairs.add(_canonical(u, v))
+    return sorted(pairs)
+
+
+def sample_random_pairs(
+    graph: AdjacencyGraph, count: int, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """Sample distinct uniformly random non-adjacent vertex pairs."""
+    vertices = list(graph.vertices())
+    if len(vertices) < 2:
+        raise EvaluationError("graph too small to sample pairs")
+    rng = random.Random(seed)
+    pairs: Set[Tuple[int, int]] = set()
+    attempts = 0
+    limit = _MAX_ATTEMPT_FACTOR * max(count, 1)
+    while len(pairs) < count:
+        attempts += 1
+        if attempts > limit:
+            raise EvaluationError(
+                f"could not find {count} random non-adjacent pairs "
+                f"after {limit} attempts"
+            )
+        u, v = rng.sample(vertices, 2)
+        if graph.has_edge(u, v):
+            continue
+        pairs.add(_canonical(u, v))
+    return sorted(pairs)
+
+
+def sample_negative_pairs(
+    graph: AdjacencyGraph,
+    positives: Sequence[Tuple[int, int]],
+    ratio: float = 1.0,
+    seed: int = 0,
+    hard: bool = True,
+) -> List[Tuple[int, int]]:
+    """Negatives for a ranking study: non-edges disjoint from ``positives``.
+
+    ``hard=True`` draws two-hop non-edges (share >= 1 neighbor, so the
+    ranking task is non-trivial); ``hard=False`` draws uniform
+    non-edges.  Returns ``ceil(ratio * len(positives))`` pairs.
+    """
+    if ratio <= 0:
+        raise EvaluationError(f"ratio must be positive, got {ratio}")
+    needed = int(ratio * len(positives) + 0.999999)
+    forbidden = {(min(u, v), max(u, v)) for u, v in positives}
+    sampler = sample_two_hop_pairs if hard else sample_random_pairs
+    # Oversample, then reject pairs that collide with positives.
+    negatives: List[Tuple[int, int]] = []
+    attempt_seed = seed
+    while len(negatives) < needed:
+        batch = sampler(graph, needed + len(forbidden), seed=attempt_seed)
+        for pair in batch:
+            if pair not in forbidden:
+                forbidden.add(pair)
+                negatives.append(pair)
+                if len(negatives) == needed:
+                    break
+        attempt_seed += 1
+        if attempt_seed - seed > 50:
+            raise EvaluationError(
+                f"could not assemble {needed} negatives disjoint from the "
+                f"positives (have {len(negatives)})"
+            )
+    return negatives

@@ -1,0 +1,211 @@
+"""Shared experiment machinery.
+
+The benchmark harnesses in ``benchmarks/`` are thin: each wires a
+dataset, a parameter grid and a printer around the reusable procedures
+here.  Everything takes explicit seeds and returns plain data (dicts
+and dataclasses), so experiments are reproducible and their outputs
+diffable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.eval import metrics
+from repro.eval.candidates import sample_negative_pairs, sample_two_hop_pairs
+from repro.eval.split import prediction_positives, temporal_split
+from repro.exact.oracle import ExactOracle
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.stream import Edge
+from repro.interface import LinkPredictor
+
+__all__ = [
+    "IngestResult",
+    "RankingResult",
+    "score_pairs",
+    "accuracy_profile",
+    "timed_ingest",
+    "timed_queries",
+    "ranking_quality",
+    "rank_agreement",
+    "progressive_accuracy",
+    "temporal_ranking_task",
+]
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of a timed stream ingestion."""
+
+    edges: int
+    seconds: float
+
+    @property
+    def edges_per_second(self) -> float:
+        return self.edges / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Ranking quality of one method on one labelled pair population."""
+
+    method: str
+    measure: str
+    auc: float
+    precision: Dict[int, float]
+    average_precision: float
+
+
+def score_pairs(
+    predictor: LinkPredictor, pairs: Sequence[Pair], measure: str
+) -> List[float]:
+    """Score every pair with one method/measure."""
+    return [predictor.score(u, v, measure) for u, v in pairs]
+
+
+def accuracy_profile(
+    predictor: LinkPredictor,
+    oracle: ExactOracle,
+    pairs: Sequence[Pair],
+    measures: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Error summary (MAE / RMSE / MRE) per measure against the oracle."""
+    profile: Dict[str, Dict[str, float]] = {}
+    for measure in measures:
+        estimates = score_pairs(predictor, pairs, measure)
+        truths = score_pairs(oracle, pairs, measure)
+        profile[measure] = metrics.error_summary(estimates, truths)
+    return profile
+
+
+def timed_ingest(predictor: LinkPredictor, edges: Sequence[Edge]) -> IngestResult:
+    """Feed a stream through a predictor under a wall clock."""
+    start = time.perf_counter()
+    count = predictor.process(edges)
+    return IngestResult(edges=count, seconds=time.perf_counter() - start)
+
+
+def timed_queries(
+    predictor: LinkPredictor, pairs: Sequence[Pair], measure: str
+) -> float:
+    """Mean seconds per pairwise query."""
+    if not pairs:
+        raise EvaluationError("need at least one query pair to time")
+    start = time.perf_counter()
+    for u, v in pairs:
+        predictor.score(u, v, measure)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+def ranking_quality(
+    predictor: LinkPredictor,
+    positives: Sequence[Pair],
+    negatives: Sequence[Pair],
+    measure: str,
+    precision_levels: Sequence[int] = (10, 50, 100),
+) -> RankingResult:
+    """AUC / precision@N / AP of one method on a labelled population."""
+    pairs = list(positives) + list(negatives)
+    labels = [1] * len(positives) + [0] * len(negatives)
+    scores = score_pairs(predictor, pairs, measure)
+    return RankingResult(
+        method=predictor.method_name,
+        measure=measure,
+        auc=metrics.roc_auc(scores, labels),
+        precision={
+            n: metrics.precision_at(scores, labels, n)
+            for n in precision_levels
+            if n <= len(pairs)
+        },
+        average_precision=metrics.average_precision(scores, labels),
+    )
+
+
+def rank_agreement(
+    predictor: LinkPredictor,
+    oracle: ExactOracle,
+    pairs: Sequence[Pair],
+    measure: str,
+) -> Dict[str, float]:
+    """Kendall τ-b and Spearman ρ between estimated and exact rankings."""
+    estimates = score_pairs(predictor, pairs, measure)
+    truths = score_pairs(oracle, pairs, measure)
+    return {
+        "kendall_tau": metrics.kendall_tau(estimates, truths),
+        "spearman_rho": metrics.spearman_rho(estimates, truths),
+    }
+
+
+def progressive_accuracy(
+    predictor_factory: Callable[[], LinkPredictor],
+    edges: Sequence[Edge],
+    checkpoint_count: int,
+    pairs_per_checkpoint: int,
+    measures: Sequence[str],
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Accuracy measured at evenly spaced points along the stream (E6).
+
+    Runs the predictor and an exact oracle in lockstep; at each
+    checkpoint, samples fresh two-hop pairs from the *current* graph and
+    records each measure's mean relative error.  Returns one row per
+    checkpoint: ``{"edges": n, "<measure>": mre, ...}``.
+    """
+    if checkpoint_count < 1:
+        raise EvaluationError(
+            f"checkpoint_count must be positive, got {checkpoint_count}"
+        )
+    predictor = predictor_factory()
+    oracle = ExactOracle()
+    interval = max(1, len(edges) // checkpoint_count)
+    rows: List[Dict[str, object]] = []
+    for index, edge in enumerate(edges, start=1):
+        predictor.update(edge.u, edge.v)
+        oracle.update(edge.u, edge.v)
+        if index % interval == 0 or index == len(edges):
+            pairs = sample_two_hop_pairs(
+                oracle.graph, pairs_per_checkpoint, seed=seed + index
+            )
+            row: Dict[str, object] = {"edges": index}
+            profile = accuracy_profile(predictor, oracle, pairs, measures)
+            for measure in measures:
+                row[measure] = profile[measure]["mre"]
+            rows.append(row)
+    return rows
+
+
+def temporal_ranking_task(
+    edges: Sequence[Edge],
+    train_fraction: float = 0.7,
+    negative_ratio: float = 1.0,
+    max_positives: int = 500,
+    seed: int = 0,
+    hard_negatives: bool = False,
+) -> Tuple[List[Edge], List[Pair], List[Pair]]:
+    """Build the E7 task: train stream, positive pairs, negative pairs.
+
+    Splits temporally, extracts legal positives from the future,
+    truncates to ``max_positives`` (deterministically — the earliest
+    future edges, the ones an online system must predict first), and
+    samples negatives from the training graph.  Negatives are uniform
+    non-edges by default (the standard link-prediction protocol);
+    ``hard_negatives=True`` draws two-hop non-edges instead, a strictly
+    harder task on which even exact measures separate poorly — useful
+    for stress studies, not for the headline E7 numbers.
+    """
+    train, test = temporal_split(edges, train_fraction)
+    train_graph = AdjacencyGraph.from_edges(train)
+    positives = prediction_positives(train_graph, test)[:max_positives]
+    if not positives:
+        raise EvaluationError(
+            "no legal positives in the held-out future; lower train_fraction"
+        )
+    negatives = sample_negative_pairs(
+        train_graph, positives, ratio=negative_ratio, seed=seed, hard=hard_negatives
+    )
+    return train, positives, negatives

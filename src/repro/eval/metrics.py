@@ -1,0 +1,241 @@
+"""Evaluation metrics: estimation error and ranking quality.
+
+Implemented from scratch (with the cross-checks against scipy living in
+the test-suite, not here, so the library carries no scipy dependency):
+
+* estimation error — mean absolute error, root-mean-square error, and
+  the paper's headline *mean relative error* (restricted to pairs whose
+  true value is positive, the convention that makes "relative" well
+  defined);
+* ranking quality — ROC AUC via the Mann–Whitney statistic with
+  midrank tie handling, precision/recall at N, and average precision;
+* rank agreement — Kendall's τ-b and Spearman's ρ between an estimated
+  and an exact ranking, the statistic that answers "does the sketch
+  *order* candidates like the exact measure would?" (experiment E7's
+  second axis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "mean_absolute_error",
+    "root_mean_square_error",
+    "mean_relative_error",
+    "roc_auc",
+    "precision_at",
+    "recall_at",
+    "average_precision",
+    "kendall_tau",
+    "spearman_rho",
+    "error_summary",
+]
+
+
+def _check_paired(estimates: Sequence[float], truths: Sequence[float]) -> None:
+    if len(estimates) != len(truths):
+        raise EvaluationError(
+            f"length mismatch: {len(estimates)} estimates vs {len(truths)} truths"
+        )
+    if not estimates:
+        raise EvaluationError("need at least one (estimate, truth) pair")
+
+
+def mean_absolute_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean of ``|estimate - truth|``."""
+    _check_paired(estimates, truths)
+    return sum(abs(e - t) for e, t in zip(estimates, truths)) / len(estimates)
+
+
+def root_mean_square_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Square root of the mean squared error."""
+    _check_paired(estimates, truths)
+    return math.sqrt(
+        sum((e - t) ** 2 for e, t in zip(estimates, truths)) / len(estimates)
+    )
+
+
+def mean_relative_error(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """Mean of ``|estimate - truth| / truth`` over pairs with truth > 0.
+
+    The paper's headline accuracy metric.  Pairs whose true value is
+    zero are skipped (relative error is undefined there; the absolute
+    metrics cover them); if *every* truth is zero the metric is
+    undefined and raises.
+    """
+    _check_paired(estimates, truths)
+    errors = [abs(e - t) / t for e, t in zip(estimates, truths) if t > 0]
+    if not errors:
+        raise EvaluationError(
+            "mean relative error undefined: every true value is zero"
+        )
+    return sum(errors) / len(errors)
+
+
+# ----------------------------------------------------------------------
+# Ranking quality
+# ----------------------------------------------------------------------
+
+
+def _midranks(values: Sequence[float]) -> List[float]:
+    """Ranks 1..n with ties assigned their midrank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for position in range(i, j + 1):
+            ranks[order[position]] = midrank
+        i = j + 1
+    return ranks
+
+
+def roc_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """ROC AUC via the Mann–Whitney U statistic (midrank ties).
+
+    ``labels`` are 0/1; equals the probability a random positive
+    outranks a random negative (ties counting half).
+    """
+    if len(scores) != len(labels):
+        raise EvaluationError(
+            f"length mismatch: {len(scores)} scores vs {len(labels)} labels"
+        )
+    positives = sum(1 for label in labels if label)
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise EvaluationError(
+            f"AUC needs both classes; got {positives} positives, "
+            f"{negatives} negatives"
+        )
+    ranks = _midranks(scores)
+    positive_rank_sum = sum(r for r, label in zip(ranks, labels) if label)
+    u_statistic = positive_rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
+
+
+def _ranked_labels(scores: Sequence[float], labels: Sequence[int]) -> List[int]:
+    """Labels sorted by descending score (stable, ties by input order)."""
+    if len(scores) != len(labels):
+        raise EvaluationError(
+            f"length mismatch: {len(scores)} scores vs {len(labels)} labels"
+        )
+    order = sorted(range(len(scores)), key=lambda i: -scores[i])
+    return [labels[i] for i in order]
+
+
+def precision_at(scores: Sequence[float], labels: Sequence[int], n: int) -> float:
+    """Fraction of the top-``n`` scored items that are positive."""
+    if n < 1:
+        raise EvaluationError(f"n must be positive, got {n}")
+    top = _ranked_labels(scores, labels)[:n]
+    if not top:
+        raise EvaluationError("no items to rank")
+    return sum(top) / len(top)
+
+
+def recall_at(scores: Sequence[float], labels: Sequence[int], n: int) -> float:
+    """Fraction of all positives captured in the top ``n``."""
+    if n < 1:
+        raise EvaluationError(f"n must be positive, got {n}")
+    total_positives = sum(labels)
+    if total_positives == 0:
+        raise EvaluationError("recall undefined without positives")
+    top = _ranked_labels(scores, labels)[:n]
+    return sum(top) / total_positives
+
+
+def average_precision(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Mean of precision@rank over the ranks of the positives."""
+    ranked = _ranked_labels(scores, labels)
+    total_positives = sum(ranked)
+    if total_positives == 0:
+        raise EvaluationError("average precision undefined without positives")
+    hits = 0
+    precision_sum = 0.0
+    for index, label in enumerate(ranked, start=1):
+        if label:
+            hits += 1
+            precision_sum += hits / index
+    return precision_sum / total_positives
+
+
+# ----------------------------------------------------------------------
+# Rank agreement
+# ----------------------------------------------------------------------
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall's τ-b between two paired score lists (tie-corrected).
+
+    O(n²) pair enumeration — evaluation pair sets are a few thousand
+    items, where the quadratic cost is negligible next to scoring.
+    """
+    _check_paired(a, b)
+    n = len(a)
+    if n < 2:
+        raise EvaluationError("kendall tau needs at least two items")
+    concordant = discordant = ties_a = ties_b = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            da = a[i] - a[j]
+            db = b[i] - b[j]
+            if da == 0 and db == 0:
+                ties_a += 1
+                ties_b += 1
+            elif da == 0:
+                ties_a += 1
+            elif db == 0:
+                ties_b += 1
+            elif (da > 0) == (db > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    total = n * (n - 1) // 2
+    denominator = math.sqrt((total - ties_a) * (total - ties_b))
+    if denominator == 0:
+        raise EvaluationError("kendall tau undefined: a list is constant")
+    return (concordant - discordant) / denominator
+
+
+def spearman_rho(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson correlation of midranks)."""
+    _check_paired(a, b)
+    if len(a) < 2:
+        raise EvaluationError("spearman rho needs at least two items")
+    ranks_a = _midranks(a)
+    ranks_b = _midranks(b)
+    mean_a = sum(ranks_a) / len(ranks_a)
+    mean_b = sum(ranks_b) / len(ranks_b)
+    covariance = sum(
+        (ra - mean_a) * (rb - mean_b) for ra, rb in zip(ranks_a, ranks_b)
+    )
+    variance_a = sum((ra - mean_a) ** 2 for ra in ranks_a)
+    variance_b = sum((rb - mean_b) ** 2 for rb in ranks_b)
+    if variance_a == 0 or variance_b == 0:
+        raise EvaluationError("spearman rho undefined: a list is constant")
+    return covariance / math.sqrt(variance_a * variance_b)
+
+
+def error_summary(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> Dict[str, float]:
+    """All three error metrics in one dict (handles the all-zero-truth
+    corner by reporting NaN for the relative metric)."""
+    try:
+        relative = mean_relative_error(estimates, truths)
+    except EvaluationError:
+        relative = float("nan")
+    return {
+        "mae": mean_absolute_error(estimates, truths),
+        "rmse": root_mean_square_error(estimates, truths),
+        "mre": relative,
+    }

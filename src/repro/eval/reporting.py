@@ -1,0 +1,140 @@
+"""Plain-text tables and series for experiment output.
+
+Every benchmark prints its result in the same two shapes the paper's
+evaluation section uses — tables (one row per dataset/method) and
+series (one ``x -> y`` line per curve of a figure) — so the console
+output maps one-to-one onto the tables/figures recorded in
+EXPERIMENTS.md.  No plotting dependency: the series format *is* the
+figure, machine-diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import EvaluationError
+
+__all__ = ["format_table", "format_series", "format_cell", "sparkline"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 4) -> str:
+    """Render one table cell: floats at fixed significant precision,
+    integers with thousands separators, strings verbatim."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 10000 or magnitude < 0.001):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Column widths adapt to content; numeric cells right-align, text
+    cells left-align.  Raises on ragged rows — a ragged experiment
+    table is always a bug worth failing loudly on.
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    rendered: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    numeric = [
+        all(isinstance(row[col], (int, float)) for row in rows) if rows else False
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[col]) if numeric[col] else cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric sequence as a unicode block sparkline.
+
+    Values scale linearly into eight block heights between the
+    sequence's min and max (a constant sequence renders mid-height).
+    NaNs render as spaces.  Used by the progressive experiments to give
+    each checkpoint series an at-a-glance shape next to the table.
+
+    >>> sparkline([1, 2, 3, 2, 1])
+    '▁▄█▄▁'
+    """
+    if not values:
+        raise EvaluationError("sparkline needs at least one value")
+    finite = [v for v in values if v == v]
+    if not finite:
+        return " " * len(values)
+    low = min(finite)
+    span = max(finite) - low
+    cells: List[str] = []
+    for value in values:
+        if value != value:  # NaN
+            cells.append(" ")
+        elif span == 0:
+            cells.append(_SPARK_BLOCKS[3])
+        else:
+            index = int((value - low) / span * (len(_SPARK_BLOCKS) - 1))
+            cells.append(_SPARK_BLOCKS[index])
+    return "".join(cells)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    curves: Dict[str, List[Tuple[Cell, Cell]]],
+    precision: int = 4,
+) -> str:
+    """Render a figure as aligned ``x -> y`` columns, one per curve.
+
+    All curves must share the same x grid (that is what makes them one
+    figure); a mismatch raises.
+    """
+    if not curves:
+        raise EvaluationError("a series needs at least one curve")
+    names = list(curves)
+    grid = [x for x, _ in curves[names[0]]]
+    for name in names[1:]:
+        other = [x for x, _ in curves[name]]
+        if other != grid:
+            raise EvaluationError(
+                f"curve {name!r} has x grid {other}, expected {grid}"
+            )
+    headers = [x_label] + names
+    rows: List[List[Cell]] = []
+    for index, x in enumerate(grid):
+        rows.append([x] + [curves[name][index][1] for name in names])
+    return format_table(headers, rows, title=title, precision=precision)

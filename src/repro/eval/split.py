@@ -1,0 +1,65 @@
+"""Temporal train/test splitting for link-prediction evaluation.
+
+The standard streaming protocol (and the one real deployments face):
+feed the predictor the first ``train_fraction`` of the stream in arrival
+order, then ask it to predict which *future* edges will appear among the
+already-known vertices.
+
+:func:`temporal_split` cuts the stream; :func:`prediction_positives`
+extracts the legal positive pairs from the held-out future: an edge
+counts only if both endpoints were seen during training (a predictor
+cannot be asked about vertices it has never observed) and the pair was
+not already connected (otherwise there is nothing to predict).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.stream import Edge
+
+__all__ = ["temporal_split", "prediction_positives"]
+
+
+def temporal_split(
+    edges: Sequence[Edge], train_fraction: float
+) -> Tuple[List[Edge], List[Edge]]:
+    """Split a stream at a time cut: first ``train_fraction`` vs rest.
+
+    The input must already be in arrival order (all library streams
+    are).  Fractions outside ``(0, 1)`` raise
+    :class:`~repro.errors.EvaluationError`.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise EvaluationError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    if not edges:
+        raise EvaluationError("cannot split an empty stream")
+    cut = int(len(edges) * train_fraction)
+    cut = max(1, min(cut, len(edges) - 1))  # both sides non-empty
+    return list(edges[:cut]), list(edges[cut:])
+
+
+def prediction_positives(
+    train_graph: AdjacencyGraph, test_edges: Sequence[Edge]
+) -> List[Tuple[int, int]]:
+    """The future edges a predictor can legitimately be scored on.
+
+    Keeps test edges whose endpoints both exist in the training graph
+    and that are not already training edges; deduplicates and
+    canonicalises to ``(min, max)``.
+    """
+    positives: Set[Tuple[int, int]] = set()
+    for edge in test_edges:
+        u, v = (edge.u, edge.v) if edge.u < edge.v else (edge.v, edge.u)
+        if u == v:
+            continue
+        if u not in train_graph or v not in train_graph:
+            continue
+        if train_graph.has_edge(u, v):
+            continue
+        positives.add((u, v))
+    return sorted(positives)

@@ -1,0 +1,153 @@
+"""Declarative parameter sweeps.
+
+The evaluation section of any systems paper is a grid: a few factors
+(sketch size, method, dataset), a procedure run at each grid point, and
+a table/figure of the results.  :class:`Sweep` packages that pattern so
+user studies stay declarative::
+
+    sweep = Sweep(factors={"k": [32, 128, 512], "dataset": ["synth-grqc"]})
+    results = sweep.run(lambda k, dataset: my_experiment(k, dataset))
+    print(results.table(value_names=["mre"]))
+    print(results.series(x="k", value="mre"))     # one curve per other-factor combo
+
+The procedure returns either a float or a dict of named floats; results
+are stored per grid point and rendered through the same reporters the
+benchmarks use, so a user's custom sweep output is format-identical to
+the repository's experiment records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, EvaluationError
+from repro.eval.reporting import format_series, format_table
+
+__all__ = ["Sweep", "SweepResults"]
+
+Value = Union[float, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class SweepResults:
+    """Results of one sweep: factor names, grid points, and values."""
+
+    factor_names: Tuple[str, ...]
+    points: Tuple[Tuple[Any, ...], ...]
+    values: Tuple[Dict[str, float], ...]
+
+    def value_names(self) -> List[str]:
+        """All value keys produced by the procedure, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.values:
+            for name in record:
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def table(self, value_names: Sequence[str] | None = None, title: str = "") -> str:
+        """All grid points as rows: factors first, then values."""
+        names = list(value_names) if value_names is not None else self.value_names()
+        headers = list(self.factor_names) + names
+        rows = []
+        for point, record in zip(self.points, self.values):
+            rows.append(list(point) + [record.get(name, float("nan")) for name in names])
+        return format_table(headers, rows, title=title)
+
+    def series(self, x: str, value: str, title: str = "") -> str:
+        """A figure: ``value`` against factor ``x``, one curve per
+        combination of the remaining factors.
+
+        Requires the grid to be complete in ``x`` for every combination
+        (it is, when produced by :meth:`Sweep.run`).
+        """
+        if x not in self.factor_names:
+            raise EvaluationError(
+                f"{x!r} is not a factor (factors: {self.factor_names})"
+            )
+        x_index = self.factor_names.index(x)
+        curves: Dict[str, List[Tuple[Any, Any]]] = {}
+        for point, record in zip(self.points, self.values):
+            rest = tuple(
+                f"{name}={value_}"
+                for i, (name, value_) in enumerate(zip(self.factor_names, point))
+                if i != x_index
+            )
+            label = ", ".join(rest) if rest else value
+            curves.setdefault(label, []).append(
+                (point[x_index], record.get(value, float("nan")))
+            )
+        return format_series(title, x, curves)
+
+    def best(self, value: str, minimize: bool = True) -> Tuple[Dict[str, Any], float]:
+        """The grid point optimising one value; returns (factors, value)."""
+        scored = [
+            (record[value], point)
+            for point, record in zip(self.points, self.values)
+            if value in record
+        ]
+        if not scored:
+            raise EvaluationError(f"no grid point produced value {value!r}")
+        score, point = min(scored) if minimize else max(scored)
+        return dict(zip(self.factor_names, point)), score
+
+
+class Sweep(object):
+    """A full-factorial grid of named factors.
+
+    Parameters
+    ----------
+    factors:
+        Mapping from factor name to its levels (non-empty sequences).
+        The grid is the cartesian product, iterated with the *last*
+        factor varying fastest (standard row-major order).
+    """
+
+    def __init__(self, factors: Mapping[str, Sequence[Any]]) -> None:
+        if not factors:
+            raise ConfigurationError("a sweep needs at least one factor")
+        for name, levels in factors.items():
+            if not levels:
+                raise ConfigurationError(f"factor {name!r} has no levels")
+        self.factors: Dict[str, Sequence[Any]] = dict(factors)
+
+    def grid(self) -> List[Tuple[Any, ...]]:
+        """All grid points in iteration order."""
+        return list(itertools.product(*self.factors.values()))
+
+    def __len__(self) -> int:
+        size = 1
+        for levels in self.factors.values():
+            size *= len(levels)
+        return size
+
+    def run(
+        self,
+        procedure: Callable[..., Value],
+        progress: Callable[[Dict[str, Any]], None] | None = None,
+    ) -> SweepResults:
+        """Run the procedure at every grid point.
+
+        The procedure receives the factors as keyword arguments and
+        returns a float (stored under ``"value"``) or a dict of named
+        floats.  ``progress``, if given, is called with each point's
+        factor dict before it runs (hook for logging).
+        """
+        names = tuple(self.factors)
+        points: List[Tuple[Any, ...]] = []
+        values: List[Dict[str, float]] = []
+        for point in self.grid():
+            kwargs = dict(zip(names, point))
+            if progress is not None:
+                progress(kwargs)
+            result = procedure(**kwargs)
+            if isinstance(result, Mapping):
+                record = {str(k): float(v) for k, v in result.items()}
+            else:
+                record = {"value": float(result)}
+            points.append(point)
+            values.append(record)
+        return SweepResults(
+            factor_names=names, points=tuple(points), values=tuple(values)
+        )

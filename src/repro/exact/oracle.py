@@ -1,0 +1,60 @@
+"""The exact link-prediction oracle.
+
+:class:`ExactOracle` materialises the full adjacency structure of the
+stream and answers every measure query exactly.  It plays three roles:
+
+1. **Ground truth.**  Every accuracy experiment scores estimators
+   against the oracle's answers on the same stream prefix.
+2. **The paper's strawman.**  The abstract's motivation is that "graph
+   snapshots ... are no longer readily available in memory"; the oracle
+   *is* that snapshot approach, and the space/throughput experiments
+   (E2, E4) quantify exactly how much it costs.
+3. **Reference implementation** of the :class:`~repro.interface.
+   LinkPredictor` contract, against which the protocol tests check all
+   other methods' conventions (cold-vertex behaviour, measure names).
+
+Memory is ``Θ(|E|)``; per-edge update is ``O(1)`` amortised; a
+witness-sum query is ``O(min(d(u), d(v)))``.
+"""
+
+from __future__ import annotations
+
+from repro.exact.measures import exact_score, measure_by_name
+from repro.graph.adjacency import AdjacencyGraph
+from repro.interface import LinkPredictor
+
+__all__ = ["ExactOracle"]
+
+
+class ExactOracle(LinkPredictor):
+    """Exact snapshot-based link predictor (the paper's comparator)."""
+
+    method_name = "exact"
+
+    __slots__ = ("graph",)
+
+    def __init__(self) -> None:
+        self.graph = AdjacencyGraph()
+
+    def update(self, u: int, v: int) -> None:
+        """Insert the edge (duplicates and orientation collapse)."""
+        self.graph.add_edge(u, v)
+
+    def score(self, u: int, v: int, measure_name: str) -> float:
+        """Exact value of the measure on the current snapshot."""
+        measure = measure_by_name(measure_name)
+        return float(exact_score(self.graph, u, v, measure))
+
+    def degree(self, vertex: int) -> int:
+        return self.graph.degree_or_zero(vertex)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices materialised so far."""
+        return self.graph.vertex_count
+
+    def nominal_bytes(self) -> int:
+        return self.graph.nominal_bytes()
+
+    def __repr__(self) -> str:
+        return f"ExactOracle({self.graph!r})"

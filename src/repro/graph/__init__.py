@@ -1,0 +1,54 @@
+"""Graph substrate: adjacency storage, edge streams, generators, I/O,
+and the synthetic dataset registry.
+
+The streaming predictors in :mod:`repro.core` consume anything iterable
+over :class:`~repro.graph.stream.Edge`; everything in this subpackage
+produces or transforms such streams.
+"""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.digraph import DirectedGraph
+from repro.graph.io import VertexRelabeler, iter_edge_list, read_edge_list, write_edge_list
+from repro.graph.stream import (
+    Edge,
+    EdgeStream,
+    StreamStats,
+    checkpoints,
+    deduplicated,
+    edge_key,
+    from_pairs,
+    prefix,
+    shuffled,
+    with_timestamps,
+)
+from repro.graph.temporal import (
+    TimestampStats,
+    clip_by_time,
+    rate_profile,
+    sort_by_timestamp,
+    time_snapshots,
+)
+
+__all__ = [
+    "AdjacencyGraph",
+    "DirectedGraph",
+    "Edge",
+    "EdgeStream",
+    "StreamStats",
+    "TimestampStats",
+    "VertexRelabeler",
+    "checkpoints",
+    "clip_by_time",
+    "deduplicated",
+    "edge_key",
+    "from_pairs",
+    "iter_edge_list",
+    "prefix",
+    "rate_profile",
+    "read_edge_list",
+    "shuffled",
+    "sort_by_timestamp",
+    "time_snapshots",
+    "with_timestamps",
+    "write_edge_list",
+]

@@ -1,0 +1,191 @@
+"""In-memory adjacency-set graph.
+
+This is the *exact* substrate: the uncompressed graph the paper's
+sketches are competing against.  It backs
+
+* the :class:`repro.exact.oracle.ExactOracle` gold standard that every
+  accuracy experiment measures estimators against,
+* the offline "snapshot" comparator in the throughput benches (E4), and
+* the subgraphs induced by the sampling baselines (E8).
+
+Vertices are non-negative integers (use
+:class:`repro.graph.io.VertexRelabeler` for labelled data).  The graph
+is simple and undirected: parallel edges collapse and self-loops are
+rejected — matching the neighborhood-measure setting of the paper,
+where ``N(u)`` is a set and ``u ∉ N(u)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+from repro.errors import ConfigurationError, UnknownVertexError
+
+__all__ = ["AdjacencyGraph"]
+
+
+class AdjacencyGraph(object):
+    """Simple undirected graph stored as a dict of neighbor sets."""
+
+    __slots__ = ("_adjacency", "_edge_count")
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[int, Set[int]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "AdjacencyGraph":
+        """Build a graph from ``(u, v)`` pairs (extra tuple fields, such
+        as timestamps, are ignored)."""
+        graph = cls()
+        for edge in edges:
+            graph.add_edge(edge[0], edge[1])
+        return graph
+
+    def add_vertex(self, vertex: int) -> None:
+        """Ensure ``vertex`` exists (possibly isolated)."""
+        if vertex < 0:
+            raise ConfigurationError(f"vertex ids must be non-negative, got {vertex}")
+        self._adjacency.setdefault(vertex, set())
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert the undirected edge ``{u, v}``.
+
+        Returns True if the edge was new, False if it already existed.
+        Self-loops are rejected with :class:`ConfigurationError`.
+        """
+        if u == v:
+            raise ConfigurationError(f"self-loop on vertex {u} is not allowed")
+        if u < 0 or v < 0:
+            raise ConfigurationError(f"vertex ids must be non-negative, got ({u}, {v})")
+        neighbors_u = self._adjacency.setdefault(u, set())
+        if v in neighbors_u:
+            return False
+        neighbors_u.add(v)
+        self._adjacency.setdefault(v, set()).add(u)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the edge ``{u, v}`` if present; return whether it was."""
+        neighbors_u = self._adjacency.get(u)
+        if neighbors_u is None or v not in neighbors_u:
+            return False
+        neighbors_u.discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_count -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._adjacency
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge ``{u, v}`` exists."""
+        neighbors = self._adjacency.get(u)
+        return neighbors is not None and v in neighbors
+
+    def neighbors(self, vertex: int) -> Set[int]:
+        """The neighbor set of ``vertex`` (a *view* — do not mutate).
+
+        Raises :class:`UnknownVertexError` for vertices never seen.
+        """
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex``; raises for unknown vertices."""
+        return len(self.neighbors(vertex))
+
+    def degree_or_zero(self, vertex: int) -> int:
+        """Degree of ``vertex``, 0 when the vertex has never appeared."""
+        neighbors = self._adjacency.get(vertex)
+        return 0 if neighbors is None else len(neighbors)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_count
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over each undirected edge once, as ``(min, max)``."""
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    def average_degree(self) -> float:
+        """Mean degree ``2|E| / |V|`` (0.0 for the empty graph)."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self._edge_count / len(self._adjacency)
+
+    def max_degree(self) -> int:
+        """Largest degree (0 for the empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(neighbors) for neighbors in self._adjacency.values())
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map from degree value to the number of vertices with it."""
+        histogram: Dict[int, int] = {}
+        for neighbors in self._adjacency.values():
+            d = len(neighbors)
+            histogram[d] = histogram.get(d, 0) + 1
+        return histogram
+
+    def nominal_bytes(self) -> int:
+        """Packed size of the adjacency structure: 8 bytes per directed
+        entry (each undirected edge appears twice) plus one offset word
+        per vertex — the CSR encoding a C implementation would use.
+
+        This is the memory figure the sketches are measured against in
+        experiment E2.
+        """
+        return 16 * self._edge_count + 8 * len(self._adjacency)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, keep: Iterable[int]) -> "AdjacencyGraph":
+        """Vertex-induced subgraph on ``keep`` (new graph object)."""
+        kept = set(keep)
+        sub = AdjacencyGraph()
+        for u in kept:
+            if u in self._adjacency:
+                sub.add_vertex(u)
+        for u, v in self.edges():
+            if u in kept and v in kept:
+                sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "AdjacencyGraph":
+        dup = AdjacencyGraph()
+        dup._adjacency = {u: set(n) for u, n in self._adjacency.items()}
+        dup._edge_count = self._edge_count
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyGraph(vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )

@@ -1,0 +1,159 @@
+"""Directed adjacency graph.
+
+The paper's measures are defined on undirected neighborhoods, and its
+evaluation folds directed datasets (wiki-Vote) to undirected.  Many
+stream sources are natively directed, though — follows, votes,
+citations — and the directed variants of the neighborhood measures
+(common successors / common predecessors) are standard.  This module
+provides the exact directed substrate; the streaming side lives in
+:mod:`repro.core.directed`.
+
+Same conventions as :class:`~repro.graph.adjacency.AdjacencyGraph`:
+simple (parallel arcs collapse), no self-loops, non-negative int ids,
+pure queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+from repro.errors import ConfigurationError, UnknownVertexError
+
+__all__ = ["DirectedGraph"]
+
+
+class DirectedGraph(object):
+    """Simple directed graph as successor/predecessor set maps."""
+
+    __slots__ = ("_successors", "_predecessors", "_arc_count")
+
+    def __init__(self) -> None:
+        self._successors: Dict[int, Set[int]] = {}
+        self._predecessors: Dict[int, Set[int]] = {}
+        self._arc_count = 0
+
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[Tuple[int, int]]) -> "DirectedGraph":
+        """Build from ``(source, target)`` pairs (extra fields ignored)."""
+        graph = cls()
+        for arc in arcs:
+            graph.add_arc(arc[0], arc[1])
+        return graph
+
+    def add_vertex(self, vertex: int) -> None:
+        """Ensure ``vertex`` exists (possibly isolated)."""
+        if vertex < 0:
+            raise ConfigurationError(f"vertex ids must be non-negative, got {vertex}")
+        self._successors.setdefault(vertex, set())
+        self._predecessors.setdefault(vertex, set())
+
+    def add_arc(self, source: int, target: int) -> bool:
+        """Insert the arc ``source -> target``; returns True if new."""
+        if source == target:
+            raise ConfigurationError(f"self-loop on vertex {source} is not allowed")
+        if source < 0 or target < 0:
+            raise ConfigurationError(
+                f"vertex ids must be non-negative, got ({source}, {target})"
+            )
+        self.add_vertex(source)
+        self.add_vertex(target)
+        if target in self._successors[source]:
+            return False
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+        self._arc_count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._successors
+
+    def has_arc(self, source: int, target: int) -> bool:
+        """True if the arc ``source -> target`` exists."""
+        successors = self._successors.get(source)
+        return successors is not None and target in successors
+
+    def successors(self, vertex: int) -> Set[int]:
+        """Out-neighborhood (a view — do not mutate)."""
+        try:
+            return self._successors[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def predecessors(self, vertex: int) -> Set[int]:
+        """In-neighborhood (a view — do not mutate)."""
+        try:
+            return self._predecessors[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def neighborhood(self, vertex: int, direction: str) -> Set[int]:
+        """``successors`` for ``"out"``, ``predecessors`` for ``"in"``."""
+        if direction == "out":
+            return self.successors(vertex)
+        if direction == "in":
+            return self.predecessors(vertex)
+        raise ConfigurationError(
+            f"direction must be 'out' or 'in', got {direction!r}"
+        )
+
+    def out_degree(self, vertex: int) -> int:
+        """Number of successors (0 for unknown vertices)."""
+        successors = self._successors.get(vertex)
+        return 0 if successors is None else len(successors)
+
+    def in_degree(self, vertex: int) -> int:
+        """Number of predecessors (0 for unknown vertices)."""
+        predecessors = self._predecessors.get(vertex)
+        return 0 if predecessors is None else len(predecessors)
+
+    def degree(self, vertex: int, direction: str) -> int:
+        """Directional degree; 0 for unknown vertices."""
+        if direction == "out":
+            return self.out_degree(vertex)
+        if direction == "in":
+            return self.in_degree(vertex)
+        raise ConfigurationError(
+            f"direction must be 'out' or 'in', got {direction!r}"
+        )
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._successors)
+
+    @property
+    def arc_count(self) -> int:
+        """Number of directed arcs."""
+        return self._arc_count
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids."""
+        return iter(self._successors)
+
+    def arcs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over arcs as ``(source, target)``."""
+        for source, successors in self._successors.items():
+            for target in successors:
+                yield (source, target)
+
+    def nominal_bytes(self) -> int:
+        """Packed size: both adjacency directions (CSR + CSC) plus one
+        offset word per vertex per direction."""
+        return 16 * self._arc_count + 16 * len(self._successors)
+
+    def as_undirected(self):
+        """Collapse to an :class:`~repro.graph.adjacency.AdjacencyGraph`
+        (the paper's preprocessing for directed datasets)."""
+        from repro.graph.adjacency import AdjacencyGraph
+
+        graph = AdjacencyGraph()
+        for source, target in self.arcs():
+            graph.add_edge(source, target)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"DirectedGraph(vertices={self.vertex_count}, arcs={self._arc_count})"

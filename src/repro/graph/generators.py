@@ -1,0 +1,297 @@
+"""Seeded synthetic graph-stream generators.
+
+These generators are the repository's substitute for the SNAP datasets
+used in the paper's evaluation (no network access here — see the
+substitution table in DESIGN.md).  Each produces a *stream*: a list of
+:class:`~repro.graph.stream.Edge` records in a meaningful arrival order
+(growth order for preferential attachment, random order otherwise),
+timestamped by arrival index.
+
+What matters for reproducing the paper's behaviour is that the streams
+exercise the same structural regimes as the real graphs:
+
+* **Heavy-tailed degrees** — :func:`barabasi_albert` (exponent 3) and
+  :func:`chung_lu` (any exponent) cover the social/collaboration-network
+  regime where vertex-biased sampling pays off.
+* **Neighborhood overlap** — :func:`planted_partition` plants dense
+  communities, giving pairs with the high common-neighbor counts link
+  prediction feeds on; preferential attachment creates hub-mediated
+  overlap.
+* **Homogeneous baseline** — :func:`erdos_renyi` and
+  :func:`watts_strogatz` provide the flat-degree control cases.
+
+All functions are pure with respect to their seed: equal arguments give
+bit-identical streams on every platform (randomness flows through
+:class:`random.Random` / seeded numpy generators only).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.stream import Edge, edge_key
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "chung_lu",
+    "planted_partition",
+    "powerlaw_exponent_mle",
+]
+
+
+def _as_stream(pairs: Sequence[tuple]) -> List[Edge]:
+    """Timestamp pairs by arrival index."""
+    return [Edge(u, v, float(i)) for i, (u, v) in enumerate(pairs)]
+
+
+def erdos_renyi(n: int, edges: int, seed: int = 0) -> List[Edge]:
+    """G(n, m): ``edges`` distinct uniformly random edges on ``n`` vertices.
+
+    Stream order is the (random) generation order.  ``edges`` may not
+    exceed ``n*(n-1)/2``.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 vertices, got {n}")
+    maximum = n * (n - 1) // 2
+    if not 0 <= edges <= maximum:
+        raise ConfigurationError(
+            f"edge count must be in [0, {maximum}] for n={n}, got {edges}"
+        )
+    rng = random.Random(seed)
+    chosen: set[int] = set()
+    pairs: List[tuple] = []
+    while len(pairs) < edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = edge_key(u, v)
+        if key in chosen:
+            continue
+        chosen.add(key)
+        pairs.append((u, v))
+    return _as_stream(pairs)
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0) -> List[Edge]:
+    """Preferential attachment: each new vertex links to ``m`` existing
+    vertices chosen proportionally to their current degree.
+
+    The stream is the natural *growth order* — the canonical temporal
+    graph stream, and the workload of the throughput experiments (E4).
+    Degree distribution follows a power law with exponent 3.
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be at least 1, got {m}")
+    if n <= m:
+        raise ConfigurationError(f"need n > m, got n={n}, m={m}")
+    rng = random.Random(seed)
+    pairs: List[tuple] = []
+    # `attachment` holds one copy of each edge endpoint, so sampling a
+    # uniform element samples vertices proportionally to degree.
+    attachment: List[int] = []
+    # Seed component: star on the first m+1 vertices, so every early
+    # vertex has nonzero degree before preferential attachment begins.
+    for v in range(1, m + 1):
+        pairs.append((0, v))
+        attachment.extend((0, v))
+    for v in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(attachment[rng.randrange(len(attachment))])
+        for t in sorted(targets):
+            pairs.append((v, t))
+            attachment.extend((v, t))
+    return _as_stream(pairs)
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> List[Edge]:
+    """Small-world ring lattice with rewiring probability ``beta``.
+
+    Each vertex starts linked to its ``k`` nearest ring neighbors
+    (``k`` even); each lattice edge is rewired to a uniform endpoint
+    with probability ``beta``.  Stream order is shuffled (a lattice
+    scanned in order would be a pathologically sorted stream).
+    """
+    if k % 2 != 0 or k < 2:
+        raise ConfigurationError(f"k must be even and >= 2, got {k}")
+    if n <= k:
+        raise ConfigurationError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+    rng = random.Random(seed)
+    chosen: set[int] = set()
+    pairs: List[tuple] = []
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < beta:
+                # Rewire: keep u, choose a fresh non-duplicate endpoint.
+                for _ in range(4 * n):
+                    w = rng.randrange(n)
+                    if w != u and edge_key(u, w) not in chosen:
+                        v = w
+                        break
+            key = edge_key(u, v)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            pairs.append((u, v))
+    rng.shuffle(pairs)
+    return _as_stream(pairs)
+
+
+def chung_lu(
+    n: int,
+    edges: int,
+    exponent: float = 2.5,
+    seed: int = 0,
+    offset: int = 10,
+) -> List[Edge]:
+    """Chung–Lu expected-degree power-law graph stream.
+
+    Vertex ``i`` receives weight ``(i + offset) ** (-1/(exponent-1))``
+    (a Zipf-like profile whose realised degree distribution follows a
+    power law with the given ``exponent``); ``edges`` distinct edges are
+    generated by sampling both endpoints proportionally to weight.
+    This is the generator used for the SNAP stand-ins: exponent and
+    edge count are fitted per dataset (see
+    :mod:`repro.graph.datasets`).
+
+    ``offset`` dampens the largest hub (offset 0 would hand vertex 0 a
+    constant fraction of all edges); 10 matches the hub fractions of
+    the SNAP social graphs reasonably well.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need at least 2 vertices, got {n}")
+    if exponent <= 1.0:
+        raise ConfigurationError(f"exponent must exceed 1, got {exponent}")
+    maximum = n * (n - 1) // 2
+    if not 0 <= edges <= maximum:
+        raise ConfigurationError(
+            f"edge count must be in [0, {maximum}] for n={n}, got {edges}"
+        )
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(n, dtype=np.float64) + float(offset)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    probabilities = weights / weights.sum()
+    chosen: set[int] = set()
+    pairs: List[tuple] = []
+    # Rejection-sample in batches; expected acceptance is high because
+    # target edge counts are far below the weighted birthday bound.
+    while len(pairs) < edges:
+        need = edges - len(pairs)
+        batch = max(1024, 2 * need)
+        us = rng.choice(n, size=batch, p=probabilities)
+        vs = rng.choice(n, size=batch, p=probabilities)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            key = edge_key(u, v)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            pairs.append((u, v))
+            if len(pairs) == edges:
+                break
+    return _as_stream(pairs)
+
+
+def planted_partition(
+    n: int,
+    communities: int,
+    internal_edges: int,
+    external_edges: int,
+    seed: int = 0,
+) -> List[Edge]:
+    """Planted-partition stream: dense communities, sparse cross links.
+
+    Vertices split into ``communities`` equal blocks;
+    ``internal_edges`` are sampled inside blocks (uniformly over blocks)
+    and ``external_edges`` between distinct blocks.  Pairs inside a
+    block share many neighbors, giving the strong common-neighborhood
+    signal the link-prediction-quality experiment (E7) needs.
+    """
+    if communities < 2:
+        raise ConfigurationError(f"need at least 2 communities, got {communities}")
+    if n < 2 * communities:
+        raise ConfigurationError(
+            f"need at least 2 vertices per community, got n={n}, "
+            f"communities={communities}"
+        )
+    rng = random.Random(seed)
+    block = n // communities
+    # Capacity guards: asking for more distinct edges than exist would
+    # spin the rejection sampler forever.  (The last community absorbs
+    # the remainder vertices; the bound below uses the smallest block,
+    # with 10% headroom for sampling inefficiency near saturation.)
+    internal_capacity = communities * (block * (block - 1) // 2)
+    if internal_edges > 0.9 * internal_capacity:
+        raise ConfigurationError(
+            f"internal_edges={internal_edges} exceeds 90% of the "
+            f"{internal_capacity} distinct intra-community pairs; "
+            "use fewer edges or larger communities"
+        )
+    external_capacity = n * (n - 1) // 2 - internal_capacity
+    if external_edges > 0.9 * external_capacity:
+        raise ConfigurationError(
+            f"external_edges={external_edges} exceeds 90% of the "
+            f"{external_capacity} distinct cross-community pairs"
+        )
+    chosen: set[int] = set()
+    pairs: List[tuple] = []
+
+    def sample_internal() -> tuple:
+        c = rng.randrange(communities)
+        lo = c * block
+        hi = n if c == communities - 1 else lo + block
+        return rng.randrange(lo, hi), rng.randrange(lo, hi)
+
+    def sample_external() -> tuple:
+        c1, c2 = rng.sample(range(communities), 2)
+
+        def pick(c: int) -> int:
+            lo = c * block
+            hi = n if c == communities - 1 else lo + block
+            return rng.randrange(lo, hi)
+
+        return pick(c1), pick(c2)
+
+    for sampler, target in ((sample_internal, internal_edges), (sample_external, external_edges)):
+        produced = 0
+        while produced < target:
+            u, v = sampler()
+            if u == v:
+                continue
+            key = edge_key(u, v)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            pairs.append((u, v))
+            produced += 1
+    rng.shuffle(pairs)
+    return _as_stream(pairs)
+
+
+def powerlaw_exponent_mle(degrees: Sequence[int], minimum_degree: int = 1) -> float:
+    """Maximum-likelihood power-law exponent of a degree sample.
+
+    The discrete Hill/Clauset estimator
+    ``alpha = 1 + n / sum(ln(d / (d_min - 0.5)))`` over degrees at least
+    ``minimum_degree``.  Used by the dataset-statistics table (E1) to
+    report the realised tail exponent of each stand-in stream.
+    """
+    tail = [d for d in degrees if d >= minimum_degree]
+    if len(tail) < 2:
+        raise ConfigurationError(
+            "need at least two degrees >= minimum_degree to fit an exponent"
+        )
+    log_sum = sum(math.log(d / (minimum_degree - 0.5)) for d in tail)
+    return 1.0 + len(tail) / log_sum

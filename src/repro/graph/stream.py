@@ -1,0 +1,215 @@
+"""Graph-stream abstractions.
+
+A *graph stream* here is any iterable of :class:`Edge` records in
+arrival order.  Keeping the abstraction at "iterable of edges" — rather
+than a heavyweight stream class — means generators, lists, file readers
+and transformation pipelines all compose with plain ``itertools``-style
+code, and predictors consume them with a simple ``for`` loop (one pass,
+never materialised).
+
+This module provides the edge record, canonical edge keys, stream
+transformations (timestamping, dedup, shuffling, prefix/checkpoint
+slicing) and :class:`StreamStats`, a constant-memory monitor built on
+the library's own sketches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.hyperloglog import HyperLogLog
+
+__all__ = [
+    "Edge",
+    "EdgeStream",
+    "edge_key",
+    "from_pairs",
+    "with_timestamps",
+    "deduplicated",
+    "shuffled",
+    "prefix",
+    "checkpoints",
+    "StreamStats",
+]
+
+#: Vertex ids must stay below 2**31 so an undirected edge packs into one
+#: 62-bit key (and stays a cheap small int in CPython terms).
+MAX_VERTEX_ID = (1 << 31) - 1
+
+
+class Edge(NamedTuple):
+    """One stream record: an undirected edge and its arrival time.
+
+    ``timestamp`` is an opaque monotone float; generators synthesise it
+    as the arrival index, real temporal datasets carry epoch seconds.
+    """
+
+    u: int
+    v: int
+    timestamp: float = 0.0
+
+    def canonical(self) -> "Edge":
+        """The same edge with endpoints in ``(min, max)`` order."""
+        if self.u <= self.v:
+            return self
+        return Edge(self.v, self.u, self.timestamp)
+
+
+#: Type alias used throughout: anything iterable over edges is a stream.
+EdgeStream = Iterable[Edge]
+
+
+def edge_key(u: int, v: int) -> int:
+    """Pack an undirected edge into a single 62-bit integer key.
+
+    Orientation-insensitive (endpoints are sorted first); used to feed
+    edges into key-based sketches (Bloom dedup, HLL edge counting).
+    """
+    if u > v:
+        u, v = v, u
+    if not 0 <= u <= MAX_VERTEX_ID or not 0 <= v <= MAX_VERTEX_ID:
+        raise ConfigurationError(
+            f"vertex ids must be in [0, {MAX_VERTEX_ID}], got ({u}, {v})"
+        )
+    return (u << 31) | v
+
+
+def from_pairs(pairs: Iterable[Tuple[int, int]]) -> Iterator[Edge]:
+    """Adapt ``(u, v)`` pairs into a timestamped stream.
+
+    Timestamps are the arrival indices ``0, 1, 2, ...``, preserving the
+    input order as the temporal order.
+    """
+    for index, (u, v) in enumerate(pairs):
+        yield Edge(u, v, float(index))
+
+
+def with_timestamps(stream: EdgeStream) -> Iterator[Edge]:
+    """Rewrite timestamps to arrival indices (``0, 1, 2, ...``)."""
+    for index, edge in enumerate(stream):
+        yield Edge(edge.u, edge.v, float(index))
+
+
+def deduplicated(
+    stream: EdgeStream,
+    expected_edges: int,
+    false_positive_rate: float = 0.001,
+    seed: int = 0,
+) -> Iterator[Edge]:
+    """Drop re-arrivals of edges already seen, in bounded memory.
+
+    Backed by a Bloom filter sized for ``expected_edges``: duplicates
+    are always dropped; a small fraction (the FP rate) of *first*
+    arrivals may be wrongly dropped too.  Sketch and exact predictors
+    are idempotent under duplicates, so this stage is an optimisation
+    for heavy multi-edge streams, not a correctness requirement.
+    """
+    seen = BloomFilter.for_capacity(expected_edges, false_positive_rate, seed=seed)
+    for edge in stream:
+        if seen.add_if_new(edge_key(edge.u, edge.v)):
+            yield edge
+
+
+def shuffled(stream: EdgeStream, seed: int = 0) -> List[Edge]:
+    """Materialise the stream in a seeded random order, re-timestamped.
+
+    Used by experiments that need order-randomised replays of a fixed
+    edge set (e.g. variance studies across stream orders).  This is the
+    one helper that buffers the whole stream — by necessity.
+    """
+    rng = random.Random(seed)
+    edges = list(stream)
+    rng.shuffle(edges)
+    return [Edge(e.u, e.v, float(i)) for i, e in enumerate(edges)]
+
+
+def prefix(stream: EdgeStream, count: int) -> Iterator[Edge]:
+    """Yield at most the first ``count`` edges."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    for index, edge in enumerate(stream):
+        if index >= count:
+            return
+        yield edge
+
+
+def checkpoints(
+    stream: EdgeStream, every: int
+) -> Iterator[Tuple[Optional[Edge], int, bool]]:
+    """Iterate a stream with periodic checkpoint markers.
+
+    Yields ``(edge, edges_so_far, at_checkpoint)`` triples; the
+    progressive-accuracy experiment (E6) pauses to evaluate whenever
+    ``at_checkpoint`` is True (every ``every`` edges and at the end).
+    """
+    if every < 1:
+        raise ConfigurationError(f"checkpoint interval must be positive, got {every}")
+    count = 0
+    for edge in stream:
+        count += 1
+        yield edge, count, count % every == 0
+    yield None, count, True  # final checkpoint after exhaustion
+
+
+class StreamStats(object):
+    """Constant-memory monitor of a passing edge stream.
+
+    Tracks, without storing the graph: total records, approximate
+    distinct vertices and distinct edges (HyperLogLog), and the
+    timestamp range.  Attach with :meth:`observe` inside any pipeline::
+
+        stats = StreamStats()
+        for edge in stream:
+            stats.observe(edge)
+            predictor.update(edge.u, edge.v)
+    """
+
+    __slots__ = ("records", "_vertex_counter", "_edge_counter", "first_timestamp", "last_timestamp")
+
+    def __init__(self, precision: int = 14, seed: int = 0x57A75) -> None:
+        self.records = 0
+        self._vertex_counter = HyperLogLog(precision, seed)
+        self._edge_counter = HyperLogLog(precision, seed ^ 0xE06E)
+        self.first_timestamp: Optional[float] = None
+        self.last_timestamp: Optional[float] = None
+
+    def observe(self, edge: Edge) -> None:
+        """Fold one edge into the statistics."""
+        self.records += 1
+        self._vertex_counter.update(edge.u)
+        self._vertex_counter.update(edge.v)
+        self._edge_counter.update(edge_key(edge.u, edge.v))
+        if self.first_timestamp is None:
+            self.first_timestamp = edge.timestamp
+        self.last_timestamp = edge.timestamp
+
+    def observing(self, stream: EdgeStream) -> Iterator[Edge]:
+        """Wrap a stream so edges are counted as they flow through."""
+        for edge in stream:
+            self.observe(edge)
+            yield edge
+
+    def approximate_vertices(self) -> float:
+        """HLL estimate of the number of distinct vertices seen."""
+        return self._vertex_counter.cardinality()
+
+    def approximate_edges(self) -> float:
+        """HLL estimate of the number of distinct undirected edges."""
+        return self._edge_counter.cardinality()
+
+    def duplicate_ratio(self) -> float:
+        """Estimated fraction of records that were edge re-arrivals."""
+        if self.records == 0:
+            return 0.0
+        distinct = min(self._edge_counter.cardinality(), float(self.records))
+        return 1.0 - distinct / self.records
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamStats(records={self.records}, "
+            f"~vertices={self.approximate_vertices():.0f}, "
+            f"~edges={self.approximate_edges():.0f})"
+        )

@@ -1,0 +1,77 @@
+"""Hashing substrate: mixers, universal families, tabulation, hash banks.
+
+See :mod:`repro.hashing.mixers` for the low-level 64-bit finalizers,
+:mod:`repro.hashing.families` for seeded families and the vectorized
+:class:`~repro.hashing.families.HashBank`, and
+:mod:`repro.hashing.tabulation` for simple tabulation hashing.
+"""
+
+from repro.hashing.families import (
+    HashBank,
+    HashFamily,
+    HashFunction,
+    MultiplyShiftFamily,
+    MultiplyShiftHash,
+    PolynomialFamily,
+    PolynomialHash,
+    SplitMixFamily,
+    SplitMixHash,
+    seed_sequence,
+)
+from repro.hashing.mixers import (
+    GOLDEN_GAMMA,
+    MASK64,
+    fmix64,
+    splitmix64,
+    to_unit,
+    to_unit_open,
+)
+from repro.hashing.tabulation import TabulationFamily, TabulationHash
+
+__all__ = [
+    "GOLDEN_GAMMA",
+    "MASK64",
+    "fmix64",
+    "splitmix64",
+    "to_unit",
+    "to_unit_open",
+    "HashBank",
+    "HashFamily",
+    "HashFunction",
+    "MultiplyShiftFamily",
+    "MultiplyShiftHash",
+    "PolynomialFamily",
+    "PolynomialHash",
+    "SplitMixFamily",
+    "SplitMixHash",
+    "TabulationFamily",
+    "TabulationHash",
+    "seed_sequence",
+]
+
+#: Registry used by :class:`repro.core.config.SketchConfig` to resolve a
+#: family by name.
+FAMILIES = {
+    "splitmix": SplitMixFamily,
+    "multiply_shift": MultiplyShiftFamily,
+    "polynomial": PolynomialFamily,
+    "tabulation": TabulationFamily,
+}
+
+
+def family_by_name(name: str, seed: int) -> HashFamily:
+    """Instantiate a hash family from its registry name.
+
+    Raises :class:`repro.errors.ConfigurationError` for unknown names so
+    a typo in a config file fails at construction, not mid-stream.
+    """
+    from repro.errors import ConfigurationError
+
+    try:
+        factory = FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise ConfigurationError(
+            f"unknown hash family {name!r}; known families: {known}"
+        ) from None
+    return factory(seed)

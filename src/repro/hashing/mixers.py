@@ -1,0 +1,105 @@
+"""64-bit integer mixing primitives.
+
+Everything in :mod:`repro.sketches` reduces to hashing a vertex identifier
+(a 64-bit integer) to a pseudo-random 64-bit word, or to a float in
+``[0, 1)``.  This module provides the low-level finalizers those hash
+families are built from:
+
+* :func:`splitmix64` — the SplitMix64 output function (Steele, Lea &
+  Flood, OOPSLA 2014).  Passes BigCrush as a stream generator and, used
+  as a finalizer, has full avalanche: flipping any input bit flips each
+  output bit with probability ~1/2.
+* :func:`fmix64` — the MurmurHash3 finalizer (Appleby), an alternative
+  avalanche mixer used by the tabulation tests as an independent check.
+* :func:`to_unit` / :func:`to_unit_open` — map a 64-bit word to a float
+  in ``[0, 1)`` / ``(0, 1)``.  The *open* variant never returns 0.0,
+  which matters when the value feeds a logarithm (exponential ranks).
+
+All functions come in scalar form (pure Python, arbitrary inputs masked
+to 64 bits) and, where the hot paths need them, vectorized numpy form in
+:mod:`repro.hashing.families`.
+
+Scalar functions mask with ``MASK64`` after every multiplication so the
+arithmetic matches the fixed-width C reference implementations exactly;
+the test-suite pins known-answer vectors for both mixers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MASK64",
+    "GOLDEN_GAMMA",
+    "splitmix64",
+    "fmix64",
+    "to_unit",
+    "to_unit_open",
+]
+
+#: All-ones mask for emulating 64-bit wraparound arithmetic in Python.
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: The SplitMix64 stream increment: ``2**64 / phi`` rounded to odd.
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+# Power-of-two scale factors are exact in binary floating point, so the
+# unit-interval conversions below are deterministic across platforms.
+# Both mappings keep only the top bits of the word: naively computing
+# ``word * 2**-64`` rounds ``2**64 - 1`` up to exactly 1.0, violating the
+# half-open interval — the constructions below cannot produce 1.0.
+_INV_2_53 = 2.0**-53
+_INV_2_52 = 2.0**-52
+
+
+def splitmix64(x: int) -> int:
+    """Return the SplitMix64 finalizer of ``x`` as an unsigned 64-bit int.
+
+    ``x`` may be any Python integer (negative values are first reduced
+    modulo ``2**64``).  The function is a bijection on 64-bit words, so
+    distinct vertex ids never collide at this stage; collisions can only
+    be introduced by later range reduction.
+
+    >>> splitmix64(0)
+    16294208416658607535
+    """
+    x &= MASK64
+    x = (x + GOLDEN_GAMMA) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def fmix64(x: int) -> int:
+    """Return the MurmurHash3 64-bit finalizer of ``x``.
+
+    An independent avalanche mixer with different constants from
+    :func:`splitmix64`; used where two *unrelated* mixing stages are
+    required (tabulation table filling) and by tests as a cross-check.
+
+    >>> fmix64(1)
+    12994781566227106604
+    """
+    x &= MASK64
+    x = ((x ^ (x >> 33)) * 0xFF51AFD7ED558CCD) & MASK64
+    x = ((x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53) & MASK64
+    return x ^ (x >> 33)
+
+
+def to_unit(word: int) -> float:
+    """Map a 64-bit word to a float in ``[0, 1)``.
+
+    Keeps the top 53 bits: ``(word >> 11) * 2**-53``.  Every value is
+    exactly representable and the maximum is ``1 - 2**-53 < 1``.
+    """
+    return ((word & MASK64) >> 11) * _INV_2_53
+
+
+def to_unit_open(word: int) -> float:
+    """Map a 64-bit word to a float in the *open* interval ``(0, 1)``.
+
+    Keeps the top 52 bits and centres each bucket:
+    ``(word >> 12) * 2**-52 + 2**-53``.  All arithmetic is exact in
+    binary floating point, so the range is exactly
+    ``[2**-53, 1 - 2**-53]`` — never 0.0 and never 1.0, safe on both
+    sides of a logarithm.  Used by exponential-rank weighted sampling.
+    """
+    return ((word & MASK64) >> 12) * _INV_2_52 + _INV_2_53

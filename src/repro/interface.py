@@ -1,0 +1,92 @@
+"""The streaming link-predictor protocol.
+
+Everything the evaluation harness compares — the paper's MinHash
+predictors, the exact oracle, and the sampling baselines — speaks this
+one interface, so experiments swap methods by constructing a different
+object and nothing else.
+
+The contract mirrors the paper's problem statement:
+
+* :meth:`LinkPredictor.update` consumes one stream edge (amortised
+  constant time for the sketch methods);
+* :meth:`LinkPredictor.score` answers an online pairwise query for any
+  registered :class:`~repro.exact.measures.Measure`;
+* :meth:`LinkPredictor.nominal_bytes` reports the summary's packed
+  size, the quantity the space experiments plot.
+
+``score`` must return 0.0 for vertex pairs where either endpoint has
+never appeared (the empty-neighborhood convention), never raise — an
+online recommender cannot crash because a cold vertex was queried.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.graph.stream import Edge
+
+__all__ = ["LinkPredictor"]
+
+
+class LinkPredictor(ABC):
+    """Abstract base class for all streaming link-prediction methods."""
+
+    #: Human-readable method name used in experiment reports.
+    method_name: str = "abstract"
+
+    @abstractmethod
+    def update(self, u: int, v: int) -> None:
+        """Consume one undirected stream edge ``{u, v}``."""
+
+    @abstractmethod
+    def score(self, u: int, v: int, measure_name: str) -> float:
+        """Estimate ``measure_name`` for the pair ``(u, v)``, online.
+
+        Unknown vertices score 0.0; unknown measure names raise
+        :class:`repro.errors.ConfigurationError`.
+        """
+
+    @abstractmethod
+    def degree(self, vertex: int) -> int:
+        """The method's current belief about ``vertex``'s degree
+        (exact for most methods; approximate under the Count-Min degree
+        option).  0 for unseen vertices."""
+
+    @abstractmethod
+    def nominal_bytes(self) -> int:
+        """Packed size in bytes of all per-vertex state (the quantity
+        the paper's space analysis counts)."""
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by every implementation
+    # ------------------------------------------------------------------
+
+    def process(self, stream: Iterable[Edge]) -> int:
+        """Consume an entire edge stream; returns the edge count."""
+        count = 0
+        for edge in stream:
+            self.update(edge.u, edge.v)
+            count += 1
+        return count
+
+    def scores(self, u: int, v: int, measure_names: Sequence[str]) -> Dict[str, float]:
+        """Estimate several measures for one pair in one call."""
+        return {name: self.score(u, v, name) for name in measure_names}
+
+    def rank_candidates(
+        self,
+        candidates: Iterable[Tuple[int, int]],
+        measure_name: str,
+        top: int | None = None,
+    ) -> list[Tuple[Tuple[int, int], float]]:
+        """Rank candidate pairs by descending estimated score.
+
+        Ties break on the pair itself (deterministic output).  ``top``
+        truncates the result; None returns the full ranking.
+        """
+        ranked = sorted(
+            ((pair, self.score(pair[0], pair[1], measure_name)) for pair in candidates),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked if top is None else ranked[:top]

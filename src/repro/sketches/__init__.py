@@ -1,0 +1,31 @@
+"""Streaming summaries: MinHash, bottom-k, weighted MinHash, HLL,
+Count-Min, reservoir sampling, Bloom filters.
+
+Every class is seed-deterministic, reports its packed size via
+``nominal_bytes()``, and (where the theory allows) supports ``merge``.
+The graph-stream link predictors in :mod:`repro.core` are composed from
+these primitives; each is also a usable standalone tool.
+"""
+
+from repro.sketches.base import MergeableSummary, StreamSummary
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.bottomk import BottomK
+from repro.sketches.countmin import CountMin
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.minhash import EMPTY_SLOT, NO_WITNESS, KMinHash
+from repro.sketches.reservoir import Reservoir
+from repro.sketches.weighted_minhash import WeightedMinHash
+
+__all__ = [
+    "StreamSummary",
+    "MergeableSummary",
+    "KMinHash",
+    "EMPTY_SLOT",
+    "NO_WITNESS",
+    "BottomK",
+    "WeightedMinHash",
+    "HyperLogLog",
+    "CountMin",
+    "Reservoir",
+    "BloomFilter",
+]

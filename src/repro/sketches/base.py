@@ -1,0 +1,80 @@
+"""Common behaviour for all streaming summaries.
+
+A *sketch* here is a bounded-memory summary of a multiset of 64-bit
+keys, updated one key at a time.  Two cross-cutting concerns live in
+this module so every concrete sketch treats them the same way:
+
+* **Compatibility.**  Estimates that combine two sketches (Jaccard,
+  merges) are only meaningful when both were built with the *same* hash
+  functions.  :meth:`StreamSummary.require_compatible` centralises that
+  check and raises :class:`repro.errors.SketchStateError` with a message
+  naming both seeds.
+* **Memory accounting.**  The paper's space claims are about *sketch*
+  bytes, not Python object overhead, so every sketch reports
+  :meth:`StreamSummary.nominal_bytes` — the size of a packed C struct
+  holding the same state.  (Benchmark E2 uses this, and separately
+  reports measured interpreter bytes for honesty.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import SketchStateError
+
+__all__ = ["StreamSummary", "MergeableSummary"]
+
+
+class StreamSummary(ABC):
+    """Abstract base class for bounded-memory stream summaries."""
+
+    @abstractmethod
+    def update(self, key: int) -> None:
+        """Fold one key into the summary."""
+
+    @abstractmethod
+    def nominal_bytes(self) -> int:
+        """Size in bytes of a packed (C-struct) encoding of the state.
+
+        This is the space figure a non-Python implementation would pay
+        and the one the paper's cost model counts.
+        """
+
+    @property
+    @abstractmethod
+    def compatibility_token(self) -> tuple:
+        """Hashable token identifying the hash configuration.
+
+        Two summaries may be combined if and only if their tokens are
+        equal.
+        """
+
+    def require_compatible(self, other: "StreamSummary") -> None:
+        """Raise :class:`SketchStateError` unless ``other`` is combinable.
+
+        Checks both the concrete type and the hash configuration; a
+        mismatch would otherwise produce silently-garbage estimates.
+        """
+        if type(other) is not type(self):
+            raise SketchStateError(
+                f"cannot combine {type(self).__name__} with {type(other).__name__}"
+            )
+        if other.compatibility_token != self.compatibility_token:
+            raise SketchStateError(
+                f"{type(self).__name__} instances use different hash "
+                f"configurations ({self.compatibility_token} vs "
+                f"{other.compatibility_token}); they cannot be combined"
+            )
+
+
+class MergeableSummary(StreamSummary):
+    """A summary whose union is computable from two summaries alone.
+
+    ``a.merge(b)`` must equal (in distribution of estimates) the summary
+    of the concatenation of both input streams — the defining property
+    tested by the property-based suite.
+    """
+
+    @abstractmethod
+    def merge(self, other: "MergeableSummary") -> "MergeableSummary":
+        """Return a *new* summary of the union of both input streams."""

@@ -1,0 +1,161 @@
+"""Bloom filter.
+
+Bloom (1970): an ``m``-bit array and ``k`` hash functions; insertion
+sets ``k`` bits, membership tests AND them.  No false negatives; false
+positive probability ``(1 - e^{-kn/m})^k`` after ``n`` insertions, which
+the :meth:`BloomFilter.false_positive_rate` method reports from the
+observed fill ratio.
+
+Probes use Kirsch–Mitzenmacher double hashing — ``g_i(x) = h1(x) +
+i*h2(x) mod m`` — which preserves the asymptotic false-positive rate
+with only two base hash evaluations per operation.
+
+Role in this repository: graph streams frequently repeat edges
+(multi-edges, undirected duplicates); the stream utilities offer a
+Bloom-filter-based *best-effort dedup* stage
+(:func:`repro.graph.stream.deduplicated`) so sketches that want set
+semantics under tight memory can pre-filter re-arrivals without an
+exact edge set.  The exact predictors are insensitive to duplicates
+(their updates are idempotent), so the filter is an optimisation, never
+a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixHash
+from repro.sketches.base import MergeableSummary
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter(MergeableSummary):
+    """Bloom filter over integer keys.
+
+    Parameters
+    ----------
+    bits:
+        Size of the bit array ``m``.
+    hashes:
+        Number of probes ``k``; the optimum is ``(m/n) ln 2`` for an
+        anticipated ``n`` insertions (see :meth:`for_capacity`).
+    seed:
+        Hash seed; filters merge only with equal ``(bits, hashes, seed)``.
+    """
+
+    __slots__ = ("bits", "hashes", "seed", "_h1", "_h2", "_array", "insertions")
+
+    def __init__(self, bits: int = 1 << 16, hashes: int = 4, seed: int = 0) -> None:
+        if bits < 8:
+            raise ConfigurationError(f"bits must be at least 8, got {bits}")
+        if hashes < 1:
+            raise ConfigurationError(f"hashes must be positive, got {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        self.seed = seed
+        self._h1 = SplitMixHash(seed)
+        self._h2 = SplitMixHash(seed ^ 0x5DEECE66D)
+        self._array = np.zeros((bits + 7) // 8, dtype=np.uint8)
+        self.insertions = 0
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, false_positive_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        """Size a filter for ``capacity`` keys at a target FP rate."""
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if not 0 < false_positive_rate < 1:
+            raise ConfigurationError(
+                f"false_positive_rate must be in (0, 1), got {false_positive_rate}"
+            )
+        bits = math.ceil(-capacity * math.log(false_positive_rate) / (math.log(2) ** 2))
+        hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(bits=max(bits, 8), hashes=hashes, seed=seed)
+
+    # ------------------------------------------------------------------
+    # StreamSummary interface
+    # ------------------------------------------------------------------
+
+    @property
+    def compatibility_token(self) -> tuple:
+        return ("BloomFilter", self.bits, self.hashes, self.seed)
+
+    def _positions(self, key: int) -> list[int]:
+        base = self._h1(key)
+        step = self._h2(key) | 1  # odd step: full-period probing
+        return [(base + i * step) % self.bits for i in range(self.hashes)]
+
+    def update(self, key: int) -> None:
+        """Insert ``key``."""
+        for position in self._positions(key):
+            self._array[position >> 3] |= 1 << (position & 7)
+        self.insertions += 1
+
+    add = update  # conventional alias
+
+    def update_many(self, keys: Iterable[int]) -> None:
+        """Insert every key of an iterable."""
+        for key in keys:
+            self.update(key)
+
+    def nominal_bytes(self) -> int:
+        return len(self._array)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._array[p >> 3] & (1 << (p & 7)) for p in self._positions(key)
+        )
+
+    def add_if_new(self, key: int) -> bool:
+        """Insert ``key``; return True if it was (probably) unseen.
+
+        The one-call test-and-set used by stream dedup.  A False return
+        may rarely be wrong (false positive); a True return is always
+        correct (no false negatives).
+        """
+        if key in self:
+            return False
+        self.update(key)
+        return True
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits."""
+        return float(np.unpackbits(self._array).sum()) / (len(self._array) * 8)
+
+    def false_positive_rate(self) -> float:
+        """Estimated current FP probability, ``fill_ratio ** hashes``."""
+        return self.fill_ratio() ** self.hashes
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Filter of the union of both key streams (bitwise OR)."""
+        self.require_compatible(other)
+        merged = BloomFilter(self.bits, self.hashes, self.seed)
+        np.bitwise_or(self._array, other._array, out=merged._array)
+        merged.insertions = self.insertions + other.insertions
+        return merged
+
+    def copy(self) -> "BloomFilter":
+        dup = BloomFilter(self.bits, self.hashes, self.seed)
+        dup._array = self._array.copy()
+        dup.insertions = self.insertions
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.bits}, hashes={self.hashes}, "
+            f"insertions={self.insertions})"
+        )

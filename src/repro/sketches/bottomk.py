@@ -1,0 +1,165 @@
+"""Bottom-k (KMV) sketches for distinct counting and set overlap.
+
+A bottom-k sketch keeps the ``k`` smallest *distinct* hash values of the
+keys seen, under a single hash function.  Compared with the k-mins
+sketch of :mod:`repro.sketches.minhash` it hashes each key once instead
+of ``k`` times, at the cost of a small data structure (a bounded
+max-heap) instead of flat arrays.
+
+Two estimators are provided:
+
+* **Distinct count** (Bar-Yossef et al. 2002).  If ``v_(k)`` is the
+  k-th smallest hash value mapped into ``(0, 1)``, then ``(k-1)/v_(k)``
+  is an unbiased estimate of the number of distinct keys ``n`` (for
+  ``n ≥ k``), with relative standard error ``~ 1/sqrt(k-2)``.  Below
+  ``k`` distinct keys the sketch stores them all and the count is exact.
+* **Jaccard** (Cohen & Kaplan 2007).  The ``k`` smallest values of the
+  *union* of two sketches are a uniform sample of the union; the
+  fraction of that sample present in both sketches estimates ``J``.
+
+The library's streaming predictor uses k-mins (witness tracking needs
+per-slot argmins); bottom-k is exercised by the E2 space study and the
+ablation comparing the two for Jaccard (DESIGN.md decision 4), and is a
+generally useful primitive for a downstream user.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixHash
+from repro.hashing.mixers import to_unit_open
+from repro.sketches.base import MergeableSummary
+
+__all__ = ["BottomK"]
+
+
+class BottomK(MergeableSummary):
+    """Bottom-k sketch of a set of integer keys.
+
+    Parameters
+    ----------
+    k:
+        Number of minima retained; accuracy of both estimators improves
+        as ``1/sqrt(k)``.
+    seed:
+        Seed of the single hash function.  Sketches are combinable only
+        when built with equal ``(k, seed)``.
+    """
+
+    __slots__ = ("k", "seed", "_hash", "_heap", "_members", "update_count")
+
+    def __init__(self, k: int, seed: int = 0) -> None:
+        if k < 2:
+            raise ConfigurationError(f"bottom-k needs k >= 2, got {k}")
+        self.k = k
+        self.seed = seed
+        self._hash = SplitMixHash(seed)
+        self._heap: list[int] = []  # max-heap via negation
+        self._members: set[int] = set()  # current heap contents (hash values)
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # StreamSummary interface
+    # ------------------------------------------------------------------
+
+    @property
+    def compatibility_token(self) -> tuple:
+        return ("BottomK", self.k, self.seed)
+
+    def update(self, key: int) -> None:
+        """Fold one key in: ``O(log k)`` worst case, ``O(1)`` expected
+        once the sketch is full (most keys hash above the threshold)."""
+        self.update_count += 1
+        value = self._hash(key)
+        if value in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -value)
+            self._members.add(value)
+        elif value < -self._heap[0]:
+            evicted = -heapq.heappushpop(self._heap, -value)
+            self._members.discard(evicted)
+            self._members.add(value)
+
+    def update_many(self, keys: Iterable[int]) -> None:
+        """Fold every key of an iterable into the sketch."""
+        for key in keys:
+            self.update(key)
+
+    def nominal_bytes(self) -> int:
+        return 8 * min(len(self._heap), self.k)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_full(self) -> bool:
+        """True once k distinct keys have been absorbed."""
+        return len(self._heap) >= self.k
+
+    def values(self) -> list[int]:
+        """The retained hash values, ascending."""
+        return sorted(self._members)
+
+    def kth_value_unit(self) -> float:
+        """The k-th smallest hash value mapped into ``(0, 1)``.
+
+        Only meaningful when :meth:`is_full`; raises otherwise.
+        """
+        if not self.is_full():
+            raise ConfigurationError(
+                f"sketch holds {len(self._heap)} < k={self.k} distinct keys; "
+                "the k-th minimum does not exist yet"
+            )
+        return to_unit_open(-self._heap[0])
+
+    def distinct_count(self) -> float:
+        """Estimate of the number of distinct keys seen.
+
+        Exact while fewer than ``k`` distinct keys have arrived, then
+        the unbiased KMV estimate ``(k-1)/v_(k)``.
+        """
+        if not self.is_full():
+            return float(len(self._heap))
+        return (self.k - 1) / self.kth_value_unit()
+
+    def jaccard(self, other: "BottomK") -> float:
+        """Estimate the Jaccard similarity of the two underlying sets.
+
+        Takes the ``k`` smallest values of the union of both sketches (a
+        uniform sample of the union) and returns the fraction present in
+        both.  Exact when both sets fit entirely in their sketches.
+        """
+        self.require_compatible(other)
+        union_values = sorted(self._members | other._members)[: self.k]
+        if not union_values:
+            return 0.0
+        shared = sum(1 for v in union_values if v in self._members and v in other._members)
+        return shared / len(union_values)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "BottomK") -> "BottomK":
+        """Sketch of the union of both input streams (new object)."""
+        self.require_compatible(other)
+        merged = BottomK(self.k, self.seed)
+        for value in sorted(self._members | other._members)[: self.k]:
+            heapq.heappush(merged._heap, -value)
+            merged._members.add(value)
+        merged.update_count = self.update_count + other.update_count
+        return merged
+
+    def copy(self) -> "BottomK":
+        dup = BottomK(self.k, self.seed)
+        dup._heap = list(self._heap)
+        dup._members = set(self._members)
+        dup.update_count = self.update_count
+        return dup
+
+    def __repr__(self) -> str:
+        return f"BottomK(k={self.k}, held={len(self._heap)}, updates={self.update_count})"

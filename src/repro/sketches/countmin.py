@@ -1,0 +1,174 @@
+"""Count-Min sketch for approximate frequency counting.
+
+Cormode & Muthukrishnan (2005): a ``depth x width`` grid of counters;
+each of ``depth`` pairwise-independent hash functions routes a key to
+one counter per row, updates add to all of them, and a point query takes
+the row-wise minimum.  Guarantees, with ``width = ceil(e/ε)`` and
+``depth = ceil(ln(1/δ))``::
+
+    count(x) <= estimate(x) <= count(x) + ε * N   with prob. >= 1 - δ
+
+where ``N`` is the total of all increments (one-sided overestimation).
+
+Role in this repository: the streaming predictors track vertex degrees.
+Exact degrees cost one integer per vertex — already "constant space per
+vertex", so exact counting is the default — but Count-Min powers the
+``approximate_degrees`` memory knob (DESIGN.md decision 3) that drops
+per-vertex state below one word when vertex ids are too numerous even
+for that, and the E2 space bench plots the trade-off.
+
+The *conservative update* variant (Estan & Varghese 2002) only raises
+the counters that equal the current minimum, provably never increasing
+error; it is the default for degree tracking because graph streams are
+exactly the skewed workloads it helps on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing import SplitMixFamily
+from repro.sketches.base import MergeableSummary
+
+__all__ = ["CountMin"]
+
+
+class CountMin(MergeableSummary):
+    """Count-Min frequency sketch over integer keys.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; error scales as ``e * N / width``.
+    depth:
+        Number of rows; failure probability ``exp(-depth)``.
+    seed:
+        Hash seed; mergeable only with equal ``(width, depth, seed)``.
+    conservative:
+        Use conservative updates (default ``True``).  Note conservative
+        sketches lose mergeability (the row minima of two halves do not
+        reconstruct the whole); :meth:`merge` refuses in that mode.
+    """
+
+    __slots__ = ("width", "depth", "seed", "conservative", "table", "total", "_functions")
+
+    def __init__(
+        self,
+        width: int = 2048,
+        depth: int = 4,
+        seed: int = 0,
+        conservative: bool = True,
+    ) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self.conservative = conservative
+        self.table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+        self._functions = SplitMixFamily(seed).functions(depth)
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0, conservative: bool = True
+    ) -> "CountMin":
+        """Build a sketch guaranteeing additive error ``ε·N`` w.p. ``1-δ``."""
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(depth, 1), seed=seed, conservative=conservative)
+
+    # ------------------------------------------------------------------
+    # StreamSummary interface
+    # ------------------------------------------------------------------
+
+    @property
+    def compatibility_token(self) -> tuple:
+        return ("CountMin", self.width, self.depth, self.seed, self.conservative)
+
+    def _columns(self, key: int) -> list[int]:
+        return [fn(key) % self.width for fn in self._functions]
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Add ``count`` (default 1) to ``key``'s frequency."""
+        if count < 0:
+            raise ConfigurationError(
+                f"count-min supports non-negative increments, got {count}"
+            )
+        columns = self._columns(key)
+        if self.conservative:
+            current = min(self.table[row, col] for row, col in enumerate(columns))
+            floor = current + count
+            for row, col in enumerate(columns):
+                if self.table[row, col] < floor:
+                    self.table[row, col] = floor
+        else:
+            for row, col in enumerate(columns):
+                self.table[row, col] += count
+        self.total += count
+
+    def update_many(self, keys: Iterable[int]) -> None:
+        """Increment every key of an iterable by one."""
+        for key in keys:
+            self.update(key)
+
+    def nominal_bytes(self) -> int:
+        return self.depth * self.width * 8
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def estimate(self, key: int) -> int:
+        """Point estimate of ``key``'s frequency (never underestimates)."""
+        return int(
+            min(self.table[row, col] for row, col in enumerate(self._columns(key)))
+        )
+
+    def error_bound(self) -> float:
+        """The additive error ``e * N / width`` that holds w.p. ``1 - e^-depth``."""
+        return math.e * self.total / self.width
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "CountMin") -> "CountMin":
+        """Sketch of the combined streams (elementwise sum).
+
+        Only valid for non-conservative sketches; conservative tables
+        are not linear, so merging them silently would corrupt the
+        one-sided error guarantee.
+        """
+        self.require_compatible(other)
+        if self.conservative:
+            raise ConfigurationError(
+                "conservative count-min sketches are not mergeable; "
+                "construct with conservative=False if merging is required"
+            )
+        merged = CountMin(self.width, self.depth, self.seed, conservative=False)
+        np.add(self.table, other.table, out=merged.table)
+        merged.total = self.total + other.total
+        return merged
+
+    def copy(self) -> "CountMin":
+        dup = CountMin(self.width, self.depth, self.seed, self.conservative)
+        dup.table = self.table.copy()
+        dup.total = self.total
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMin(width={self.width}, depth={self.depth}, "
+            f"total={self.total}, conservative={self.conservative})"
+        )

@@ -1,0 +1,119 @@
+"""Reservoir sampling.
+
+Vitter's Algorithm R (1985): keep a uniform sample of ``capacity`` items
+from a stream of unknown length, replacing a random resident with
+probability ``capacity / n`` at the ``n``-th arrival.  Every length-
+``capacity`` subset of the prefix is equally likely at all times — the
+invariant the property-based tests check by exhaustive distribution
+comparison on small streams.
+
+Role in this repository: the *edge reservoir* baseline
+(:class:`repro.exact.baselines.EdgeReservoirBaseline`) stores a uniform
+subsample of stream edges and runs exact link prediction on the induced
+subgraph — the natural "what you'd do without sketches" competitor at
+equal memory, reproduced in benchmark E8.  The per-vertex
+:class:`repro.exact.baselines.NeighborReservoirBaseline` reuses this
+class with one small reservoir per vertex.
+
+Determinism: randomness comes from a private :class:`random.Random`
+seeded at construction, so a seed fully reproduces the sample sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Reservoir"]
+
+T = TypeVar("T")
+
+
+class Reservoir(Generic[T]):
+    """Uniform fixed-capacity sample of a stream of items.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained items.
+    seed:
+        Seed of the private random generator.
+    """
+
+    __slots__ = ("capacity", "_rng", "_items", "seen")
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: List[T] = []
+        #: Number of stream items offered so far.
+        self.seen = 0
+
+    def offer(self, item: T) -> bool:
+        """Present one stream item; return True if it was retained.
+
+        (The return value reports *admission*; a retained item may still
+        be evicted by a later arrival.)
+        """
+        admitted, _ = self.offer_with_eviction(item)
+        return admitted
+
+    def offer_with_eviction(self, item: T) -> tuple[bool, Optional[T]]:
+        """Present one item; return ``(admitted, evicted_item_or_None)``.
+
+        Callers that mirror the reservoir contents in a derived
+        structure (e.g. the edge-reservoir baseline's subgraph) use the
+        evicted item to keep the mirror in sync incrementally.
+        """
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return True, None
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            evicted = self._items[slot]
+            self._items[slot] = item
+            return True, evicted
+        return False, None
+
+    def offer_many(self, items: Iterable[T]) -> None:
+        """Present every item of an iterable to the reservoir."""
+        for item in items:
+            self.offer(item)
+
+    def sample(self) -> List[T]:
+        """The current sample (a copy; order is not meaningful)."""
+        return list(self._items)
+
+    def is_full(self) -> bool:
+        """True once the reservoir holds ``capacity`` items."""
+        return len(self._items) >= self.capacity
+
+    def sampling_probability(self) -> float:
+        """Current inclusion probability ``min(1, capacity/seen)``.
+
+        The Horvitz–Thompson correction factor for sums estimated from
+        the sample.
+        """
+        if self.seen <= self.capacity:
+            return 1.0
+        return self.capacity / self.seen
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __repr__(self) -> str:
+        return (
+            f"Reservoir(capacity={self.capacity}, held={len(self._items)}, "
+            f"seen={self.seen})"
+        )

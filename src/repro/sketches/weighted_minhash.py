@@ -1,0 +1,222 @@
+"""Exponential-rank weighted MinHash (vertex-biased sampling).
+
+The uniform MinHash of :mod:`repro.sketches.minhash` samples every
+member of a set with equal probability.  For weighted-sum measures such
+as Adamic–Adar, where member ``w`` contributes ``λ(w) = 1/ln d(w)``,
+uniform sampling is wasteful: slots are spent on high-degree members
+whose contribution is negligible.  *Vertex-biased sampling* — the
+technique the reproduced paper pairs with MinHash — samples member
+``w`` with probability proportional to ``λ(w)`` instead.
+
+The classical construction (Efraimidis & Spirakis 2006; in sketch form
+Gollapudi & Panigrahy 2006) assigns key ``w`` the *rank*::
+
+    r_i(w) = -ln(U_i(w)) / λ(w)
+
+where ``U_i(w) ∈ (0,1)`` is a uniform hash.  ``r_i(w)`` is then an
+exponential random variable with rate ``λ(w)``, and by the minimum
+property of exponentials the slot minimum over a set ``S`` selects
+``w ∈ S`` with probability ``λ(w) / Λ(S)`` where ``Λ(S) = Σ_{w∈S} λ(w)``.
+Consequently, for two sets ``A, B`` whose members carry *identical*
+weights on both sides::
+
+    P[slot minima of A and B coincide] = Λ(A ∩ B) / Λ(A ∪ B)
+
+— the weighted analogue of the Jaccard collision identity, and the
+engine of the biased Adamic–Adar estimator in :mod:`repro.core.biased`.
+
+Streaming caveat (see DESIGN.md): in a graph stream the weight of a
+*neighbor* ``w`` depends on its degree, which keeps growing after ``w``
+entered the sketch.  This module is policy-agnostic: the caller passes
+the weight to :meth:`update`, and :meth:`reweigh` supports rebuilding
+ranks when a refresh policy decides weights have drifted too far.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.hashing import HashBank
+from repro.sketches.base import MergeableSummary
+
+__all__ = ["WeightedMinHash"]
+
+_INF = np.float64(np.inf)
+_NO_WITNESS = np.int64(-1)
+
+
+class WeightedMinHash(MergeableSummary):
+    """Exponential-rank weighted MinHash over (key, weight) pairs.
+
+    Parameters
+    ----------
+    bank:
+        Shared :class:`~repro.hashing.HashBank`; its size is the number
+        of slots ``k``.  Comparable sketches must share an equal bank.
+
+    Notes
+    -----
+    * Weights must be strictly positive and finite.
+    * Re-inserting a key with the *same* weight is idempotent.
+      Re-inserting with a larger weight can only lower the key's ranks,
+      so the slot minimum remains a valid exponential minimum for the
+      *latest* weights as long as weights only grow — which holds for
+      ``λ`` choices that grow with degree, and is the basis of the
+      ``refresh`` policy's correctness argument.
+    """
+
+    __slots__ = ("bank", "ranks", "witnesses", "weights", "weight_sum", "update_count")
+
+    def __init__(self, bank: HashBank) -> None:
+        self.bank = bank
+        self.ranks = np.full(bank.size, _INF, dtype=np.float64)
+        self.witnesses = np.full(bank.size, _NO_WITNESS, dtype=np.int64)
+        self.weights = np.zeros(bank.size, dtype=np.float64)
+        #: Running Λ = Σ λ(w) over *distinct* inserted keys, maintained by
+        #: the caller contract: update() adds the weight the first time a
+        #: key is inserted; reweigh() adjusts it.  The estimators need Λ
+        #: per vertex and this keeps it O(1) space.
+        self.weight_sum = 0.0
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # StreamSummary interface
+    # ------------------------------------------------------------------
+
+    @property
+    def compatibility_token(self) -> tuple:
+        return ("WeightedMinHash", self.bank.seed, self.bank.size)
+
+    @property
+    def k(self) -> int:
+        """Number of slots."""
+        return self.bank.size
+
+    def update(self, key: int, weight: float = 1.0, *, first_insertion: bool = True) -> None:
+        """Fold ``(key, weight)`` into the sketch.
+
+        ``first_insertion`` tells the sketch whether ``key`` is new to
+        the underlying set, so the running ``weight_sum`` stays the sum
+        over *distinct* keys; pass ``False`` when re-presenting a known
+        key (e.g. during a weight refresh — use :meth:`reweigh` there
+        instead, which handles the bookkeeping).
+        """
+        if key < 0:
+            raise ConfigurationError(f"keys must be non-negative, got {key}")
+        if not (weight > 0.0) or not math.isfinite(weight):
+            raise ConfigurationError(
+                f"weight must be strictly positive and finite, got {weight}"
+            )
+        ranks = -np.log(self.bank.units_open(key)) / weight
+        improved = ranks < self.ranks
+        if improved.any():
+            self.ranks[improved] = ranks[improved]
+            self.witnesses[improved] = key
+            self.weights[improved] = weight
+        if first_insertion:
+            self.weight_sum += weight
+        self.update_count += 1
+
+    def update_many(self, pairs: Iterable[tuple[int, float]]) -> None:
+        """Fold every ``(key, weight)`` pair of an iterable in."""
+        for key, weight in pairs:
+            self.update(key, weight)
+
+    def reweigh(self, key: int, old_weight: float, new_weight: float) -> None:
+        """Re-present ``key`` with an increased weight.
+
+        Adjusts the running ``Λ`` and lowers the key's ranks.  Only
+        weight *increases* keep the slot minima exact (a decreased
+        weight would require knowing whether ``key`` currently owns a
+        slot under a rank that should now rise — information a
+        constant-space sketch does not retain), so decreases raise
+        :class:`SketchStateError`.
+        """
+        if new_weight < old_weight:
+            raise SketchStateError(
+                "weighted MinHash supports monotone weight increases only "
+                f"(got {old_weight} -> {new_weight})"
+            )
+        self.update(key, new_weight, first_insertion=False)
+        self.weight_sum += new_weight - old_weight
+
+    def nominal_bytes(self) -> int:
+        # rank (f64) + witness (i64) + weight (f64) per slot + Λ.
+        return self.k * 24 + 8
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True if no key has ever been inserted."""
+        return self.update_count == 0
+
+    def slot_matches(self, other: "WeightedMinHash") -> np.ndarray:
+        """Boolean array of slots whose rank-minima coincide.
+
+        Ranks are compared through their *witness* keys: two exponential
+        ranks computed from the same hash and the same weight are
+        bit-identical, but comparing float equality directly would also
+        be correct; witness comparison is clearer and robust to the
+        (monotone) reweigh path, where the same key may have been
+        inserted at different weights on the two sides.
+        """
+        self.require_compatible(other)
+        both = (self.witnesses != _NO_WITNESS) & (other.witnesses != _NO_WITNESS)
+        return both & (self.witnesses == other.witnesses)
+
+    def match_fraction(self, other: "WeightedMinHash") -> float:
+        """Fraction of slots whose minima coincide.
+
+        Estimates ``Λ(A∩B)/Λ(A∪B)`` when both sides inserted each shared
+        key with the same weight (see module docstring); variance is
+        ``p(1-p)/k``.
+        """
+        self.require_compatible(other)
+        if self.is_empty() or other.is_empty():
+            return 0.0
+        return float(np.count_nonzero(self.slot_matches(other))) / self.k
+
+    def matching_witnesses(self, other: "WeightedMinHash") -> np.ndarray:
+        """Witness keys of the colliding slots (biased samples of A∩B)."""
+        return self.witnesses[self.slot_matches(other)]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "WeightedMinHash") -> "WeightedMinHash":
+        """Sketch of the union (assumes the key sets are disjoint or
+        inserted with equal weights on both sides; ``weight_sum`` adds,
+        which over-counts shared keys — callers that merge overlapping
+        sketches must correct Λ themselves)."""
+        self.require_compatible(other)
+        merged = WeightedMinHash(self.bank)
+        take_other = other.ranks < self.ranks
+        merged.ranks = np.where(take_other, other.ranks, self.ranks)
+        merged.witnesses = np.where(take_other, other.witnesses, self.witnesses)
+        merged.weights = np.where(take_other, other.weights, self.weights)
+        merged.weight_sum = self.weight_sum + other.weight_sum
+        merged.update_count = self.update_count + other.update_count
+        return merged
+
+    def copy(self) -> "WeightedMinHash":
+        dup = WeightedMinHash(self.bank)
+        dup.ranks = self.ranks.copy()
+        dup.witnesses = self.witnesses.copy()
+        dup.weights = self.weights.copy()
+        dup.weight_sum = self.weight_sum
+        dup.update_count = self.update_count
+        return dup
+
+    def __repr__(self) -> str:
+        filled = int(np.count_nonzero(self.witnesses != _NO_WITNESS))
+        return (
+            f"WeightedMinHash(k={self.k}, filled_slots={filled}, "
+            f"weight_sum={self.weight_sum:.4g})"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures build *small, hand-checkable* structures; statistical tests
+construct their own larger populations locally so their sample sizes
+are visible at the assertion site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.exact import ExactOracle
+from repro.graph import AdjacencyGraph, from_pairs
+from repro.hashing import HashBank
+
+
+@pytest.fixture
+def bank() -> HashBank:
+    """A mid-size shared hash bank (k=128, fixed seed)."""
+    return HashBank(seed=0xFEED, size=128)
+
+
+@pytest.fixture
+def small_bank() -> HashBank:
+    """A small bank for tests that inspect slots individually."""
+    return HashBank(seed=0xBEEF, size=8)
+
+
+# The "paper figure 1"-style toy graph used across exact-measure tests:
+#
+#        0 --- 2 --- 1
+#        |  \     /  |
+#        |   \   /   |
+#        3 --- 4 ----+
+#
+# Edges: (0,2) (1,2) (0,3) (0,4) (1,4) (3,4)
+# Neighborhoods: N(0)={2,3,4} N(1)={2,4} N(2)={0,1} N(3)={0,4} N(4)={0,1,3}
+TOY_EDGES = [(0, 2), (1, 2), (0, 3), (0, 4), (1, 4), (3, 4)]
+
+
+@pytest.fixture
+def toy_graph() -> AdjacencyGraph:
+    """The documented 5-vertex toy graph (see conftest source)."""
+    return AdjacencyGraph.from_edges(TOY_EDGES)
+
+
+@pytest.fixture
+def toy_oracle() -> ExactOracle:
+    """Exact oracle loaded with the toy graph's stream."""
+    oracle = ExactOracle()
+    oracle.process(from_pairs(TOY_EDGES))
+    return oracle
+
+
+@pytest.fixture
+def toy_predictor() -> MinHashLinkPredictor:
+    """MinHash predictor (k=256) loaded with the toy stream."""
+    predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=11))
+    predictor.process(from_pairs(TOY_EDGES))
+    return predictor

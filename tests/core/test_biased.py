@@ -1,0 +1,140 @@
+"""Tests for the vertex-biased predictor."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core import BiasedMinHashLinkPredictor, SketchConfig
+from repro.errors import ConfigurationError
+from repro.exact import ExactOracle
+from repro.graph import from_pairs
+from repro.graph.generators import chung_lu
+from tests.conftest import TOY_EDGES
+
+
+def biased_for(edges, measure="adamic_adar", **config_kwargs):
+    config = SketchConfig(**{"k": 256, "seed": 17, **config_kwargs})
+    predictor = BiasedMinHashLinkPredictor(config, measure_name=measure)
+    predictor.process(from_pairs(edges))
+    return predictor
+
+
+class TestConstruction:
+    def test_requires_exact_degrees(self):
+        with pytest.raises(ConfigurationError):
+            BiasedMinHashLinkPredictor(SketchConfig(degree_mode="countmin"))
+
+    def test_requires_witness_sum_measure(self):
+        with pytest.raises(ConfigurationError):
+            BiasedMinHashLinkPredictor(measure_name="jaccard")
+
+    def test_resource_allocation_supported(self):
+        predictor = biased_for(TOY_EDGES, measure="resource_allocation")
+        assert predictor.measure.name == "resource_allocation"
+
+
+class TestScoring:
+    def test_identical_neighborhoods_scored_at_ceiling(self):
+        # N(0) = N(1) = {2,3,4}: both sketches match fully, but the
+        # frozen weights of the two sides differ (arrival degrees), so
+        # the estimate lands within the min-side weight sum.
+        edges = [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]
+        predictor = biased_for(edges, weight_policy="refresh")
+        oracle = ExactOracle()
+        oracle.process(from_pairs(edges))
+        truth = oracle.score(0, 1, "adamic_adar")
+        assert predictor.score(0, 1, "adamic_adar") == pytest.approx(truth, rel=0.01)
+
+    def test_cold_vertices_score_zero(self):
+        predictor = biased_for(TOY_EDGES)
+        assert predictor.score(0, 999, "adamic_adar") == 0.0
+
+    def test_unsupported_measure_points_to_uniform_predictor(self):
+        predictor = biased_for(TOY_EDGES)
+        with pytest.raises(ConfigurationError, match="MinHashLinkPredictor"):
+            predictor.score(0, 1, "jaccard")
+
+    def test_preferential_attachment_always_available(self):
+        predictor = biased_for(TOY_EDGES)
+        assert predictor.score(0, 4, "preferential_attachment") == 9.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BiasedMinHashLinkPredictor().update(2, 2)
+
+    def test_estimate_never_exceeds_either_weight_sum(self):
+        predictor = biased_for(TOY_EDGES)
+        for u in range(5):
+            for v in range(u + 1, 5):
+                score = predictor.score(u, v, "adamic_adar")
+                su = predictor._sketches[u]
+                sv = predictor._sketches[v]
+                assert score <= min(su.weight_sum, sv.weight_sum) + 1e-12
+
+
+class TestPolicies:
+    def test_refresh_reduces_drift_bias(self):
+        # On a growing power-law stream, frozen arrival weights
+        # overestimate current weights; the refresh policy must bring
+        # the mean signed deviation closer to zero.
+        edges = chung_lu(n=600, edges=4500, exponent=2.2, seed=5)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        from repro.eval.candidates import sample_two_hop_pairs
+
+        pairs = sample_two_hop_pairs(oracle.graph, 120, seed=6)
+
+        def mean_signed_deviation(policy):
+            predictor = BiasedMinHashLinkPredictor(
+                SketchConfig(k=384, seed=7, weight_policy=policy,
+                             refresh_buffer=1024)
+            )
+            predictor.process(edges)
+            deviations = []
+            for u, v in pairs:
+                truth = oracle.score(u, v, "adamic_adar")
+                if truth <= 0:
+                    continue
+                deviations.append(
+                    (predictor.score(u, v, "adamic_adar") - truth) / truth
+                )
+            return statistics.mean(deviations)
+
+        assert abs(mean_signed_deviation("refresh")) < abs(
+            mean_signed_deviation("freeze")
+        )
+
+    def test_refresh_with_tiny_buffer_falls_back_to_freeze_for_hubs(self):
+        predictor = biased_for(
+            TOY_EDGES, weight_policy="refresh", refresh_buffer=2
+        )
+        # Vertex 0 has degree 3 > buffer 2: its buffer overflowed.
+        assert predictor._buffers[0] is None
+        # Scoring still works (frozen sketch path).
+        assert predictor.score(0, 1, "adamic_adar") >= 0.0
+
+    def test_refresh_rebuild_memoized_per_clock(self):
+        predictor = biased_for(TOY_EDGES, weight_policy="refresh")
+        first = predictor._refreshed_sketch(1)
+        second = predictor._refreshed_sketch(1)
+        assert first is second
+
+
+class TestAccounting:
+    def test_nominal_bytes_freeze(self):
+        predictor = biased_for(TOY_EDGES, k=16)
+        # 5 sketches * (16*24 + 8) + 5 degree words; no buffers.
+        assert predictor.nominal_bytes() == 5 * (16 * 24 + 8) + 5 * 8
+
+    def test_nominal_bytes_refresh_counts_buffers(self):
+        predictor = biased_for(
+            TOY_EDGES, k=16, weight_policy="refresh", refresh_buffer=100
+        )
+        # Degrees sum to 12: 12 buffered neighbor words.
+        expected = 5 * (16 * 24 + 8) + 5 * 8 + 12 * 8
+        assert predictor.nominal_bytes() == expected
+
+    def test_vertex_count(self):
+        assert biased_for(TOY_EDGES).vertex_count == 5

@@ -1,0 +1,98 @@
+"""Tests for SketchConfig and the Hoeffding planning helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    SketchConfig,
+    hoeffding_epsilon,
+    hoeffding_failure_probability,
+    required_k,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlanningHelpers:
+    def test_required_k_closed_form(self):
+        assert required_k(0.1, 0.05) == math.ceil(math.log(40) / 0.02)
+
+    def test_required_k_monotone_in_epsilon(self):
+        assert required_k(0.05, 0.05) > required_k(0.1, 0.05)
+
+    def test_epsilon_inverts_required_k(self):
+        k = required_k(0.1, 0.05)
+        assert hoeffding_epsilon(k, 0.05) <= 0.1
+
+    def test_failure_probability_formula(self):
+        assert hoeffding_failure_probability(100, 0.1) == pytest.approx(
+            2 * math.exp(-2.0), rel=1e-12
+        )
+
+    def test_failure_probability_capped_at_one(self):
+        assert hoeffding_failure_probability(1, 0.01) == 1.0
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5])
+    def test_epsilon_validation(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            required_k(epsilon, 0.05)
+        with pytest.raises(ConfigurationError):
+            hoeffding_failure_probability(10, epsilon)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_delta_validation(self, delta):
+        with pytest.raises(ConfigurationError):
+            required_k(0.1, delta)
+        with pytest.raises(ConfigurationError):
+            hoeffding_epsilon(10, delta)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            hoeffding_epsilon(0, 0.05)
+
+
+class TestSketchConfig:
+    def test_defaults_are_paper_typical(self):
+        config = SketchConfig()
+        assert config.k == 128
+        assert config.track_witnesses
+        assert config.degree_mode == "exact"
+        assert config.weight_policy == "freeze"
+
+    def test_validation_eager(self):
+        with pytest.raises(ConfigurationError):
+            SketchConfig(k=0)
+        with pytest.raises(ConfigurationError):
+            SketchConfig(degree_mode="oracle")
+        with pytest.raises(ConfigurationError):
+            SketchConfig(weight_policy="thaw")
+        with pytest.raises(ConfigurationError):
+            SketchConfig(countmin_width=0)
+        with pytest.raises(ConfigurationError):
+            SketchConfig(refresh_buffer=0)
+
+    def test_for_accuracy_meets_target(self):
+        config = SketchConfig.for_accuracy(epsilon=0.1, delta=0.05)
+        assert config.k == 185
+        assert config.jaccard_epsilon(0.05) <= 0.1
+
+    def test_for_accuracy_passes_overrides(self):
+        config = SketchConfig.for_accuracy(0.2, seed=7, track_witnesses=False)
+        assert config.seed == 7
+        assert not config.track_witnesses
+
+    def test_with_k_preserves_other_fields(self):
+        config = SketchConfig(seed=9, track_witnesses=False).with_k(32)
+        assert config.k == 32
+        assert config.seed == 9
+        assert not config.track_witnesses
+
+    def test_bytes_per_vertex(self):
+        assert SketchConfig(k=64).bytes_per_vertex() == 1024
+        assert SketchConfig(k=64, track_witnesses=False).bytes_per_vertex() == 512
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SketchConfig().k = 5

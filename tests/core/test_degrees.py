@@ -1,0 +1,45 @@
+"""Tests for degree trackers."""
+
+from __future__ import annotations
+
+from repro.core import CountMinDegrees, ExactDegrees
+
+
+class TestExactDegrees:
+    def test_counts(self):
+        d = ExactDegrees()
+        for v in (1, 2, 1, 1):
+            d.increment(v)
+        assert d.get(1) == 3
+        assert d.get(2) == 1
+        assert d.get(3) == 0
+
+    def test_len_and_bytes(self):
+        d = ExactDegrees()
+        d.increment(1)
+        d.increment(2)
+        assert len(d) == 2
+        assert d.nominal_bytes() == 16
+
+
+class TestCountMinDegrees:
+    def test_never_underestimates(self):
+        d = CountMinDegrees(width=256, depth=4, seed=1)
+        for v in range(100):
+            for _ in range(v % 7 + 1):
+                d.increment(v)
+        for v in range(100):
+            assert d.get(v) >= v % 7 + 1
+
+    def test_fixed_nominal_bytes(self):
+        d = CountMinDegrees(width=64, depth=2, seed=0)
+        before = d.nominal_bytes()
+        for v in range(1000):
+            d.increment(v)
+        assert d.nominal_bytes() == before == 64 * 2 * 8
+
+    def test_accurate_on_light_load(self):
+        d = CountMinDegrees(width=1 << 12, depth=4, seed=2)
+        for _ in range(9):
+            d.increment(5)
+        assert d.get(5) == 9

@@ -1,0 +1,144 @@
+"""Tests for directed streaming link prediction."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.core import SketchConfig
+from repro.core.directed import DirectedExactOracle, DirectedMinHashPredictor
+from repro.errors import ConfigurationError
+from repro.graph import from_pairs
+from repro.graph.generators import chung_lu
+
+# Digraph: 0->2, 1->2, 2->3, 0->3, 3->0, 1->3
+#   successors:  N+(0)={2,3} N+(1)={2,3} N+(2)={3} N+(3)={0}
+#   predecessors: N-(2)={0,1} N-(3)={0,1,2} N-(0)={3}
+ARCS = [(0, 2), (1, 2), (2, 3), (0, 3), (3, 0), (1, 3)]
+
+
+def loaded(predictor):
+    predictor.process(from_pairs(ARCS))
+    return predictor
+
+
+@pytest.fixture
+def oracle():
+    return loaded(DirectedExactOracle())
+
+
+@pytest.fixture
+def sketch():
+    return loaded(DirectedMinHashPredictor(SketchConfig(k=256, seed=7)))
+
+
+class TestExactOracle:
+    def test_out_direction_hand_computed(self, oracle):
+        # N+(0) = N+(1) = {2,3}: CN_out = 2, J_out = 1.
+        assert oracle.score_directed(0, 1, "common_neighbors", "out") == 2.0
+        assert oracle.score_directed(0, 1, "jaccard", "out") == 1.0
+
+    def test_in_direction_hand_computed(self, oracle):
+        # N-(2) = {0,1}, N-(3) = {0,1,2}: CN_in = 2, J_in = 2/3.
+        assert oracle.score_directed(2, 3, "common_neighbors", "in") == 2.0
+        assert oracle.score_directed(2, 3, "jaccard", "in") == pytest.approx(2 / 3)
+
+    def test_directions_differ(self, oracle):
+        # Out-direction for (2,3): N+(2)={3}, N+(3)={0} -> CN 0.
+        assert oracle.score_directed(2, 3, "common_neighbors", "out") == 0.0
+
+    def test_directed_adamic_adar_uses_directional_witness_degree(self, oracle):
+        # Witnesses of (0,1) out-overlap: 2 (out-degree 1) and 3
+        # (out-degree 1); weight clamps at degree 2.
+        expected = 2 / math.log(2)
+        assert oracle.score_directed(0, 1, "adamic_adar", "out") == pytest.approx(
+            expected
+        )
+
+    def test_degree_directed(self, oracle):
+        assert oracle.degree_directed(3, "in") == 3
+        assert oracle.degree_directed(3, "out") == 1
+        assert oracle.degree_directed(99, "out") == 0
+
+    def test_direction_validation(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.score_directed(0, 1, "jaccard", "both")
+
+    def test_protocol_score_defaults_to_out(self, oracle):
+        assert oracle.score(0, 1, "jaccard") == oracle.score_directed(
+            0, 1, "jaccard", "out"
+        )
+
+
+class TestSketchPredictor:
+    def test_identical_successor_sets_estimated_exactly(self, sketch):
+        assert sketch.score_directed(0, 1, "jaccard", "out") == 1.0
+        assert sketch.score_directed(0, 1, "common_neighbors", "out") == pytest.approx(
+            2.0
+        )
+
+    def test_in_direction_tracks_oracle(self, sketch, oracle):
+        estimate = sketch.score_directed(2, 3, "jaccard", "in")
+        truth = oracle.score_directed(2, 3, "jaccard", "in")
+        assert estimate == pytest.approx(truth, abs=0.15)
+
+    def test_directional_degrees_exact(self, sketch):
+        assert sketch.degree_directed(3, "in") == 3
+        assert sketch.degree_directed(3, "out") == 1
+        assert sketch.degree(0) == 2  # protocol degree = out-degree
+
+    def test_cold_vertices_zero(self, sketch):
+        assert sketch.score_directed(0, 99, "jaccard", "out") == 0.0
+        assert sketch.score_directed(98, 99, "adamic_adar", "in") == 0.0
+
+    def test_countmin_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectedMinHashPredictor(SketchConfig(degree_mode="countmin"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectedMinHashPredictor().update(5, 5)
+
+    def test_nominal_bytes_twice_undirected_scale(self):
+        predictor = loaded(DirectedMinHashPredictor(SketchConfig(k=16, seed=1)))
+        # Every vertex has both an out- and an in-sketch here except
+        # where a direction never fired; bound: <= 2 stores.
+        per_sketch = 16 * 16
+        assert predictor.nominal_bytes() <= 2 * 4 * per_sketch + 2 * 4 * 8
+
+    def test_vertex_count_unions_directions(self):
+        predictor = DirectedMinHashPredictor(SketchConfig(k=16, seed=2))
+        predictor.update(0, 1)  # 0 has only out-sketch, 1 only in-sketch
+        assert predictor.vertex_count == 2
+
+
+class TestStatisticalAgreement:
+    def test_tracks_exact_on_directed_powerlaw_stream(self):
+        # Interpret a Chung-Lu stream as directed arcs.
+        arcs = chung_lu(n=500, edges=4000, exponent=2.3, seed=11)
+        oracle = DirectedExactOracle()
+        sketch = DirectedMinHashPredictor(SketchConfig(k=384, seed=12))
+        for edge in arcs:
+            oracle.update(edge.u, edge.v)
+            sketch.update(edge.u, edge.v)
+        # Query pairs sharing an in-neighborhood witness: co-cited pairs.
+        import random
+
+        rng = random.Random(13)
+        pairs = set()
+        vertices = [v for v in oracle.graph.vertices() if oracle.graph.out_degree(v) >= 2]
+        while len(pairs) < 80:
+            w = rng.choice(vertices)
+            u, v = rng.sample(sorted(oracle.graph.successors(w)), 2)
+            pairs.add((min(u, v), max(u, v)))
+        deviations = []
+        for u, v in sorted(pairs):
+            truth = oracle.score_directed(u, v, "common_neighbors", "in")
+            if truth <= 0:
+                continue
+            estimate = sketch.score_directed(u, v, "common_neighbors", "in")
+            deviations.append((estimate - truth) / truth)
+        assert deviations
+        assert abs(statistics.mean(deviations)) < 0.25

@@ -1,0 +1,98 @@
+"""Tests for the pure estimator algebra."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimators import (
+    clamp_intersection,
+    common_neighbors_from_jaccard,
+    jaccard_std_error,
+    union_size_from_jaccard,
+    witness_sum_from_matches,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClosedForms:
+    def test_inversion_identity(self):
+        # Starting from a true (CN, du, dv), the jaccard of those sets
+        # must be mapped back to exactly CN and the union size.
+        cn, du, dv = 7, 20, 15
+        union = du + dv - cn
+        j = cn / union
+        assert common_neighbors_from_jaccard(j, du, dv) == pytest.approx(cn)
+        assert union_size_from_jaccard(j, du, dv) == pytest.approx(union)
+
+    def test_zero_jaccard(self):
+        assert common_neighbors_from_jaccard(0.0, 10, 10) == 0.0
+        assert union_size_from_jaccard(0.0, 10, 10) == 20.0
+
+    def test_full_jaccard_identical_sets(self):
+        assert common_neighbors_from_jaccard(1.0, 8, 8) == pytest.approx(8.0)
+        assert union_size_from_jaccard(1.0, 8, 8) == pytest.approx(8.0)
+
+    def test_zero_degrees(self):
+        assert union_size_from_jaccard(0.5, 0, 0) == 0.0
+        assert common_neighbors_from_jaccard(0.5, 0, 0) == 0.0
+
+    def test_estimate_clamped_to_feasible_range(self):
+        # An overshooting Ĵ cannot produce CN above min(du, dv).
+        assert common_neighbors_from_jaccard(1.0, 100, 3) == 3.0
+
+    def test_jaccard_out_of_range_rejected(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ConfigurationError):
+                common_neighbors_from_jaccard(bad, 5, 5)
+            with pytest.raises(ConfigurationError):
+                union_size_from_jaccard(bad, 5, 5)
+
+
+class TestWitnessSum:
+    def test_unit_weight_reduces_to_cn_formula(self):
+        # With f = 1, union * (matches/k) must equal union * Ĵ, which is
+        # the closed-form CN estimate.
+        union, k, matches = 30.0, 100, 40
+        estimate = witness_sum_from_matches(union, [5] * matches, lambda d: 1.0, k)
+        assert estimate == pytest.approx(union * matches / k)
+
+    def test_weighted_sum(self):
+        estimate = witness_sum_from_matches(
+            10.0, [2, 3], lambda d: 1.0 / math.log(d), 4
+        )
+        expected = 10.0 * (1 / math.log(2) + 1 / math.log(3)) / 4
+        assert estimate == pytest.approx(expected)
+
+    def test_no_matches_gives_zero(self):
+        assert witness_sum_from_matches(10.0, [], lambda d: 1.0, 8) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            witness_sum_from_matches(1.0, [], lambda d: 1.0, 0)
+
+    def test_never_negative(self):
+        assert witness_sum_from_matches(5.0, [2], lambda d: -1.0, 4) == 0.0
+
+
+class TestClamp:
+    def test_clamps_both_sides(self):
+        assert clamp_intersection(-3.0, 5, 7) == 0.0
+        assert clamp_intersection(100.0, 5, 7) == 5.0
+        assert clamp_intersection(4.0, 5, 7) == 4.0
+
+
+class TestStdError:
+    def test_formula(self):
+        assert jaccard_std_error(0.5, 100) == pytest.approx(0.05)
+
+    def test_extremes_have_zero_error(self):
+        assert jaccard_std_error(0.0, 64) == 0.0
+        assert jaccard_std_error(1.0, 64) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jaccard_std_error(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            jaccard_std_error(0.5, 0)

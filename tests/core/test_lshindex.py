@@ -1,0 +1,179 @@
+"""Tests for the LSH self-join index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.lshindex import (
+    LshCandidateIndex,
+    bands_for_threshold,
+    lsh_threshold,
+)
+from repro.errors import ConfigurationError
+from repro.graph import from_pairs
+
+
+def _planted_edges():
+    """A stream with two planted high-overlap vertex pairs.
+
+    Vertices 0 and 1 share neighbors 100..129 (J = 1.0); vertices 2 and
+    3 share 200..219 of their 30 neighbors each (J = 0.5); vertices
+    4..23 get disjoint neighborhoods (J ~ 0).  (The shared witnesses
+    100..129 themselves form identical {0,1} neighborhoods — tests must
+    account for those genuine duplicates.)
+    """
+    edges = []
+    for w in range(100, 130):
+        edges.append((0, w))
+        edges.append((1, w))
+    for w in range(200, 220):
+        edges.append((2, w))
+        edges.append((3, w))
+    for w in range(220, 230):
+        edges.append((2, w))
+    for w in range(230, 240):
+        edges.append((3, w))
+    for v in range(4, 24):
+        for w in range(1000 + 50 * v, 1000 + 50 * v + 10):
+            edges.append((v, w))
+    return edges
+
+
+def planted_predictor(k=128, seed=9):
+    predictor = MinHashLinkPredictor(SketchConfig(k=k, seed=seed))
+    predictor.process(from_pairs(_planted_edges()))
+    return predictor
+
+
+class TestMath:
+    def test_threshold_formula(self):
+        assert lsh_threshold(16, 8) == pytest.approx((1 / 16) ** (1 / 8))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            lsh_threshold(0, 4)
+
+    def test_bands_for_threshold_respects_k(self):
+        bands, rows = bands_for_threshold(128, 0.5)
+        assert bands * rows <= 128
+        assert lsh_threshold(bands, rows) == pytest.approx(0.5, abs=0.06)
+
+    def test_bands_for_threshold_extremes(self):
+        low_bands, low_rows = bands_for_threshold(64, 0.1)
+        high_bands, high_rows = bands_for_threshold(64, 0.9)
+        assert lsh_threshold(low_bands, low_rows) < lsh_threshold(
+            high_bands, high_rows
+        )
+
+    def test_bands_for_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            bands_for_threshold(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            bands_for_threshold(16, 1.0)
+
+    def test_capture_probability_s_curve(self):
+        index = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        assert index.capture_probability(0.0) == 0.0
+        assert index.capture_probability(1.0) == 1.0
+        assert index.capture_probability(0.9) > index.capture_probability(0.3)
+
+
+class TestConstruction:
+    def test_shape_must_fit_sketch(self):
+        predictor = planted_predictor(k=16)
+        with pytest.raises(ConfigurationError):
+            LshCandidateIndex(predictor, bands=8, rows=4)
+
+    def test_parameter_validation(self):
+        predictor = planted_predictor(k=16)
+        with pytest.raises(ConfigurationError):
+            LshCandidateIndex(predictor, bands=0, rows=4)
+        with pytest.raises(ConfigurationError):
+            LshCandidateIndex(predictor, bands=2, rows=4, max_bucket=1)
+
+
+class TestDiscovery:
+    def test_finds_planted_identical_pair(self):
+        index = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        pairs = {(c.u, c.v) for c in index.candidate_pairs(min_jaccard=0.8)}
+        assert (0, 1) in pairs
+
+    def test_finds_half_overlap_pair_with_permissive_shape(self):
+        # threshold (1/32)^(1/4) ~ 0.42 < 0.5: the J=0.5 pair is caught
+        # with probability 1-(1-0.5^4)^32 ~ 0.87 per hash draw; the
+        # fixed seed makes the outcome deterministic here.
+        index = LshCandidateIndex(planted_predictor(), bands=32, rows=4)
+        pairs = {(c.u, c.v) for c in index.candidate_pairs(min_jaccard=0.3)}
+        assert (2, 3) in pairs
+
+    def test_high_cutoff_pairs_are_truly_similar(self):
+        # Every pair reported above the 0.8 cutoff must be genuinely
+        # similar per exact ground truth (estimation noise allowed for
+        # with the 0.5 margin).
+        from repro.exact import ExactOracle
+
+        oracle = ExactOracle()
+        for u, v in _planted_edges():
+            oracle.update(u, v)
+        index = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        reported = list(index.candidate_pairs(min_jaccard=0.8))
+        assert reported
+        for candidate in reported:
+            assert oracle.score(candidate.u, candidate.v, "jaccard") >= 0.5
+
+    def test_candidates_deduplicated(self):
+        index = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        pairs = [(c.u, c.v) for c in index.candidate_pairs()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_top_pairs_ranked_and_limited(self):
+        index = LshCandidateIndex(planted_predictor(), bands=32, rows=4)
+        top = index.top_pairs(limit=2)
+        assert len(top) <= 2
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+        assert top[0][0].u == 0 and top[0][0].v == 1  # the J=1 pair wins
+
+    def test_top_pairs_rescoring_by_other_measure(self):
+        index = LshCandidateIndex(planted_predictor(), bands=32, rows=4)
+        top = index.top_pairs(limit=3, measure_name="common_neighbors")
+        assert all(score >= 0 for _, score in top)
+
+    def test_top_pairs_validation(self):
+        index = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        with pytest.raises(ConfigurationError):
+            index.top_pairs(limit=0)
+
+    def test_min_degree_excludes_leaves(self):
+        edges = (
+            [(0, 1)]
+            + [(2, w) for w in range(100, 110)]
+            + [(3, w) for w in range(100, 110)]
+        )
+        predictor = MinHashLinkPredictor(SketchConfig(k=32, seed=1))
+        predictor.process(from_pairs(edges))
+        index = LshCandidateIndex(predictor, bands=8, rows=4, min_degree=2)
+        pairs = {(c.u, c.v) for c in index.candidate_pairs()}
+        assert (2, 3) in pairs  # the degree-10 twins are found
+        assert all(0 not in pair and 1 not in pair for pair in pairs)
+
+    def test_overfull_buckets_skipped_and_counted(self):
+        # 60 vertices with *identical* neighborhoods collapse into one
+        # bucket per band; max_bucket=10 must skip them.
+        edges = [(v, w) for v in range(60) for w in range(100, 110)]
+        predictor = MinHashLinkPredictor(SketchConfig(k=32, seed=2))
+        predictor.process(from_pairs(edges))
+        index = LshCandidateIndex(predictor, bands=8, rows=4, max_bucket=10)
+        pairs = list(index.candidate_pairs())
+        assert index.skipped_buckets > 0
+        clones = [p for p in pairs if p.u < 60 and p.v < 60]
+        assert not clones
+
+    def test_deterministic_across_instances(self):
+        a = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        b = LshCandidateIndex(planted_predictor(), bands=16, rows=8)
+        assert sorted((c.u, c.v) for c in a.candidate_pairs()) == sorted(
+            (c.u, c.v) for c in b.candidate_pairs()
+        )
+        assert a.bucket_count() == b.bucket_count()

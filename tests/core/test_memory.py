@@ -1,0 +1,72 @@
+"""Tests for memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig, memory_report
+from repro.core.memory import MemoryReport, deep_getsizeof
+from repro.exact import ExactOracle
+from repro.graph import from_pairs
+from tests.conftest import TOY_EDGES
+
+
+class TestDeepGetsizeof:
+    def test_containers_counted_recursively(self):
+        flat = deep_getsizeof([1, 2, 3])
+        nested = deep_getsizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat
+
+    def test_cycles_terminate(self):
+        a = []
+        a.append(a)
+        assert deep_getsizeof(a) > 0
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        assert deep_getsizeof([shared, shared]) < 2 * deep_getsizeof(shared)
+
+    def test_slots_objects(self):
+        class Slotted:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = list(range(100))
+
+        assert deep_getsizeof(Slotted()) > deep_getsizeof(list(range(100))) * 0.9
+
+
+class TestMemoryReport:
+    def test_report_fields(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=16))
+        predictor.process(from_pairs(TOY_EDGES))
+        report = memory_report(predictor)
+        assert isinstance(report, MemoryReport)
+        assert report.method == "minhash"
+        assert report.vertices == 5
+        assert report.nominal_bytes == predictor.nominal_bytes()
+        assert report.measured_bytes > report.nominal_bytes  # interpreter overhead
+
+    def test_per_vertex_figure(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=16))
+        predictor.process(from_pairs(TOY_EDGES))
+        report = memory_report(predictor)
+        assert report.nominal_bytes_per_vertex == pytest.approx(16 * 16 + 8)
+
+    def test_empty_predictor(self):
+        report = memory_report(MinHashLinkPredictor())
+        assert report.vertices == 0
+        assert report.nominal_bytes_per_vertex == 0.0
+        assert report.interpreter_overhead == 0.0
+
+    def test_exact_oracle_report(self):
+        oracle = ExactOracle()
+        oracle.process(from_pairs(TOY_EDGES))
+        report = memory_report(oracle)
+        assert report.method == "exact"
+        assert report.vertices == 5
+
+    def test_row_renders(self):
+        report = MemoryReport("m", 10, 1000, 5000)
+        row = report.row()
+        assert "m" in row and "1,000" in row

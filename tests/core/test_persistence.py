@@ -1,0 +1,118 @@
+"""Tests for predictor checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.persistence import FORMAT_VERSION, load_predictor, save_predictor
+from repro.errors import ConfigurationError, SketchStateError
+from repro.graph import from_pairs
+from repro.graph.generators import erdos_renyi
+from tests.conftest import TOY_EDGES
+
+
+def checkpoint_path(tmp_path):
+    return tmp_path / "predictor.npz"
+
+
+class TestRoundTrip:
+    def test_queries_identical_after_restore(self, tmp_path):
+        original = MinHashLinkPredictor(SketchConfig(k=64, seed=3))
+        original.process(erdos_renyi(100, 400, seed=1))
+        path = checkpoint_path(tmp_path)
+        saved = save_predictor(original, path)
+        assert saved == original.vertex_count
+        restored = load_predictor(path)
+        for u in range(0, 20):
+            for v in range(20, 40):
+                for measure in ("jaccard", "common_neighbors", "adamic_adar"):
+                    assert restored.score(u, v, measure) == original.score(
+                        u, v, measure
+                    )
+
+    def test_updates_continue_identically(self, tmp_path):
+        stream = erdos_renyi(80, 300, seed=2)
+        half = len(stream) // 2
+        original = MinHashLinkPredictor(SketchConfig(k=32, seed=4))
+        original.process(stream[:half])
+        path = checkpoint_path(tmp_path)
+        save_predictor(original, path)
+        restored = load_predictor(path)
+        for predictor in (original, restored):
+            predictor.process(stream[half:])
+        for u, v in ((0, 1), (2, 3), (10, 20)):
+            assert restored.score(u, v, "adamic_adar") == original.score(
+                u, v, "adamic_adar"
+            )
+        assert restored.degree(0) == original.degree(0)
+
+    def test_sketch_arrays_bit_identical(self, tmp_path):
+        original = MinHashLinkPredictor(SketchConfig(k=16, seed=5))
+        original.process(from_pairs(TOY_EDGES))
+        path = checkpoint_path(tmp_path)
+        save_predictor(original, path)
+        restored = load_predictor(path)
+        for vertex in range(5):
+            assert np.array_equal(
+                restored._sketches[vertex].values,
+                original._sketches[vertex].values,
+            )
+            assert np.array_equal(
+                restored._sketches[vertex].witnesses,
+                original._sketches[vertex].witnesses,
+            )
+
+    def test_witnessless_config_round_trips(self, tmp_path):
+        original = MinHashLinkPredictor(SketchConfig(k=16, seed=6, track_witnesses=False))
+        original.process(from_pairs(TOY_EDGES))
+        path = checkpoint_path(tmp_path)
+        save_predictor(original, path)
+        restored = load_predictor(path)
+        assert not restored.config.track_witnesses
+        assert restored.score(0, 1, "common_neighbors") == original.score(
+            0, 1, "common_neighbors"
+        )
+
+    def test_empty_predictor_round_trips(self, tmp_path):
+        path = checkpoint_path(tmp_path)
+        assert save_predictor(MinHashLinkPredictor(), path) == 0
+        restored = load_predictor(path)
+        assert restored.vertex_count == 0
+        assert restored.score(1, 2, "jaccard") == 0.0
+
+
+class TestFileObjects:
+    def test_bytesio_round_trip(self):
+        """In-memory checkpoints (the distributed-ingest transport)."""
+        import io
+
+        original = MinHashLinkPredictor(SketchConfig(k=32, seed=9))
+        original.process(from_pairs(TOY_EDGES))
+        buffer = io.BytesIO()
+        save_predictor(original, buffer)
+        buffer.seek(0)
+        restored = load_predictor(buffer)
+        assert restored.score(0, 1, "adamic_adar") == original.score(
+            0, 1, "adamic_adar"
+        )
+
+
+class TestValidation:
+    def test_countmin_degrees_not_checkpointable(self, tmp_path):
+        predictor = MinHashLinkPredictor(SketchConfig(degree_mode="countmin"))
+        with pytest.raises(SketchStateError):
+            save_predictor(predictor, checkpoint_path(tmp_path))
+
+    def test_future_format_version_rejected(self, tmp_path):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8))
+        predictor.process(from_pairs(TOY_EDGES))
+        path = checkpoint_path(tmp_path)
+        save_predictor(predictor, path)
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        fields["format_version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ConfigurationError, match="version"):
+            load_predictor(path)

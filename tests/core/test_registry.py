@@ -1,0 +1,64 @@
+"""Tests for the predictor factory and equal-space parameter rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SketchConfig, build_predictor, equal_space_parameters
+from repro.core.biased import BiasedMinHashLinkPredictor
+from repro.core.predictor import MinHashLinkPredictor
+from repro.errors import ConfigurationError
+from repro.exact import EdgeReservoirBaseline, ExactOracle, NeighborReservoirBaseline
+
+
+class TestFactory:
+    def test_builds_each_method(self):
+        config = SketchConfig(k=16)
+        assert isinstance(build_predictor("minhash", config), MinHashLinkPredictor)
+        assert isinstance(build_predictor("biased", config), BiasedMinHashLinkPredictor)
+        assert isinstance(build_predictor("exact", config), ExactOracle)
+        assert isinstance(
+            build_predictor("neighbor_reservoir", config), NeighborReservoirBaseline
+        )
+        assert isinstance(
+            build_predictor("edge_reservoir", config, expected_vertices=100),
+            EdgeReservoirBaseline,
+        )
+
+    def test_unknown_method_raises_with_known(self):
+        with pytest.raises(ConfigurationError, match="minhash"):
+            build_predictor("gnn")
+
+    def test_edge_reservoir_requires_expected_vertices(self):
+        with pytest.raises(ConfigurationError):
+            build_predictor("edge_reservoir", SketchConfig())
+
+    def test_default_config(self):
+        predictor = build_predictor("minhash")
+        assert predictor.config.k == 128
+
+
+class TestEqualSpace:
+    def test_neighbor_reservoir_sample_matches_sketch_bytes(self):
+        config = SketchConfig(k=64)  # 1024 bytes/vertex
+        params = equal_space_parameters(config, expected_vertices=1000)
+        assert params["neighbor_reservoir_sample"] == 128  # 1024/8 ids
+
+    def test_edge_reservoir_capacity_scales_with_vertices(self):
+        config = SketchConfig(k=64)
+        params = equal_space_parameters(config, expected_vertices=1000)
+        assert params["edge_reservoir_capacity"] == 1000 * 1024 // 8
+
+    def test_witnessless_config_halves_budget(self):
+        with_w = equal_space_parameters(SketchConfig(k=64), 100)
+        without_w = equal_space_parameters(
+            SketchConfig(k=64, track_witnesses=False), 100
+        )
+        assert without_w["neighbor_reservoir_sample"] * 2 == (
+            with_w["neighbor_reservoir_sample"]
+        )
+
+    def test_minimums_enforced(self):
+        params = equal_space_parameters(SketchConfig(k=1, track_witnesses=False), 0)
+        assert params["neighbor_reservoir_sample"] >= 1
+        assert params["edge_reservoir_capacity"] >= 1

@@ -1,0 +1,85 @@
+"""Tests for the streaming triangle counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SketchConfig
+from repro.core.triangles import StreamingTriangleCounter
+from repro.graph import AdjacencyGraph, from_pairs
+from repro.graph.algorithms import global_clustering, triangle_count
+from repro.graph.generators import erdos_renyi, planted_partition
+
+
+class TestExactSmallCases:
+    def test_single_triangle_counted_once(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=64, seed=1))
+        counter.process(from_pairs([(0, 1), (1, 2), (0, 2)]))
+        # Tiny neighborhoods: sketch CN is exact here.
+        assert counter.triangle_estimate() == pytest.approx(1.0)
+
+    def test_triangle_free_stream_counts_zero(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=64, seed=2))
+        counter.process(from_pairs([(0, i) for i in range(1, 8)]))
+        assert counter.triangle_estimate() == 0.0
+
+    def test_two_triangles_sharing_edge(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=128, seed=3))
+        counter.process(from_pairs([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]))
+        assert counter.triangle_estimate() == pytest.approx(2.0, abs=0.3)
+
+    def test_edges_seen(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=16, seed=4))
+        counter.process(from_pairs([(0, 1), (1, 2)]))
+        assert counter.edges_seen == 2
+
+
+class TestStatisticalAccuracy:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_er_graph_within_tolerance(self, seed):
+        edges = erdos_renyi(300, 3000, seed=seed)
+        truth = triangle_count(AdjacencyGraph.from_edges(edges))
+        counter = StreamingTriangleCounter(SketchConfig(k=256, seed=seed))
+        counter.process(edges)
+        assert counter.triangle_estimate() == pytest.approx(truth, rel=0.2)
+
+    def test_community_graph_within_tolerance(self):
+        edges = planted_partition(
+            n=300, communities=6, internal_edges=4000, external_edges=400, seed=7
+        )
+        truth = triangle_count(AdjacencyGraph.from_edges(edges))
+        counter = StreamingTriangleCounter(SketchConfig(k=256, seed=8))
+        counter.process(edges)
+        assert truth > 1000  # the workload is triangle-rich
+        assert counter.triangle_estimate() == pytest.approx(truth, rel=0.2)
+
+    def test_transitivity_estimate_tracks_exact(self):
+        edges = planted_partition(
+            n=300, communities=6, internal_edges=4000, external_edges=400, seed=9
+        )
+        exact = global_clustering(AdjacencyGraph.from_edges(edges))
+        counter = StreamingTriangleCounter(SketchConfig(k=256, seed=10))
+        counter.process(edges)
+        assert counter.transitivity_estimate() == pytest.approx(exact, rel=0.25)
+
+
+class TestProtocolDelegation:
+    def test_still_answers_link_prediction_queries(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=128, seed=11))
+        counter.process(from_pairs([(0, 2), (1, 2), (0, 3), (1, 3)]))
+        assert counter.score(0, 1, "common_neighbors") == pytest.approx(2.0)
+        assert counter.degree(0) == 2
+        assert counter.vertex_count == 4
+
+    def test_nominal_bytes_delegates(self):
+        counter = StreamingTriangleCounter(SketchConfig(k=16, seed=12))
+        counter.process(from_pairs([(0, 1)]))
+        assert counter.nominal_bytes() == counter.predictor.nominal_bytes() + 8
+
+    def test_transitivity_requires_exact_degrees(self):
+        counter = StreamingTriangleCounter(
+            SketchConfig(k=16, seed=13, degree_mode="countmin")
+        )
+        counter.process(from_pairs([(0, 1), (1, 2), (0, 2)]))
+        with pytest.raises(NotImplementedError):
+            counter.transitivity_estimate()

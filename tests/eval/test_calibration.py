@@ -1,0 +1,127 @@
+"""Tests for error-bar calibration and the seed-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.errors import EvaluationError
+from repro.eval.calibration import CoverageReport, coverage_report, seed_sweep
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.exact import ExactOracle
+from repro.graph.generators import chung_lu
+
+
+@pytest.fixture(scope="module")
+def calibration_setup():
+    edges = chung_lu(n=400, edges=3000, exponent=2.5, seed=1)
+    oracle = ExactOracle()
+    oracle.process(edges)
+    predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=2))
+    predictor.process(edges)
+    pairs = sample_two_hop_pairs(oracle.graph, 200, seed=3)
+    return edges, oracle, predictor, pairs
+
+
+class TestCoverage:
+    def test_report_structure(self, calibration_setup):
+        _, oracle, predictor, pairs = calibration_setup
+        report = coverage_report(predictor, oracle, pairs)
+        assert isinstance(report, CoverageReport)
+        assert report.pairs == len(pairs)
+        assert set(report.by_z) == {1.0, 1.96, 3.0}
+
+    def test_coverage_monotone_in_z(self, calibration_setup):
+        _, oracle, predictor, pairs = calibration_setup
+        report = coverage_report(predictor, oracle, pairs)
+        assert report.by_z[1.0] <= report.by_z[1.96] <= report.by_z[3.0]
+
+    def test_wide_intervals_cover_almost_always(self, calibration_setup):
+        _, oracle, predictor, pairs = calibration_setup
+        report = coverage_report(predictor, oracle, pairs)
+        # The z=3 interval should cover the bulk of pairs even with the
+        # small-kJ skew (normal would give 99.7%; allow the binomial
+        # skew to eat some of it).
+        assert report.by_z[3.0] > 0.8
+
+    def test_magnitude_buckets_partition_pairs(self, calibration_setup):
+        _, oracle, predictor, pairs = calibration_setup
+        report = coverage_report(predictor, oracle, pairs)
+        assert report.by_magnitude  # at least one bucket
+        assert all(0.0 <= c <= 1.0 for c in report.by_magnitude.values())
+
+    def test_empty_pairs_rejected(self, calibration_setup):
+        _, oracle, predictor, _ = calibration_setup
+        with pytest.raises(EvaluationError):
+            coverage_report(predictor, oracle, [])
+
+
+class TestSeedSweep:
+    def test_reports_mean_and_std_per_pair(self, calibration_setup):
+        edges, oracle, _, pairs = calibration_setup
+        subset = pairs[:10]
+        sweep = seed_sweep(
+            lambda seed: MinHashLinkPredictor(SketchConfig(k=64, seed=seed)),
+            edges,
+            subset,
+            "jaccard",
+            seeds=range(6),
+        )
+        assert set(sweep) == set(subset)
+        for u, v in subset:
+            mean, std = sweep[(u, v)]
+            truth = oracle.score(u, v, "jaccard")
+            assert std >= 0.0
+            # The across-seed mean should bracket the truth loosely.
+            assert abs(mean - truth) < 0.3
+
+    def test_std_decreases_with_k(self, calibration_setup):
+        edges, _, _, pairs = calibration_setup
+        subset = pairs[:8]
+
+        def total_std(k):
+            sweep = seed_sweep(
+                lambda seed: MinHashLinkPredictor(SketchConfig(k=k, seed=seed)),
+                edges,
+                subset,
+                "jaccard",
+                seeds=range(6),
+            )
+            return sum(std for _, std in sweep.values())
+
+        assert total_std(256) < total_std(16)
+
+    def test_empirical_variance_matches_binomial_formula(self, calibration_setup):
+        """Var(Ĵ) = J(1-J)/k — the identity behind every error bar.
+
+        Averaged across pairs, the measured across-seed std must track
+        sqrt(J(1-J)/k) evaluated at the exact J.
+        """
+        edges, oracle, _, pairs = calibration_setup
+        subset = [p for p in pairs if oracle.score(p[0], p[1], "jaccard") > 0.02][:12]
+        k = 128
+        sweep = seed_sweep(
+            lambda seed: MinHashLinkPredictor(SketchConfig(k=k, seed=seed)),
+            edges,
+            subset,
+            "jaccard",
+            seeds=range(12),
+        )
+        measured = sum(std for _, std in sweep.values())
+        predicted = sum(
+            (oracle.score(u, v, "jaccard")
+             * (1 - oracle.score(u, v, "jaccard")) / k) ** 0.5
+            for u, v in subset
+        )
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_needs_two_seeds(self, calibration_setup):
+        edges, _, _, pairs = calibration_setup
+        with pytest.raises(EvaluationError):
+            seed_sweep(
+                lambda seed: MinHashLinkPredictor(SketchConfig(k=16, seed=seed)),
+                edges,
+                pairs[:2],
+                "jaccard",
+                seeds=[1],
+            )

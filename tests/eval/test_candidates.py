@@ -1,0 +1,90 @@
+"""Tests for candidate-pair samplers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import sample_negative_pairs, sample_random_pairs, sample_two_hop_pairs
+from repro.exact import common_neighbors
+from repro.graph import AdjacencyGraph
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def er_graph():
+    return AdjacencyGraph.from_edges(erdos_renyi(300, 1500, seed=1))
+
+
+class TestTwoHopPairs:
+    def test_all_pairs_share_a_neighbor(self, er_graph):
+        pairs = sample_two_hop_pairs(er_graph, 100, seed=2)
+        assert len(pairs) == 100
+        for u, v in pairs:
+            assert common_neighbors(er_graph, u, v) >= 1
+
+    def test_non_adjacent_by_default(self, er_graph):
+        pairs = sample_two_hop_pairs(er_graph, 100, seed=3)
+        assert all(not er_graph.has_edge(u, v) for u, v in pairs)
+
+    def test_adjacent_allowed_when_requested(self):
+        triangle = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        pairs = sample_two_hop_pairs(
+            triangle, 3, seed=0, require_non_adjacent=False
+        )
+        assert len(pairs) == 3
+
+    def test_canonical_sorted_distinct(self, er_graph):
+        pairs = sample_two_hop_pairs(er_graph, 50, seed=4)
+        assert pairs == sorted(set(pairs))
+        assert all(u < v for u, v in pairs)
+
+    def test_deterministic(self, er_graph):
+        assert sample_two_hop_pairs(er_graph, 20, seed=5) == sample_two_hop_pairs(
+            er_graph, 20, seed=5
+        )
+
+    def test_impossible_population_raises(self):
+        path = AdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        # Only one two-hop non-adjacent pair exists: (0, 2).
+        with pytest.raises(EvaluationError):
+            sample_two_hop_pairs(path, 10, seed=0)
+
+    def test_tiny_graph_rejected(self):
+        g = AdjacencyGraph.from_edges([(0, 1)])
+        with pytest.raises(EvaluationError):
+            sample_two_hop_pairs(g, 1, seed=0)
+
+
+class TestRandomPairs:
+    def test_non_adjacent_distinct(self, er_graph):
+        pairs = sample_random_pairs(er_graph, 100, seed=1)
+        assert len(pairs) == 100
+        assert all(not er_graph.has_edge(u, v) for u, v in pairs)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(EvaluationError):
+            sample_random_pairs(AdjacencyGraph(), 1, seed=0)
+
+
+class TestNegativePairs:
+    def test_disjoint_from_positives(self, er_graph):
+        positives = sample_two_hop_pairs(er_graph, 50, seed=6)
+        negatives = sample_negative_pairs(er_graph, positives, ratio=2.0, seed=7)
+        assert len(negatives) == 100
+        assert not set(negatives) & set(positives)
+
+    def test_hard_negatives_share_neighbors(self, er_graph):
+        positives = sample_two_hop_pairs(er_graph, 20, seed=8)
+        negatives = sample_negative_pairs(er_graph, positives, seed=9, hard=True)
+        for u, v in negatives:
+            assert common_neighbors(er_graph, u, v) >= 1
+
+    def test_easy_negatives_allowed(self, er_graph):
+        positives = sample_two_hop_pairs(er_graph, 20, seed=10)
+        negatives = sample_negative_pairs(er_graph, positives, seed=11, hard=False)
+        assert len(negatives) == 20
+
+    def test_ratio_validation(self, er_graph):
+        with pytest.raises(EvaluationError):
+            sample_negative_pairs(er_graph, [(0, 1)], ratio=0.0)

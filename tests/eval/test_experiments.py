@@ -1,0 +1,125 @@
+"""Tests for the shared experiment machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.errors import EvaluationError
+from repro.eval.experiments import (
+    accuracy_profile,
+    progressive_accuracy,
+    rank_agreement,
+    ranking_quality,
+    score_pairs,
+    temporal_ranking_task,
+    timed_ingest,
+    timed_queries,
+)
+from repro.exact import ExactOracle
+from repro.graph.generators import chung_lu, planted_partition
+
+
+@pytest.fixture(scope="module")
+def workload():
+    edges = chung_lu(n=300, edges=2000, exponent=2.5, seed=1)
+    oracle = ExactOracle()
+    oracle.process(edges)
+    predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=2))
+    predictor.process(edges)
+    return edges, oracle, predictor
+
+
+class TestScoringHelpers:
+    def test_score_pairs(self, workload):
+        _, oracle, _ = workload
+        scores = score_pairs(oracle, [(0, 1), (1, 2)], "common_neighbors")
+        assert len(scores) == 2
+        assert all(s >= 0 for s in scores)
+
+    def test_accuracy_profile_keys(self, workload):
+        _, oracle, predictor = workload
+        from repro.eval.candidates import sample_two_hop_pairs
+
+        pairs = sample_two_hop_pairs(oracle.graph, 50, seed=3)
+        profile = accuracy_profile(predictor, oracle, pairs, ["jaccard", "adamic_adar"])
+        assert set(profile) == {"jaccard", "adamic_adar"}
+        assert set(profile["jaccard"]) == {"mae", "rmse", "mre"}
+        assert profile["jaccard"]["mre"] < 1.0  # k=256 is plenty here
+
+
+class TestTiming:
+    def test_timed_ingest(self, workload):
+        edges, _, _ = workload
+        result = timed_ingest(MinHashLinkPredictor(SketchConfig(k=16)), edges)
+        assert result.edges == len(edges)
+        assert result.seconds > 0
+        assert result.edges_per_second > 100
+
+    def test_timed_queries(self, workload):
+        _, _, predictor = workload
+        latency = timed_queries(predictor, [(0, 1)] * 50, "jaccard")
+        assert latency > 0
+
+    def test_timed_queries_needs_pairs(self, workload):
+        _, _, predictor = workload
+        with pytest.raises(EvaluationError):
+            timed_queries(predictor, [], "jaccard")
+
+
+class TestRanking:
+    def test_exact_oracle_separates_planted_communities(self):
+        edges = planted_partition(
+            n=400, communities=8, internal_edges=3600, external_edges=400, seed=4
+        )
+        train, positives, negatives = temporal_ranking_task(
+            edges, train_fraction=0.7, max_positives=200, seed=5
+        )
+        oracle = ExactOracle()
+        oracle.process(train)
+        result = ranking_quality(oracle, positives, negatives, "common_neighbors")
+        assert result.auc > 0.6  # community structure is predictable
+        assert result.method == "exact"
+        assert 10 in result.precision
+
+    def test_rank_agreement_high_for_large_k(self, workload):
+        _, oracle, predictor = workload
+        from repro.eval.candidates import sample_two_hop_pairs
+
+        pairs = sample_two_hop_pairs(oracle.graph, 80, seed=6)
+        agreement = rank_agreement(predictor, oracle, pairs, "common_neighbors")
+        assert agreement["kendall_tau"] > 0.3
+        assert agreement["spearman_rho"] > 0.4
+
+    def test_temporal_ranking_task_shapes(self):
+        edges = planted_partition(
+            n=300, communities=6, internal_edges=2500, external_edges=300, seed=7
+        )
+        train, positives, negatives = temporal_ranking_task(
+            edges, train_fraction=0.8, negative_ratio=2.0, max_positives=50, seed=8
+        )
+        assert len(train) == int(len(edges) * 0.8)
+        assert 0 < len(positives) <= 50
+        assert len(negatives) == 2 * len(positives)
+
+
+class TestProgressive:
+    def test_rows_cover_stream(self):
+        edges = chung_lu(n=200, edges=1200, exponent=2.5, seed=9)
+        rows = progressive_accuracy(
+            lambda: MinHashLinkPredictor(SketchConfig(k=128, seed=10)),
+            edges,
+            checkpoint_count=4,
+            pairs_per_checkpoint=40,
+            measures=["jaccard"],
+            seed=11,
+        )
+        assert [row["edges"] for row in rows][-1] == len(edges)
+        assert len(rows) >= 4
+        assert all(0 <= row["jaccard"] for row in rows)
+
+    def test_checkpoint_validation(self):
+        with pytest.raises(EvaluationError):
+            progressive_accuracy(
+                MinHashLinkPredictor, [], 0, 10, ["jaccard"]
+            )

@@ -1,0 +1,162 @@
+"""Tests for evaluation metrics, cross-checked against scipy/sklearn
+formulas where available."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    average_precision,
+    error_summary,
+    kendall_tau,
+    mean_absolute_error,
+    mean_relative_error,
+    precision_at,
+    recall_at,
+    roc_auc,
+    root_mean_square_error,
+    spearman_rho,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestErrorMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [1, 4, 1]) == pytest.approx(4 / 3)
+
+    def test_rmse(self):
+        assert root_mean_square_error([0, 0], [3, 4]) == pytest.approx(
+            math.sqrt(12.5)
+        )
+
+    def test_mre_skips_zero_truths(self):
+        assert mean_relative_error([2, 5, 9], [1, 0, 10]) == pytest.approx(
+            (1.0 + 0.1) / 2
+        )
+
+    def test_mre_all_zero_truths_raises(self):
+        with pytest.raises(EvaluationError):
+            mean_relative_error([1, 2], [0, 0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            mean_absolute_error([1], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            root_mean_square_error([], [])
+
+    def test_error_summary_nan_on_zero_truths(self):
+        summary = error_summary([1.0], [0.0])
+        assert summary["mae"] == 1.0
+        assert math.isnan(summary["mre"])
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [1, 1, 0, 0]) == 1.0
+
+    def test_inverted_separation(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [1, 1, 0, 0]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = random.Random(0)
+        scores = [rng.random() for _ in range(2000)]
+        labels = [rng.randrange(2) for _ in range(2000)]
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_count_half(self):
+        assert roc_auc([0.5, 0.5], [1, 0]) == 0.5
+
+    def test_matches_mannwhitney(self):
+        rng = random.Random(1)
+        scores = [rng.gauss(label, 1.0) for label in [0, 1] * 100]
+        labels = [0, 1] * 100
+        positives = [s for s, l in zip(scores, labels) if l]
+        negatives = [s for s, l in zip(scores, labels) if not l]
+        u, _ = scipy_stats.mannwhitneyu(positives, negatives)
+        assert roc_auc(scores, labels) == pytest.approx(
+            u / (len(positives) * len(negatives))
+        )
+
+    def test_single_class_raises(self):
+        with pytest.raises(EvaluationError):
+            roc_auc([0.1, 0.2], [1, 1])
+
+
+class TestTopN:
+    def test_precision_at(self):
+        scores = [0.9, 0.8, 0.7, 0.6]
+        labels = [1, 0, 1, 0]
+        assert precision_at(scores, labels, 1) == 1.0
+        assert precision_at(scores, labels, 2) == 0.5
+        assert precision_at(scores, labels, 4) == 0.5
+
+    def test_recall_at(self):
+        scores = [0.9, 0.8, 0.7, 0.6]
+        labels = [1, 0, 1, 0]
+        assert recall_at(scores, labels, 1) == 0.5
+        assert recall_at(scores, labels, 3) == 1.0
+
+    def test_recall_needs_positives(self):
+        with pytest.raises(EvaluationError):
+            recall_at([0.5], [0], 1)
+
+    def test_average_precision_perfect(self):
+        assert average_precision([0.9, 0.8, 0.1], [1, 1, 0]) == 1.0
+
+    def test_average_precision_textbook_case(self):
+        # Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision([0.9, 0.8, 0.7], [1, 0, 1]) == pytest.approx(
+            (1 + 2 / 3) / 2
+        )
+
+    def test_n_validation(self):
+        with pytest.raises(EvaluationError):
+            precision_at([0.5], [1], 0)
+
+
+class TestRankAgreement:
+    def test_kendall_matches_scipy(self):
+        rng = random.Random(2)
+        a = [rng.random() for _ in range(80)]
+        b = [x + rng.gauss(0, 0.3) for x in a]
+        expected = scipy_stats.kendalltau(a, b).statistic
+        assert kendall_tau(a, b) == pytest.approx(expected, abs=1e-9)
+
+    def test_kendall_with_ties_matches_scipy(self):
+        rng = random.Random(3)
+        a = [rng.randrange(5) for _ in range(60)]
+        b = [rng.randrange(5) for _ in range(60)]
+        expected = scipy_stats.kendalltau(a, b).statistic
+        assert kendall_tau(a, b) == pytest.approx(expected, abs=1e-9)
+
+    def test_spearman_matches_scipy(self):
+        rng = random.Random(4)
+        a = [rng.random() for _ in range(80)]
+        b = [x * x + rng.gauss(0, 0.1) for x in a]
+        expected = scipy_stats.spearmanr(a, b).statistic
+        assert spearman_rho(a, b) == pytest.approx(expected, abs=1e-9)
+
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_constant_list_raises(self):
+        with pytest.raises(EvaluationError):
+            kendall_tau([1, 1, 1], [1, 2, 3])
+        with pytest.raises(EvaluationError):
+            spearman_rho([1, 1, 1], [1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(EvaluationError):
+            kendall_tau([1], [1])

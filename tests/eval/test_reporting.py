@@ -1,0 +1,103 @@
+"""Tests for the plain-text reporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import format_cell, format_series, format_table, sparkline
+
+
+class TestFormatCell:
+    def test_integer_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_fixed_precision(self):
+        assert format_cell(0.123456) == "0.1235"
+
+    def test_float_scientific_for_extremes(self):
+        assert "e" in format_cell(1.5e-7)
+        assert format_cell(123456.789) == "1.235e+05"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_string_verbatim(self):
+        assert format_cell("minhash") == "minhash"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_cell(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        table = format_table(
+            ["name", "count"], [["alpha", 10], ["b", 2000]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numeric_columns_right_aligned(self):
+        table = format_table(["x"], [[1], [100]])
+        rows = table.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(EvaluationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestFormatSeries:
+    def test_curves_share_grid(self):
+        series = format_series(
+            "Fig", "k",
+            {"minhash": [(16, 0.3), (32, 0.2)], "exact": [(16, 0.0), (32, 0.0)]},
+        )
+        lines = series.splitlines()
+        assert lines[0] == "Fig"
+        assert "minhash" in lines[1] and "exact" in lines[1]
+        assert len(lines) == 5
+
+    def test_grid_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            format_series(
+                "Fig", "k",
+                {"a": [(16, 0.3)], "b": [(32, 0.1)]},
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            format_series("Fig", "k", {})
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([1, 2, 3, 2, 1]) == "▁▄█▄▁"
+
+    def test_monotone_sequence_monotone_blocks(self):
+        line = sparkline(list(range(8)))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_sequence_mid_height(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_nan_rendered_as_space(self):
+        assert sparkline([1.0, float("nan"), 2.0]) == "▁ █"
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_single_value(self):
+        assert len(sparkline([3.0])) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            sparkline([])

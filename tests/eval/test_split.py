@@ -1,0 +1,57 @@
+"""Tests for temporal splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import prediction_positives, temporal_split
+from repro.graph import AdjacencyGraph, Edge, from_pairs
+
+
+class TestTemporalSplit:
+    def test_split_at_fraction(self):
+        edges = list(from_pairs([(i, i + 1) for i in range(10)]))
+        train, test = temporal_split(edges, 0.7)
+        assert len(train) == 7 and len(test) == 3
+        assert train + test == edges  # order preserved
+
+    def test_both_sides_non_empty_at_extremes(self):
+        edges = list(from_pairs([(0, 1), (1, 2)]))
+        train, test = temporal_split(edges, 0.01)
+        assert len(train) == 1 and len(test) == 1
+        train, test = temporal_split(edges, 0.99)
+        assert len(train) == 1 and len(test) == 1
+
+    def test_fraction_validation(self):
+        edges = list(from_pairs([(0, 1), (1, 2)]))
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(EvaluationError):
+                temporal_split(edges, bad)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(EvaluationError):
+            temporal_split([], 0.5)
+
+
+class TestPredictionPositives:
+    def test_filters_to_legal_pairs(self):
+        train_graph = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        test = [
+            Edge(0, 2),    # legal: both known, not a train edge
+            Edge(0, 1),    # already a train edge
+            Edge(0, 99),   # endpoint unknown in training
+            Edge(5, 5),    # self loop
+            Edge(2, 0),    # duplicate of (0, 2) in other orientation
+        ]
+        assert prediction_positives(train_graph, test) == [(0, 2)]
+
+    def test_output_canonical_and_sorted(self):
+        train_graph = AdjacencyGraph.from_edges([(0, 1), (2, 3), (4, 5)])
+        test = [Edge(3, 0), Edge(2, 0), Edge(5, 1)]
+        positives = prediction_positives(train_graph, test)
+        assert positives == [(0, 2), (0, 3), (1, 5)]
+
+    def test_empty_future(self):
+        train_graph = AdjacencyGraph.from_edges([(0, 1)])
+        assert prediction_positives(train_graph, []) == []

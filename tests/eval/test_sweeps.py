@@ -1,0 +1,114 @@
+"""Tests for the declarative sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, EvaluationError
+from repro.eval.sweeps import Sweep, SweepResults
+
+
+class TestGrid:
+    def test_cartesian_product_row_major(self):
+        sweep = Sweep({"a": [1, 2], "b": ["x", "y"]})
+        assert sweep.grid() == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        assert len(sweep) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Sweep({})
+        with pytest.raises(ConfigurationError):
+            Sweep({"a": []})
+
+
+class TestRun:
+    def test_scalar_results_stored_under_value(self):
+        sweep = Sweep({"k": [1, 2, 3]})
+        results = sweep.run(lambda k: k * 10.0)
+        assert results.values == ({"value": 10.0}, {"value": 20.0}, {"value": 30.0})
+
+    def test_dict_results_keep_names(self):
+        sweep = Sweep({"k": [2]})
+        results = sweep.run(lambda k: {"mre": 0.5, "mae": 0.1})
+        assert results.value_names() == ["mre", "mae"]
+
+    def test_procedure_receives_keyword_factors(self):
+        sweep = Sweep({"k": [4], "dataset": ["d"]})
+        seen = {}
+
+        def procedure(k, dataset):
+            seen["k"], seen["dataset"] = k, dataset
+            return 0.0
+
+        sweep.run(procedure)
+        assert seen == {"k": 4, "dataset": "d"}
+
+    def test_progress_hook_called_per_point(self):
+        calls = []
+        Sweep({"k": [1, 2]}).run(lambda k: 0.0, progress=calls.append)
+        assert calls == [{"k": 1}, {"k": 2}]
+
+
+class TestRendering:
+    @pytest.fixture
+    def results(self) -> SweepResults:
+        sweep = Sweep({"k": [16, 64], "dataset": ["a", "b"]})
+        return sweep.run(lambda k, dataset: {"mre": 1.0 / k, "cost": float(k)})
+
+    def test_table_contains_all_points(self, results):
+        table = results.table()
+        # header + rule + 4 rows = 6 lines (5 newlines, no trailing one).
+        assert len(table.splitlines()) == 6
+        assert "mre" in table and "cost" in table
+
+    def test_table_with_selected_values(self, results):
+        table = results.table(value_names=["mre"])
+        assert "cost" not in table
+
+    def test_series_one_curve_per_other_combo(self, results):
+        series = results.series(x="k", value="mre")
+        assert "dataset=a" in series and "dataset=b" in series
+
+    def test_series_single_factor_uses_value_label(self):
+        results = Sweep({"k": [1, 2]}).run(lambda k: float(k))
+        series = results.series(x="k", value="value")
+        assert "value" in series.splitlines()[0]
+
+    def test_series_unknown_factor_rejected(self, results):
+        with pytest.raises(EvaluationError):
+            results.series(x="gamma", value="mre")
+
+    def test_best_minimize_and_maximize(self, results):
+        factors, score = results.best("mre", minimize=True)
+        assert factors["k"] == 64
+        assert score == pytest.approx(1 / 64)
+        factors, score = results.best("cost", minimize=False)
+        assert factors["k"] == 64
+
+    def test_best_missing_value_rejected(self, results):
+        with pytest.raises(EvaluationError):
+            results.best("latency")
+
+
+class TestEndToEndSweep:
+    def test_real_accuracy_sweep(self):
+        """A miniature version of the E3 study, via the Sweep API."""
+        from repro.core import MinHashLinkPredictor, SketchConfig
+        from repro.eval.candidates import sample_two_hop_pairs
+        from repro.eval.experiments import accuracy_profile
+        from repro.exact import ExactOracle
+        from repro.graph.generators import erdos_renyi
+
+        edges = erdos_renyi(150, 1200, seed=1)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        pairs = sample_two_hop_pairs(oracle.graph, 60, seed=2)
+
+        def study(k):
+            predictor = MinHashLinkPredictor(SketchConfig(k=k, seed=3))
+            predictor.process(edges)
+            return accuracy_profile(predictor, oracle, pairs, ["jaccard"])["jaccard"]
+
+        results = Sweep({"k": [16, 256]}).run(study)
+        best, _ = results.best("mre")
+        assert best["k"] == 256

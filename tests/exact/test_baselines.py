@@ -1,0 +1,129 @@
+"""Tests for the sampling baselines."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact import (
+    EdgeReservoirBaseline,
+    ExactOracle,
+    NeighborReservoirBaseline,
+)
+from repro.graph import from_pairs
+from repro.graph.generators import erdos_renyi
+from tests.conftest import TOY_EDGES
+
+
+def loaded(predictor, edges=TOY_EDGES):
+    predictor.process(from_pairs(edges))
+    return predictor
+
+
+class TestEdgeReservoirExactRegime:
+    """With capacity >= stream length the subgraph is the whole graph
+    and every estimate must be exact."""
+
+    def test_matches_oracle_when_nothing_sampled_away(self, toy_oracle):
+        baseline = loaded(EdgeReservoirBaseline(capacity=100, seed=1))
+        for u, v in ((0, 1), (2, 4), (0, 3), (2, 3)):
+            for measure in ("jaccard", "common_neighbors", "adamic_adar"):
+                assert baseline.score(u, v, measure) == pytest.approx(
+                    toy_oracle.score(u, v, measure)
+                )
+
+    def test_degree_tracking(self):
+        baseline = loaded(EdgeReservoirBaseline(capacity=100, seed=1))
+        assert baseline.degree(0) == 3
+        assert baseline.degree(999) == 0
+        assert baseline.vertex_count == 5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            EdgeReservoirBaseline(capacity=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdgeReservoirBaseline(capacity=5).update(1, 1)
+
+
+class TestEdgeReservoirSampledRegime:
+    def test_subgraph_respects_capacity(self):
+        edges = erdos_renyi(200, 2000, seed=3)
+        baseline = EdgeReservoirBaseline(capacity=300, seed=3)
+        baseline.process(edges)
+        assert baseline._subgraph.edge_count <= 300
+        assert baseline.sampling_probability() == pytest.approx(300 / 2000)
+
+    def test_ht_correction_is_roughly_unbiased(self):
+        # Average the corrected CN estimate over many reservoir seeds;
+        # it should center on the true value.
+        edges = erdos_renyi(100, 2000, seed=5)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        u, v = 0, 1
+        truth = oracle.score(u, v, "common_neighbors")
+        assert truth > 0  # dense ER graph: CN(0,1) is surely positive
+        estimates = []
+        for seed in range(60):
+            baseline = EdgeReservoirBaseline(capacity=1000, seed=seed)
+            baseline.process(edges)
+            estimates.append(baseline.score(u, v, "common_neighbors"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.35)
+
+    def test_cold_vertices_score_zero(self):
+        baseline = loaded(EdgeReservoirBaseline(capacity=10, seed=0))
+        assert baseline.score(0, 999, "jaccard") == 0.0
+
+    def test_nominal_bytes_formula(self):
+        baseline = loaded(EdgeReservoirBaseline(capacity=10, seed=0))
+        assert baseline.nominal_bytes() == 8 * 10 + 8 * 5
+
+
+class TestNeighborReservoir:
+    def test_exact_when_sample_covers_neighborhoods(self, toy_oracle):
+        baseline = loaded(NeighborReservoirBaseline(sample_size=10, seed=2))
+        for u, v in ((0, 1), (2, 4), (2, 3)):
+            for measure in ("jaccard", "common_neighbors", "adamic_adar"):
+                assert baseline.score(u, v, measure) == pytest.approx(
+                    toy_oracle.score(u, v, measure)
+                )
+
+    def test_ht_correction_is_roughly_unbiased_under_sampling(self):
+        edges = erdos_renyi(100, 2000, seed=7)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        u, v = 0, 1
+        truth = oracle.score(u, v, "common_neighbors")
+        estimates = []
+        for seed in range(80):
+            baseline = NeighborReservoirBaseline(sample_size=10, seed=seed)
+            baseline.process(edges)
+            estimates.append(baseline.score(u, v, "common_neighbors"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.35)
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            NeighborReservoirBaseline(sample_size=0)
+
+    def test_degree_product_uses_exact_degrees(self):
+        baseline = loaded(NeighborReservoirBaseline(sample_size=1, seed=0))
+        assert baseline.score(0, 4, "preferential_attachment") == 9.0
+
+    def test_nominal_bytes_counts_held_samples(self):
+        baseline = loaded(NeighborReservoirBaseline(sample_size=2, seed=0))
+        # 5 vertices, degrees (3,2,2,2,3) -> held = min(deg,2) per vertex = 10.
+        assert baseline.nominal_bytes() == 8 * 10 + 8 * 5
+
+    def test_jaccard_clamped_to_unit_range(self):
+        edges = erdos_renyi(50, 600, seed=9)
+        baseline = NeighborReservoirBaseline(sample_size=3, seed=9)
+        baseline.process(edges)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        for u in range(0, 20, 2):
+            for v in range(1, 20, 2):
+                score = baseline.score(u, v, "jaccard")
+                assert 0.0 <= score <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for the extended overlap-ratio measures (hub-promoted,
+hub-depressed, Leicht–Holme–Newman) — exact values and sketch support.
+
+Toy graph (tests/conftest.py): N(0)={2,3,4} N(1)={2,4}; pair (0,1) has
+|∩| = 2, degrees 3 and 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.exact.measures import exact_score, measure_by_name
+from repro.graph import from_pairs
+from tests.conftest import TOY_EDGES
+
+
+class TestExactValues:
+    def test_hub_promoted(self, toy_graph):
+        measure = measure_by_name("hub_promoted")
+        assert exact_score(toy_graph, 0, 1, measure) == pytest.approx(2 / 2)
+
+    def test_hub_depressed(self, toy_graph):
+        measure = measure_by_name("hub_depressed")
+        assert exact_score(toy_graph, 0, 1, measure) == pytest.approx(2 / 3)
+
+    def test_leicht_holme_newman(self, toy_graph):
+        measure = measure_by_name("leicht_holme_newman")
+        assert exact_score(toy_graph, 0, 1, measure) == pytest.approx(2 / 6)
+
+    def test_ordering_relations(self, toy_graph):
+        # HP >= Jaccard >= HD always (denominators: min <= union <= max
+        # ... union >= max, so HD >= J; and HP >= J since min <= union).
+        hp = exact_score(toy_graph, 0, 1, measure_by_name("hub_promoted"))
+        hd = exact_score(toy_graph, 0, 1, measure_by_name("hub_depressed"))
+        j = exact_score(toy_graph, 0, 1, measure_by_name("jaccard"))
+        assert hp >= hd
+        assert hp >= j
+
+    def test_zero_on_isolated(self, toy_graph):
+        toy_graph.add_vertex(50)
+        for name in ("hub_promoted", "hub_depressed", "leicht_holme_newman"):
+            assert exact_score(toy_graph, 0, 50, measure_by_name(name)) == 0.0
+
+
+class TestSketchSupport:
+    def test_predictor_answers_extended_measures(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=1))
+        predictor.process(from_pairs(TOY_EDGES))
+        for name in ("hub_promoted", "hub_depressed", "leicht_holme_newman"):
+            score = predictor.score(0, 1, name)
+            assert score >= 0.0
+
+    def test_identical_neighborhoods_hub_promoted_is_one(self):
+        edges = [(0, 2), (0, 3), (1, 2), (1, 3)]
+        predictor = MinHashLinkPredictor(SketchConfig(k=64, seed=2))
+        predictor.process(from_pairs(edges))
+        assert predictor.score(0, 1, "hub_promoted") == pytest.approx(1.0)
+
+    def test_cold_vertices_zero(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=16, seed=3))
+        predictor.process(from_pairs(TOY_EDGES))
+        for name in ("hub_promoted", "hub_depressed", "leicht_holme_newman"):
+            assert predictor.score(0, 999, name) == 0.0

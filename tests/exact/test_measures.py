@@ -1,0 +1,129 @@
+"""Tests for exact neighborhood measures (hand-computed ground truth).
+
+The toy graph (see tests/conftest.py) has:
+N(0)={2,3,4} N(1)={2,4} N(2)={0,1} N(3)={0,4} N(4)={0,1,3};
+degrees d = (3, 2, 2, 2, 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact.measures import (
+    ADAMIC_ADAR,
+    COMMON_NEIGHBORS,
+    JACCARD,
+    MEASURES,
+    Measure,
+    adamic_adar,
+    adamic_adar_weight,
+    common_neighbors,
+    cosine,
+    exact_score,
+    jaccard,
+    measure_by_name,
+    preferential_attachment,
+    resource_allocation,
+    resource_allocation_weight,
+    sorensen,
+    witness_sum,
+)
+
+
+class TestHandComputedValues:
+    def test_common_neighbors(self, toy_graph):
+        assert common_neighbors(toy_graph, 0, 1) == 2
+        assert common_neighbors(toy_graph, 2, 4) == 2
+        assert common_neighbors(toy_graph, 0, 3) == 1
+        assert common_neighbors(toy_graph, 2, 3) == 1
+
+    def test_jaccard(self, toy_graph):
+        assert jaccard(toy_graph, 0, 1) == pytest.approx(2 / 3)
+        assert jaccard(toy_graph, 2, 4) == pytest.approx(2 / 3)
+        assert jaccard(toy_graph, 0, 3) == pytest.approx(1 / 4)
+        assert jaccard(toy_graph, 2, 3) == pytest.approx(1 / 3)
+
+    def test_adamic_adar(self, toy_graph):
+        # Witnesses of (0,1) are {2,4} with degrees 2 and 3.
+        expected = 1 / math.log(2) + 1 / math.log(3)
+        assert adamic_adar(toy_graph, 0, 1) == pytest.approx(expected)
+        assert adamic_adar(toy_graph, 0, 3) == pytest.approx(1 / math.log(3))
+
+    def test_resource_allocation(self, toy_graph):
+        assert resource_allocation(toy_graph, 0, 1) == pytest.approx(1 / 2 + 1 / 3)
+
+    def test_preferential_attachment(self, toy_graph):
+        assert preferential_attachment(toy_graph, 0, 1) == 6.0
+        assert preferential_attachment(toy_graph, 0, 4) == 9.0
+
+    def test_cosine(self, toy_graph):
+        assert cosine(toy_graph, 0, 1) == pytest.approx(2 / math.sqrt(6))
+
+    def test_sorensen(self, toy_graph):
+        assert sorensen(toy_graph, 0, 1) == pytest.approx(4 / 5)
+
+    def test_symmetry_of_all_measures(self, toy_graph):
+        for measure in MEASURES.values():
+            assert exact_score(toy_graph, 0, 1, measure) == exact_score(
+                toy_graph, 1, 0, measure
+            )
+
+
+class TestEdgeCases:
+    def test_unknown_vertices_score_zero(self, toy_graph):
+        assert common_neighbors(toy_graph, 0, 99) == 0
+        assert jaccard(toy_graph, 98, 99) == 0.0
+        assert adamic_adar(toy_graph, 0, 99) == 0.0
+        assert preferential_attachment(toy_graph, 0, 99) == 0.0
+
+    def test_isolated_vertex_scores_zero(self, toy_graph):
+        toy_graph.add_vertex(50)
+        assert jaccard(toy_graph, 0, 50) == 0.0
+        assert cosine(toy_graph, 0, 50) == 0.0
+        assert sorensen(toy_graph, 50, 50) == 0.0
+
+    def test_witness_sum_with_custom_weight(self, toy_graph):
+        squared = witness_sum(toy_graph, 0, 1, lambda d: float(d * d))
+        assert squared == pytest.approx(4 + 9)  # degrees 2 and 3
+
+
+class TestWeights:
+    def test_adamic_adar_weight_clamps_below_two(self):
+        assert adamic_adar_weight(0) == adamic_adar_weight(2)
+        assert adamic_adar_weight(1) == pytest.approx(1 / math.log(2))
+
+    def test_adamic_adar_weight_decreasing(self):
+        weights = [adamic_adar_weight(d) for d in range(2, 100)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_resource_allocation_weight(self):
+        assert resource_allocation_weight(4) == 0.25
+        assert resource_allocation_weight(0) == 1.0  # clamped
+
+
+class TestRegistry:
+    def test_all_paper_measures_registered(self):
+        for name in ("jaccard", "common_neighbors", "adamic_adar"):
+            assert measure_by_name(name).name == name
+
+    def test_unknown_measure_lists_known(self):
+        with pytest.raises(ConfigurationError, match="adamic_adar"):
+            measure_by_name("katz")
+
+    def test_measure_kind_validation(self):
+        with pytest.raises(ConfigurationError):
+            Measure("bad", "mystery_kind")
+        with pytest.raises(ConfigurationError):
+            Measure("needs_weight", "witness_sum")
+        with pytest.raises(ConfigurationError):
+            Measure("needs_ratio", "overlap_ratio")
+
+    def test_exact_score_dispatches_all_kinds(self, toy_graph):
+        assert exact_score(toy_graph, 0, 1, JACCARD) == pytest.approx(2 / 3)
+        assert exact_score(toy_graph, 0, 1, COMMON_NEIGHBORS) == 2.0
+        assert exact_score(toy_graph, 0, 1, ADAMIC_ADAR) == pytest.approx(
+            adamic_adar(toy_graph, 0, 1)
+        )

@@ -1,0 +1,68 @@
+"""Tests for the exact oracle (the reference LinkPredictor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exact import ExactOracle, adamic_adar, jaccard
+from repro.graph import from_pairs
+from tests.conftest import TOY_EDGES
+
+
+class TestProtocol:
+    def test_matches_direct_measure_functions(self, toy_oracle, toy_graph):
+        for u, v in ((0, 1), (2, 4), (0, 3)):
+            assert toy_oracle.score(u, v, "jaccard") == jaccard(toy_graph, u, v)
+            assert toy_oracle.score(u, v, "adamic_adar") == adamic_adar(
+                toy_graph, u, v
+            )
+
+    def test_cold_vertices_score_zero(self, toy_oracle):
+        assert toy_oracle.score(0, 12345, "jaccard") == 0.0
+        assert toy_oracle.score(777, 888, "common_neighbors") == 0.0
+
+    def test_unknown_measure_raises(self, toy_oracle):
+        with pytest.raises(ConfigurationError):
+            toy_oracle.score(0, 1, "page_rank")
+
+    def test_degree(self, toy_oracle):
+        assert toy_oracle.degree(0) == 3
+        assert toy_oracle.degree(999) == 0
+
+    def test_vertex_count(self, toy_oracle):
+        assert toy_oracle.vertex_count == 5
+
+    def test_duplicate_updates_collapse(self):
+        oracle = ExactOracle()
+        oracle.process(from_pairs(TOY_EDGES + TOY_EDGES))
+        assert oracle.graph.edge_count == len(TOY_EDGES)
+        assert oracle.degree(0) == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExactOracle().update(1, 1)
+
+    def test_nominal_bytes_tracks_graph(self, toy_oracle):
+        assert toy_oracle.nominal_bytes() == toy_oracle.graph.nominal_bytes()
+
+
+class TestConveniences:
+    def test_scores_batch(self, toy_oracle):
+        result = toy_oracle.scores(0, 1, ["jaccard", "common_neighbors"])
+        assert result["common_neighbors"] == 2.0
+
+    def test_rank_candidates_descending_and_deterministic(self, toy_oracle):
+        candidates = [(0, 1), (2, 3), (0, 3)]
+        ranked = toy_oracle.rank_candidates(candidates, "common_neighbors")
+        # (2,3) and (0,3) tie at CN=1; ties break on the pair itself.
+        assert [pair for pair, _ in ranked] == [(0, 1), (0, 3), (2, 3)]
+
+    def test_rank_candidates_top_truncation(self, toy_oracle):
+        ranked = toy_oracle.rank_candidates([(0, 1), (2, 3)], "jaccard", top=1)
+        assert len(ranked) == 1
+        assert ranked[0][0] == (0, 1)
+
+    def test_process_returns_count(self):
+        oracle = ExactOracle()
+        assert oracle.process(from_pairs(TOY_EDGES)) == len(TOY_EDGES)

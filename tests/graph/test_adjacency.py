@@ -1,0 +1,111 @@
+"""Tests for the adjacency-set graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownVertexError
+from repro.graph import AdjacencyGraph
+
+
+class TestEdges:
+    def test_add_edge_is_undirected(self):
+        g = AdjacencyGraph()
+        assert g.add_edge(1, 2) is True
+        assert g.has_edge(2, 1)
+        assert g.edge_count == 1
+
+    def test_duplicate_edge_collapses(self):
+        g = AdjacencyGraph()
+        g.add_edge(1, 2)
+        assert g.add_edge(2, 1) is False
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdjacencyGraph().add_edge(3, 3)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdjacencyGraph().add_edge(-1, 2)
+        with pytest.raises(ConfigurationError):
+            AdjacencyGraph().add_vertex(-1)
+
+    def test_remove_edge(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        assert g.remove_edge(1, 2) is True
+        assert not g.has_edge(1, 2)
+        assert g.edge_count == 1
+        assert g.remove_edge(1, 2) is False
+
+    def test_edges_iterates_each_once_canonical(self, toy_graph):
+        edges = list(toy_graph.edges())
+        assert len(edges) == toy_graph.edge_count
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_from_edges_ignores_extra_fields(self):
+        g = AdjacencyGraph.from_edges([(1, 2, 0.5), (2, 3, 1.5)])
+        assert g.edge_count == 2
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self, toy_graph):
+        assert toy_graph.neighbors(0) == {2, 3, 4}
+        assert toy_graph.degree(0) == 3
+        assert toy_graph.degree(2) == 2
+
+    def test_unknown_vertex_raises(self, toy_graph):
+        with pytest.raises(UnknownVertexError):
+            toy_graph.neighbors(99)
+        with pytest.raises(UnknownVertexError):
+            toy_graph.degree(99)
+
+    def test_degree_or_zero(self, toy_graph):
+        assert toy_graph.degree_or_zero(99) == 0
+        assert toy_graph.degree_or_zero(0) == 3
+
+    def test_contains(self, toy_graph):
+        assert 0 in toy_graph
+        assert 99 not in toy_graph
+
+    def test_average_and_max_degree(self, toy_graph):
+        assert toy_graph.average_degree() == pytest.approx(12 / 5)
+        assert toy_graph.max_degree() == 3
+
+    def test_empty_graph_statistics(self):
+        g = AdjacencyGraph()
+        assert g.average_degree() == 0.0
+        assert g.max_degree() == 0
+        assert g.vertex_count == 0
+
+    def test_degree_histogram(self, toy_graph):
+        # Degrees: 0->3, 1->2, 2->2, 3->2, 4->3.
+        assert toy_graph.degree_histogram() == {3: 2, 2: 3}
+
+    def test_isolated_vertex_counts(self):
+        g = AdjacencyGraph()
+        g.add_vertex(5)
+        assert g.vertex_count == 1
+        assert g.degree(5) == 0
+
+
+class TestDerived:
+    def test_subgraph_keeps_induced_edges(self, toy_graph):
+        sub = toy_graph.subgraph([0, 2, 4])
+        assert sub.has_edge(0, 2)
+        assert sub.has_edge(0, 4)
+        assert not sub.has_edge(0, 3)
+        assert sub.vertex_count == 3
+
+    def test_subgraph_of_missing_vertices_is_empty(self, toy_graph):
+        assert toy_graph.subgraph([100, 200]).vertex_count == 0
+
+    def test_copy_is_deep(self, toy_graph):
+        dup = toy_graph.copy()
+        dup.add_edge(0, 1)
+        assert not toy_graph.has_edge(0, 1)
+        assert dup.edge_count == toy_graph.edge_count + 1
+
+    def test_nominal_bytes_formula(self, toy_graph):
+        assert toy_graph.nominal_bytes() == 16 * 6 + 8 * 5

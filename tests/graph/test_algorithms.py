@@ -1,0 +1,159 @@
+"""Tests for the exact graph algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownVertexError
+from repro.graph import AdjacencyGraph
+from repro.graph.algorithms import (
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    core_number,
+    degeneracy_ordering,
+    global_clustering,
+    largest_component,
+    local_clustering,
+    triangle_count,
+    triangles_through_vertex,
+)
+from repro.graph.generators import erdos_renyi, watts_strogatz
+
+
+def triangle_graph():
+    return AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+def two_triangles_sharing_edge():
+    # Triangles {0,1,2} and {1,2,3} share edge (1,2).
+    return AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+
+
+class TestComponents:
+    def test_single_component(self, toy_graph):
+        components = connected_components(toy_graph)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2, 3, 4}
+
+    def test_multiple_components_sorted_by_size(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (10, 11), (20, 21), (21, 22), (22, 23)])
+        components = connected_components(g)
+        assert [len(c) for c in components] == [4, 3, 2]
+        assert largest_component(g) == {20, 21, 22, 23}
+
+    def test_isolated_vertices_are_singletons(self):
+        g = AdjacencyGraph()
+        g.add_vertex(5)
+        g.add_edge(1, 2)
+        assert sorted(len(c) for c in connected_components(g)) == [1, 2]
+
+    def test_empty_graph(self):
+        assert connected_components(AdjacencyGraph()) == []
+        assert largest_component(AdjacencyGraph()) == set()
+
+
+class TestBfs:
+    def test_path_distances(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_vertices_absent(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (5, 6)])
+        distances = bfs_distances(g, 0)
+        assert 5 not in distances
+
+    def test_unknown_source_raises(self, toy_graph):
+        with pytest.raises(UnknownVertexError):
+            bfs_distances(toy_graph, 99)
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        assert triangle_count(triangle_graph()) == 1
+
+    def test_shared_edge_triangles(self):
+        assert triangle_count(two_triangles_sharing_edge()) == 2
+
+    def test_triangle_free_graph(self):
+        star = AdjacencyGraph.from_edges([(0, i) for i in range(1, 6)])
+        assert triangle_count(star) == 0
+
+    def test_toy_graph_by_hand(self, toy_graph):
+        # Triangles: {0,3,4}, {0,1,4}? 0-1 not an edge. {0,2,?}: 2's
+        # neighbors {0,1}, 0-1 missing.  {1,2,4}? 2-4 missing.
+        # Edges: 02 12 03 04 14 34 -> only {0,3,4} closes.
+        assert triangle_count(toy_graph) == 1
+
+    def test_triangles_through_vertex(self):
+        g = two_triangles_sharing_edge()
+        assert triangles_through_vertex(g, 1) == 2
+        assert triangles_through_vertex(g, 0) == 1
+        assert triangles_through_vertex(g, 99) == 0
+
+    def test_complete_graph_count(self):
+        n = 7
+        g = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(n) for v in range(u + 1, n)]
+        )
+        assert triangle_count(g) == n * (n - 1) * (n - 2) // 6
+
+
+class TestClustering:
+    def test_triangle_vertex_fully_clustered(self):
+        assert local_clustering(triangle_graph(), 0) == 1.0
+
+    def test_low_degree_convention(self):
+        g = AdjacencyGraph.from_edges([(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+        assert local_clustering(g, 99) == 0.0
+
+    def test_average_and_global_on_complete_graph(self):
+        g = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        )
+        assert average_clustering(g) == 1.0
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_global_zero_without_triangles(self):
+        star = AdjacencyGraph.from_edges([(0, i) for i in range(1, 6)])
+        assert global_clustering(star) == 0.0
+
+    def test_lattice_has_high_clustering_er_low(self):
+        lattice = AdjacencyGraph.from_edges(watts_strogatz(200, 6, 0.0, seed=1))
+        er = AdjacencyGraph.from_edges(erdos_renyi(200, 600, seed=1))
+        assert average_clustering(lattice) > 3 * average_clustering(er)
+
+    def test_empty_graph(self):
+        assert average_clustering(AdjacencyGraph()) == 0.0
+        assert global_clustering(AdjacencyGraph()) == 0.0
+
+
+class TestDegeneracy:
+    def test_tree_has_degeneracy_one(self):
+        tree = AdjacencyGraph.from_edges([(0, 1), (0, 2), (1, 3), (1, 4)])
+        ordering, degeneracy = degeneracy_ordering(tree)
+        assert degeneracy == 1
+        assert sorted(ordering) == [0, 1, 2, 3, 4]
+
+    def test_complete_graph_degeneracy(self):
+        n = 6
+        g = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(n) for v in range(u + 1, n)]
+        )
+        _, degeneracy = degeneracy_ordering(g)
+        assert degeneracy == n - 1
+
+    def test_core_numbers_triangle_plus_tail(self):
+        # Triangle {0,1,2} with a pendant 3-4 path off vertex 0.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3), (3, 4)])
+        cores = core_number(g)
+        assert cores[1] == cores[2] == 2
+        assert cores[4] == 1
+        assert cores[3] == 1
+        assert cores[0] == 2
+
+    def test_core_numbers_bounded_by_degeneracy(self, toy_graph):
+        cores = core_number(toy_graph)
+        _, degeneracy = degeneracy_ordering(toy_graph)
+        assert max(cores.values()) == degeneracy

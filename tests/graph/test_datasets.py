@@ -1,0 +1,77 @@
+"""Tests for the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import datasets
+from repro.graph.adjacency import AdjacencyGraph
+
+
+class TestRegistry:
+    def test_names_non_empty_and_ordered(self):
+        names = datasets.dataset_names()
+        assert "synth-facebook" in names
+        assert len(names) >= 6
+
+    def test_spec_lookup(self):
+        spec = datasets.spec("synth-grqc")
+        assert spec.stands_in_for == "ca-GrQc"
+        assert spec.vertices == 5242
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(DatasetError, match="synth-facebook"):
+            datasets.spec("snap-road-network")
+        with pytest.raises(DatasetError):
+            datasets.load("nope")
+
+
+class TestLoading:
+    def test_load_is_cached(self):
+        first = datasets.load("synth-grqc", seed=0)
+        second = datasets.load("synth-grqc", seed=0)
+        assert first is second
+
+    def test_different_seeds_differ(self):
+        assert datasets.load("synth-grqc", seed=0) != datasets.load(
+            "synth-grqc", seed=1
+        )
+
+    def test_edge_count_matches_spec(self):
+        spec = datasets.spec("synth-grqc")
+        assert len(datasets.load("synth-grqc")) == spec.edges
+
+    def test_load_graph(self):
+        graph = datasets.load_graph("synth-grqc")
+        assert isinstance(graph, AdjacencyGraph)
+        assert graph.edge_count == datasets.spec("synth-grqc").edges
+
+
+class TestStatistics:
+    def test_statistics_fields(self):
+        stats = datasets.statistics("synth-grqc")
+        assert set(stats) == {
+            "vertices",
+            "edges",
+            "mean_degree",
+            "max_degree",
+            "tail_exponent",
+        }
+
+    def test_profile_matches_snap_targets(self):
+        # The stand-in must land near the published ca-GrQc profile:
+        # 5242 vertices (non-isolated ones appear), 14496 edges,
+        # mean degree ~5.5.
+        stats = datasets.statistics("synth-grqc")
+        assert stats["edges"] == 14496
+        assert stats["vertices"] == pytest.approx(5242, rel=0.15)
+        assert stats["mean_degree"] == pytest.approx(5.5, rel=0.25)
+
+    def test_facebook_density(self):
+        stats = datasets.statistics("synth-facebook")
+        assert stats["mean_degree"] == pytest.approx(43.7, rel=0.10)
+
+    def test_heavy_tail_on_social_standins(self):
+        stats = datasets.statistics("synth-youtube")
+        assert stats["max_degree"] > 50 * stats["mean_degree"]

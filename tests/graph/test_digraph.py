@@ -1,0 +1,85 @@
+"""Tests for the directed adjacency graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownVertexError
+from repro.graph.digraph import DirectedGraph
+
+# Small digraph used throughout:
+#   0 -> 2, 1 -> 2, 2 -> 3, 0 -> 3, 3 -> 0
+ARCS = [(0, 2), (1, 2), (2, 3), (0, 3), (3, 0)]
+
+
+@pytest.fixture
+def digraph():
+    return DirectedGraph.from_arcs(ARCS)
+
+
+class TestArcs:
+    def test_direction_respected(self, digraph):
+        assert digraph.has_arc(0, 2)
+        assert not digraph.has_arc(2, 0)
+
+    def test_duplicate_arc_collapses(self, digraph):
+        assert digraph.add_arc(0, 2) is False
+        assert digraph.arc_count == len(ARCS)
+
+    def test_antiparallel_arcs_are_distinct(self, digraph):
+        assert digraph.has_arc(0, 3) and digraph.has_arc(3, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectedGraph().add_arc(1, 1)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirectedGraph().add_arc(-1, 2)
+
+    def test_arcs_iteration(self, digraph):
+        assert sorted(digraph.arcs()) == sorted(ARCS)
+
+
+class TestNeighborhoods:
+    def test_successors_and_predecessors(self, digraph):
+        assert digraph.successors(0) == {2, 3}
+        assert digraph.predecessors(2) == {0, 1}
+        assert digraph.predecessors(0) == {3}
+
+    def test_degrees(self, digraph):
+        assert digraph.out_degree(0) == 2
+        assert digraph.in_degree(0) == 1
+        assert digraph.out_degree(99) == 0
+        assert digraph.in_degree(99) == 0
+
+    def test_direction_dispatch(self, digraph):
+        assert digraph.neighborhood(2, "out") == {3}
+        assert digraph.neighborhood(2, "in") == {0, 1}
+        assert digraph.degree(2, "out") == 1
+        assert digraph.degree(2, "in") == 2
+        with pytest.raises(ConfigurationError):
+            digraph.neighborhood(2, "sideways")
+        with pytest.raises(ConfigurationError):
+            digraph.degree(2, "both")
+
+    def test_unknown_vertex_raises(self, digraph):
+        with pytest.raises(UnknownVertexError):
+            digraph.successors(99)
+        with pytest.raises(UnknownVertexError):
+            digraph.predecessors(99)
+
+    def test_counts(self, digraph):
+        assert digraph.vertex_count == 4
+        assert digraph.arc_count == 5
+
+
+class TestConversions:
+    def test_as_undirected_collapses_antiparallel(self, digraph):
+        undirected = digraph.as_undirected()
+        # (0,3) and (3,0) collapse into one edge.
+        assert undirected.edge_count == 4
+        assert undirected.has_edge(0, 3)
+
+    def test_nominal_bytes_counts_both_directions(self, digraph):
+        assert digraph.nominal_bytes() == 16 * 5 + 16 * 4

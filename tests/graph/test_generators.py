@@ -1,0 +1,183 @@
+"""Tests for the synthetic graph-stream generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import AdjacencyGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_exponent_mle,
+    watts_strogatz,
+)
+
+
+def as_graph(edges):
+    return AdjacencyGraph.from_edges(edges)
+
+
+def assert_simple_stream(edges):
+    """Every generator must emit a simple stream: no self-loops, no
+    duplicate undirected edges, arrival-index timestamps."""
+    seen = set()
+    for index, edge in enumerate(edges):
+        assert edge.u != edge.v
+        pair = (min(edge.u, edge.v), max(edge.u, edge.v))
+        assert pair not in seen
+        seen.add(pair)
+        assert edge.timestamp == float(index)
+
+
+class TestErdosRenyi:
+    def test_edge_count_and_simplicity(self):
+        edges = erdos_renyi(100, 300, seed=1)
+        assert len(edges) == 300
+        assert_simple_stream(edges)
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 100, seed=3) == erdos_renyi(50, 100, seed=3)
+        assert erdos_renyi(50, 100, seed=3) != erdos_renyi(50, 100, seed=4)
+
+    def test_full_graph_possible(self):
+        edges = erdos_renyi(10, 45, seed=0)
+        assert as_graph(edges).edge_count == 45
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(1, 0)
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 46)  # exceeds C(10,2)
+
+    def test_degrees_are_homogeneous(self):
+        g = as_graph(erdos_renyi(500, 2500, seed=2))
+        # mean degree 10; an ER max degree beyond 30 would be absurd.
+        assert g.max_degree() < 30
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        edges = barabasi_albert(n=200, m=3, seed=1)
+        assert len(edges) == 3 + (200 - 4) * 3
+        assert_simple_stream(edges)
+
+    def test_growth_order_vertices_appear_in_sequence(self):
+        # The newest endpoint of each edge never decreases: the stream
+        # is the temporal growth order of the network.
+        edges = barabasi_albert(n=100, m=2, seed=5)
+        highest_seen = -1
+        for edge in edges:
+            newest = max(edge.u, edge.v)
+            assert newest >= highest_seen
+            highest_seen = newest
+        assert highest_seen == 99
+
+    def test_heavy_tail(self):
+        g = as_graph(barabasi_albert(n=2000, m=3, seed=7))
+        # Preferential attachment: the hub should dominate the mean.
+        assert g.max_degree() > 5 * g.average_degree()
+
+    def test_min_degree_is_m(self):
+        g = as_graph(barabasi_albert(n=500, m=4, seed=2))
+        degrees = [g.degree(v) for v in g.vertices()]
+        assert min(degrees) >= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(n=5, m=5)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(n=10, m=0)
+
+
+class TestWattsStrogatz:
+    def test_zero_beta_is_ring_lattice(self):
+        g = as_graph(watts_strogatz(n=50, k=4, beta=0.0, seed=1))
+        assert g.edge_count == 100
+        for v in g.vertices():
+            assert g.degree(v) == 4
+
+    def test_rewiring_changes_structure(self):
+        lattice = as_graph(watts_strogatz(n=100, k=4, beta=0.0, seed=1))
+        rewired = as_graph(watts_strogatz(n=100, k=4, beta=0.5, seed=1))
+        lattice_edges = set(lattice.edges())
+        rewired_edges = set(rewired.edges())
+        assert lattice_edges != rewired_edges
+
+    def test_simple_stream(self):
+        assert_simple_stream(watts_strogatz(n=60, k=6, beta=0.2, seed=3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(n=10, k=3, beta=0.1)  # odd k
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(n=4, k=4, beta=0.1)  # n <= k
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(n=10, k=4, beta=1.5)
+
+
+class TestChungLu:
+    def test_edge_count_and_simplicity(self):
+        edges = chung_lu(n=500, edges=1500, exponent=2.5, seed=1)
+        assert len(edges) == 1500
+        assert_simple_stream(edges)
+
+    def test_heavy_tail_versus_flat(self):
+        heavy = as_graph(chung_lu(n=2000, edges=8000, exponent=2.0, seed=2))
+        flat = as_graph(erdos_renyi(2000, 8000, seed=2))
+        assert heavy.max_degree() > 3 * flat.max_degree()
+
+    def test_exponent_controls_skew(self):
+        steep = as_graph(chung_lu(n=3000, edges=9000, exponent=3.5, seed=3))
+        shallow = as_graph(chung_lu(n=3000, edges=9000, exponent=1.8, seed=3))
+        assert shallow.max_degree() > steep.max_degree()
+
+    def test_deterministic(self):
+        a = chung_lu(n=100, edges=300, seed=9)
+        b = chung_lu(n=100, edges=300, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu(n=1, edges=0)
+        with pytest.raises(ConfigurationError):
+            chung_lu(n=10, edges=100)
+        with pytest.raises(ConfigurationError):
+            chung_lu(n=10, edges=5, exponent=1.0)
+
+
+class TestPlantedPartition:
+    def test_edge_counts(self):
+        edges = planted_partition(
+            n=200, communities=4, internal_edges=400, external_edges=50, seed=1
+        )
+        assert len(edges) == 450
+        assert_simple_stream(edges)
+
+    def test_internal_edges_dominate_within_blocks(self):
+        edges = planted_partition(
+            n=200, communities=4, internal_edges=400, external_edges=50, seed=2
+        )
+        block = 200 // 4
+        internal = sum(1 for e in edges if e.u // block == e.v // block)
+        assert internal >= 400  # external sampling cannot create intra-block pairs
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition(n=100, communities=1, internal_edges=1, external_edges=1)
+        with pytest.raises(ConfigurationError):
+            planted_partition(n=3, communities=2, internal_edges=1, external_edges=1)
+
+
+class TestPowerlawFit:
+    def test_recovers_known_exponent(self):
+        g = as_graph(chung_lu(n=20000, edges=60000, exponent=2.5, seed=4))
+        degrees = [g.degree(v) for v in g.vertices()]
+        fitted = powerlaw_exponent_mle(degrees, minimum_degree=5)
+        assert fitted == pytest.approx(2.5, abs=0.5)
+
+    def test_needs_enough_tail(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_exponent_mle([1, 1, 1], minimum_degree=5)

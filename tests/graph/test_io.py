@@ -1,0 +1,122 @@
+"""Tests for SNAP-format edge-list I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamFormatError
+from repro.graph import (
+    Edge,
+    VertexRelabeler,
+    iter_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestReading:
+    def test_two_column_rows_timestamped_by_index(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header comment\n0\t1\n1\t2\n\n2\t3\n")
+        edges = read_edge_list(path)
+        assert edges == [Edge(0, 1, 0.0), Edge(1, 2, 1.0), Edge(2, 3, 2.0)]
+
+    def test_three_column_rows_carry_timestamps(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 100.5\n1 2 200.5\n")
+        edges = read_edge_list(path)
+        assert edges == [Edge(0, 1, 100.5), Edge(1, 2, 200.5)]
+
+    def test_percent_comments_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("% matrix-market style comment\n0 1\n")
+        assert len(read_edge_list(path)) == 1
+
+    def test_self_loops_dropped_by_default(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path) == [Edge(0, 1, 0.0)]
+        assert len(read_edge_list(path, allow_self_loops=True)) == 2
+
+    def test_malformed_field_count_reports_line(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n0 1 2 3\n")
+        with pytest.raises(StreamFormatError, match="line 2"):
+            read_edge_list(path)
+
+    def test_non_integer_vertex_reports_line(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\n")
+        with pytest.raises(StreamFormatError, match="VertexRelabeler"):
+            read_edge_list(path)
+
+    def test_negative_vertex_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(StreamFormatError):
+            read_edge_list(path)
+
+    def test_bad_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 yesterday\n")
+        with pytest.raises(StreamFormatError, match="timestamp"):
+            read_edge_list(path)
+
+    def test_labelled_data_via_relabeler(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\nbob carol\nalice carol\n")
+        relabeler = VertexRelabeler()
+        edges = read_edge_list(path, relabeler=relabeler)
+        assert [(e.u, e.v) for e in edges] == [(0, 1), (1, 2), (0, 2)]
+        assert relabeler.decode(0) == "alice"
+
+    def test_iter_is_lazy(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 2\n")
+        iterator = iter_edge_list(path)
+        assert next(iterator) == Edge(0, 1, 0.0)
+
+
+class TestWriting:
+    def test_roundtrip_with_timestamps(self, tmp_path):
+        path = tmp_path / "out.txt"
+        edges = [Edge(0, 1, 10.0), Edge(1, 2, 20.0)]
+        assert write_edge_list(path, edges) == 2
+        assert read_edge_list(path) == edges
+
+    def test_roundtrip_without_timestamps(self, tmp_path):
+        path = tmp_path / "out.txt"
+        edges = [Edge(5, 6, 99.0)]
+        write_edge_list(path, edges, include_timestamps=False)
+        assert read_edge_list(path) == [Edge(5, 6, 0.0)]
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "out.txt"
+        write_edge_list(path, [Edge(0, 1)], header="my graph\ntwo lines")
+        text = path.read_text()
+        assert text.startswith("# my graph\n# two lines\n")
+        assert len(read_edge_list(path)) == 1
+
+
+class TestRelabeler:
+    def test_first_appearance_order(self):
+        r = VertexRelabeler()
+        assert r.encode("z") == 0
+        assert r.encode("a") == 1
+        assert r.encode("z") == 0
+        assert len(r) == 2
+
+    def test_decode_roundtrip(self):
+        r = VertexRelabeler()
+        for label in ("x", "y", "z"):
+            assert r.decode(r.encode(label)) == label
+
+    def test_contains(self):
+        r = VertexRelabeler()
+        r.encode("present")
+        assert "present" in r
+        assert "absent" not in r
+
+    def test_non_string_labels_coerced(self):
+        r = VertexRelabeler()
+        assert r.encode(42) == r.encode("42")

@@ -1,0 +1,126 @@
+"""Tests for stream abstractions and transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import (
+    Edge,
+    StreamStats,
+    checkpoints,
+    deduplicated,
+    edge_key,
+    from_pairs,
+    prefix,
+    shuffled,
+    with_timestamps,
+)
+
+
+class TestEdge:
+    def test_canonical_orders_endpoints(self):
+        assert Edge(5, 2, 1.0).canonical() == Edge(2, 5, 1.0)
+        assert Edge(2, 5, 1.0).canonical() == Edge(2, 5, 1.0)
+
+    def test_default_timestamp(self):
+        assert Edge(1, 2).timestamp == 0.0
+
+
+class TestEdgeKey:
+    def test_orientation_insensitive(self):
+        assert edge_key(3, 7) == edge_key(7, 3)
+
+    def test_injective_on_sample(self):
+        keys = {edge_key(u, v) for u in range(50) for v in range(u + 1, 50)}
+        assert len(keys) == 50 * 49 // 2
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ConfigurationError):
+            edge_key(-1, 2)
+        with pytest.raises(ConfigurationError):
+            edge_key(0, 1 << 31)
+
+    def test_accepts_boundary(self):
+        limit = (1 << 31) - 1
+        assert edge_key(limit, limit - 1) == edge_key(limit - 1, limit)
+
+
+class TestTransformations:
+    def test_from_pairs_timestamps_by_index(self):
+        edges = list(from_pairs([(1, 2), (3, 4)]))
+        assert edges == [Edge(1, 2, 0.0), Edge(3, 4, 1.0)]
+
+    def test_with_timestamps_rewrites(self):
+        edges = [Edge(1, 2, 99.0), Edge(3, 4, 98.0)]
+        assert [e.timestamp for e in with_timestamps(edges)] == [0.0, 1.0]
+
+    def test_prefix(self):
+        edges = list(from_pairs([(0, 1)] * 10))
+        assert len(list(prefix(edges, 4))) == 4
+        assert len(list(prefix(edges, 100))) == 10
+        with pytest.raises(ConfigurationError):
+            list(prefix(edges, -1))
+
+    def test_shuffled_preserves_multiset_and_retimestamps(self):
+        edges = list(from_pairs([(0, 1), (1, 2), (2, 3), (3, 4)]))
+        result = shuffled(edges, seed=1)
+        assert sorted((e.u, e.v) for e in result) == sorted((e.u, e.v) for e in edges)
+        assert [e.timestamp for e in result] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_shuffled_deterministic(self):
+        edges = list(from_pairs([(i, i + 1) for i in range(50)]))
+        assert shuffled(edges, seed=5) == shuffled(edges, seed=5)
+        assert shuffled(edges, seed=5) != shuffled(edges, seed=6)
+
+    def test_deduplicated_drops_rearrivals(self):
+        edges = list(from_pairs([(1, 2), (2, 1), (1, 2), (3, 4)]))
+        unique = list(deduplicated(edges, expected_edges=100))
+        assert [(e.u, e.v) for e in unique] == [(1, 2), (3, 4)]
+
+    def test_checkpoints_marks_intervals_and_end(self):
+        edges = list(from_pairs([(0, i) for i in range(1, 8)]))
+        marks = [(count, flag) for _, count, flag in checkpoints(edges, every=3)]
+        assert marks == [
+            (1, False), (2, False), (3, True),
+            (4, False), (5, False), (6, True),
+            (7, False), (7, True),
+        ]
+
+    def test_checkpoints_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(checkpoints([], every=0))
+
+
+class TestStreamStats:
+    def test_counts_records_and_distincts(self):
+        stats = StreamStats()
+        for edge in from_pairs([(i, i + 1) for i in range(2000)]):
+            stats.observe(edge)
+        assert stats.records == 2000
+        assert stats.approximate_vertices() == pytest.approx(2001, rel=0.05)
+        assert stats.approximate_edges() == pytest.approx(2000, rel=0.05)
+
+    def test_duplicate_ratio(self):
+        stats = StreamStats()
+        for edge in from_pairs([(1, 2)] * 100 + [(i, i + 1) for i in range(900)]):
+            stats.observe(edge)
+        assert stats.duplicate_ratio() == pytest.approx(0.1, abs=0.03)
+
+    def test_observing_passthrough(self):
+        stats = StreamStats()
+        edges = list(from_pairs([(0, 1), (1, 2)]))
+        assert list(stats.observing(edges)) == edges
+        assert stats.records == 2
+
+    def test_timestamp_range(self):
+        stats = StreamStats()
+        stats.observe(Edge(0, 1, 5.0))
+        stats.observe(Edge(1, 2, 9.0))
+        assert stats.first_timestamp == 5.0
+        assert stats.last_timestamp == 9.0
+
+    def test_empty_stats(self):
+        stats = StreamStats()
+        assert stats.records == 0
+        assert stats.duplicate_ratio() == 0.0

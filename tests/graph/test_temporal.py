@@ -1,0 +1,111 @@
+"""Tests for timestamp-aware stream utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, EvaluationError
+from repro.graph.stream import Edge
+from repro.graph.temporal import (
+    TimestampStats,
+    clip_by_time,
+    rate_profile,
+    sort_by_timestamp,
+    time_snapshots,
+)
+
+
+def timestamped(pairs_with_times):
+    return [Edge(u, v, t) for u, v, t in pairs_with_times]
+
+
+class TestSorting:
+    def test_sorts_and_is_stable(self):
+        stream = timestamped([(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0)])
+        result = sort_by_timestamp(stream)
+        assert [e.timestamp for e in result] == [1.0, 5.0, 5.0]
+        # Stability: the two t=5 edges keep their input order.
+        assert result[1] == Edge(0, 1, 5.0)
+
+    def test_sorted_input_is_identity(self):
+        stream = timestamped([(0, 1, 1.0), (1, 2, 2.0)])
+        assert sort_by_timestamp(stream) == stream
+
+
+class TestClipping:
+    def test_half_open_range(self):
+        stream = timestamped([(0, 1, 0.0), (1, 2, 5.0), (2, 3, 10.0)])
+        clipped = list(clip_by_time(stream, start=0.0, end=10.0))
+        assert [e.timestamp for e in clipped] == [0.0, 5.0]
+
+    def test_open_ended(self):
+        stream = timestamped([(0, 1, 1.0), (1, 2, 2.0)])
+        assert len(list(clip_by_time(stream))) == 2
+        assert len(list(clip_by_time(stream, start=1.5))) == 1
+        assert len(list(clip_by_time(stream, end=1.5))) == 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(clip_by_time([], start=5.0, end=5.0))
+
+
+class TestSnapshots:
+    def test_cuts_at_intervals_and_at_end(self):
+        stream = timestamped(
+            [(0, 1, 0.0), (1, 2, 4.0), (2, 3, 11.0), (3, 4, 12.0)]
+        )
+        cuts = [(t, graph.edge_count) for t, graph in time_snapshots(stream, 10.0)]
+        # First cut at 0+10: graph holds the first two edges; final
+        # snapshot at t=12 holds all four.
+        assert cuts[0] == (10.0, 2)
+        assert cuts[-1] == (12.0, 4)
+
+    def test_unsorted_input_rejected(self):
+        stream = timestamped([(0, 1, 5.0), (1, 2, 1.0)])
+        with pytest.raises(EvaluationError):
+            list(time_snapshots(stream, 1.0))
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(time_snapshots([], 1.0)) == []
+
+    def test_interval_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(time_snapshots([], 0.0))
+
+    def test_long_gaps_emit_intermediate_cuts(self):
+        stream = timestamped([(0, 1, 0.0), (1, 2, 35.0)])
+        cuts = [t for t, _ in time_snapshots(stream, 10.0)]
+        assert cuts == [10.0, 20.0, 30.0, 35.0]
+
+
+class TestRateProfile:
+    def test_bucketing(self):
+        stream = timestamped([(0, 1, 0.5), (1, 2, 0.9), (2, 3, 2.1)])
+        profile = rate_profile(stream, bucket=1.0)
+        assert profile == {0.0: 2, 2.0: 1}
+
+    def test_bucket_validation(self):
+        with pytest.raises(ConfigurationError):
+            rate_profile([], bucket=-1.0)
+
+
+class TestTimestampStats:
+    def test_span_and_order_tracking(self):
+        stats = TimestampStats()
+        for edge in timestamped([(0, 1, 1.0), (1, 2, 3.0), (2, 3, 2.0)]):
+            stats.observe(edge)
+        assert stats.count == 3
+        assert stats.span() == 1.0  # first=1.0, last=2.0
+        assert stats.out_of_order == 1
+        assert not stats.is_sorted()
+
+    def test_sorted_stream_reports_sorted(self):
+        stats = TimestampStats()
+        list(stats.observing(timestamped([(0, 1, 1.0), (1, 2, 2.0)])))
+        assert stats.is_sorted()
+        assert stats.span() == 1.0
+
+    def test_empty(self):
+        stats = TimestampStats()
+        assert stats.span() == 0.0
+        assert stats.is_sorted()

@@ -1,0 +1,179 @@
+"""Tests for seeded hash families and the vectorized HashBank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing import (
+    HashBank,
+    MultiplyShiftFamily,
+    MultiplyShiftHash,
+    PolynomialFamily,
+    PolynomialHash,
+    SplitMixFamily,
+    SplitMixHash,
+    family_by_name,
+    seed_sequence,
+)
+
+
+class TestSeedSequence:
+    def test_deterministic(self):
+        assert seed_sequence(42, 5) == seed_sequence(42, 5)
+
+    def test_distinct_words(self):
+        words = seed_sequence(7, 1000)
+        assert len(set(words)) == 1000
+
+    def test_different_seeds_differ(self):
+        assert seed_sequence(1, 10) != seed_sequence(2, 10)
+
+    def test_empty_count(self):
+        assert seed_sequence(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seed_sequence(0, -1)
+
+
+class TestSplitMixHash:
+    def test_deterministic_and_equal_by_seed(self):
+        a, b = SplitMixHash(5), SplitMixHash(5)
+        assert a == b
+        assert a(123) == b(123)
+        assert hash(a) == hash(b)
+
+    def test_adjacent_seeds_decorrelated(self):
+        a, b = SplitMixHash(0), SplitMixHash(1)
+        same = sum(1 for x in range(1000) if a(x) == b(x))
+        assert same == 0
+
+    def test_batch_matches_scalar(self):
+        h = SplitMixHash(99)
+        keys = np.arange(500, dtype=np.uint64)
+        batch = h.batch(keys)
+        assert all(int(batch[i]) == h(i) for i in range(500))
+
+    def test_unit_in_interval(self):
+        h = SplitMixHash(3)
+        for key in range(100):
+            assert 0.0 <= h.unit(key) < 1.0
+            assert 0.0 < h.unit_open(key) < 1.0
+
+
+class TestMultiplyShift:
+    def test_forces_odd_multiplier(self):
+        assert MultiplyShiftHash(a=4, b=0).a % 2 == 1
+
+    def test_bits_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiplyShiftHash(a=1, b=0, bits=0)
+        with pytest.raises(ConfigurationError):
+            MultiplyShiftHash(a=1, b=0, bits=65)
+
+    def test_output_alignment(self):
+        # bits=16 output must be 0 in the low 48 bits.
+        h = MultiplyShiftHash(a=0x9E3779B97F4A7C15, b=17, bits=16)
+        for key in range(100):
+            assert h(key) & ((1 << 48) - 1) == 0
+
+    def test_collision_rate_near_universal(self):
+        # 2-universal with 16-bit range: collision probability ~2^-16.
+        family = MultiplyShiftFamily(seed=5, bits=16)
+        h = family.function(0)
+        values = [h(x) for x in range(3000)]
+        collisions = len(values) - len(set(values))
+        # Expected collisions ≈ C(3000,2)/65536 ≈ 69; allow slack.
+        assert collisions < 250
+
+
+class TestPolynomialHash:
+    def test_independence_property_reported(self):
+        h = PolynomialHash([3, 5, 7, 11])
+        assert h.independence == 4
+
+    def test_requires_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialHash([])
+
+    def test_rejects_zero_leading_coefficient(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialHash([1, 0])
+
+    def test_constant_polynomial_is_constant(self):
+        h = PolynomialHash([42])
+        assert h(1) == h(2) == h(999)
+
+    def test_degree_one_is_affine_mod_p(self):
+        p = (1 << 61) - 1
+        h = PolynomialHash([3, 5])  # 5x + 3 mod p, scaled by floor(2^64/p)
+        scale = (1 << 64) // p
+        assert h(2) == ((5 * 2 + 3) % p) * scale
+
+    def test_family_members_differ(self):
+        family = PolynomialFamily(seed=1, independence=4)
+        h0, h1 = family.function(0), family.function(1)
+        assert any(h0(x) != h1(x) for x in range(10))
+
+    def test_family_validates_independence(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialFamily(seed=0, independence=0)
+
+
+class TestHashBank:
+    def test_matches_family_functions_bitwise(self):
+        bank = HashBank(seed=77, size=16)
+        family = SplitMixFamily(77)
+        for key in (0, 1, 999, 2**40):
+            values = bank.values(key)
+            for i in range(16):
+                assert int(values[i]) == family.function(i)(key)
+
+    def test_units_in_interval(self):
+        bank = HashBank(seed=2, size=32)
+        units = bank.units(12345)
+        assert np.all(units >= 0.0) and np.all(units < 1.0)
+
+    def test_units_open_strictly_positive(self):
+        bank = HashBank(seed=2, size=32)
+        units = bank.units_open(0)
+        assert np.all(units > 0.0) and np.all(units < 1.0)
+
+    def test_units_open_matches_scalar_definition(self):
+        from repro.hashing.mixers import to_unit_open
+
+        bank = HashBank(seed=9, size=8)
+        family = SplitMixFamily(9)
+        units = bank.units_open(4242)
+        for i in range(8):
+            assert units[i] == pytest.approx(to_unit_open(family.function(i)(4242)), abs=0)
+
+    def test_equality_by_seed_and_size(self):
+        assert HashBank(1, 4) == HashBank(1, 4)
+        assert HashBank(1, 4) != HashBank(1, 5)
+        assert HashBank(1, 4) != HashBank(2, 4)
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashBank(seed=0, size=0)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize(
+        "name", ["splitmix", "multiply_shift", "polynomial", "tabulation"]
+    )
+    def test_known_families_resolve(self, name):
+        family = family_by_name(name, seed=3)
+        h = family.function(0)
+        assert isinstance(h(123), int)
+
+    def test_unknown_family_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="splitmix"):
+            family_by_name("md5", seed=0)
+
+    def test_negative_index_rejected(self):
+        for name in ("splitmix", "multiply_shift", "polynomial", "tabulation"):
+            with pytest.raises(ConfigurationError):
+                family_by_name(name, seed=0).function(-1)

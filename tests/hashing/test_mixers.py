@@ -1,0 +1,97 @@
+"""Tests for the 64-bit mixing primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hashing.mixers import (
+    GOLDEN_GAMMA,
+    MASK64,
+    fmix64,
+    splitmix64,
+    to_unit,
+    to_unit_open,
+)
+
+
+class TestSplitMix64:
+    def test_known_vector_zero(self):
+        # Reference value of the SplitMix64 output function at state 0
+        # (first output of the canonical C generator seeded with 0).
+        assert splitmix64(0) == 16294208416658607535
+
+    def test_known_stream_values(self):
+        # The next two outputs of the canonical generator: states
+        # advance by GOLDEN_GAMMA.
+        assert splitmix64(GOLDEN_GAMMA) == 7960286522194355700
+        assert splitmix64((2 * GOLDEN_GAMMA) & MASK64) == 487617019471545679
+
+    def test_output_fits_64_bits(self):
+        for x in (0, 1, 2**63, MASK64, 12345678901234567890):
+            assert 0 <= splitmix64(x) <= MASK64
+
+    def test_negative_inputs_reduce_modulo_2_64(self):
+        assert splitmix64(-1) == splitmix64(MASK64)
+        assert splitmix64(-(2**64) + 5) == splitmix64(5)
+
+    def test_is_injective_on_sample(self):
+        outputs = {splitmix64(x) for x in range(10000)}
+        assert len(outputs) == 10000  # bijection => no collisions
+
+    def test_avalanche_single_bit_flip(self):
+        # Flipping one input bit should flip ~32 of 64 output bits.
+        flips = []
+        for x in range(200):
+            base = splitmix64(x)
+            for bit in (0, 17, 43, 63):
+                flipped = splitmix64(x ^ (1 << bit))
+                flips.append(bin(base ^ flipped).count("1"))
+        mean_flips = sum(flips) / len(flips)
+        assert 28 < mean_flips < 36
+
+
+class TestFmix64:
+    def test_known_vector(self):
+        # fmix64(1) per the MurmurHash3 finalizer definition.
+        assert fmix64(1) == 12994781566227106604
+
+    def test_zero_maps_to_zero(self):
+        # The Murmur finalizer fixes 0 — callers must not rely on it
+        # randomising the zero key (documented property).
+        assert fmix64(0) == 0
+
+    def test_differs_from_splitmix(self):
+        disagreements = sum(1 for x in range(1, 100) if fmix64(x) != splitmix64(x))
+        assert disagreements == 99
+
+
+class TestUnitMappings:
+    def test_to_unit_range(self):
+        for word in (0, 1, 2**32, MASK64):
+            value = to_unit(word)
+            assert 0.0 <= value < 1.0
+
+    def test_to_unit_zero_is_zero(self):
+        assert to_unit(0) == 0.0
+
+    def test_to_unit_open_never_zero(self):
+        assert to_unit_open(0) > 0.0
+        assert to_unit_open(MASK64) < 1.0
+
+    def test_to_unit_open_log_safe(self):
+        # The whole point of the open mapping: log never blows up.
+        for word in (0, 1, 1 << 11, MASK64):
+            assert math.isfinite(math.log(to_unit_open(word)))
+
+    def test_to_unit_monotone_in_word(self):
+        words = [0, 1 << 20, 1 << 40, 1 << 60, MASK64]
+        values = [to_unit(w) for w in words]
+        assert values == sorted(values)
+
+    def test_unit_mean_is_half(self):
+        # Uniformity sanity: mean of hashed units near 0.5.
+        values = [to_unit(splitmix64(x)) for x in range(5000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.02

@@ -1,0 +1,70 @@
+"""Tests for simple tabulation hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing import TabulationFamily, TabulationHash
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        a, b = TabulationHash(5), TabulationHash(5)
+        assert all(a(x) == b(x) for x in range(100))
+
+    def test_different_seeds_differ(self):
+        a, b = TabulationHash(5), TabulationHash(6)
+        assert sum(1 for x in range(200) if a(x) == b(x)) == 0
+
+    def test_batch_matches_scalar(self):
+        h = TabulationHash(17)
+        keys = np.array([0, 1, 255, 256, 2**32, 2**63], dtype=np.uint64)
+        batch = h.batch(keys)
+        for i, key in enumerate([0, 1, 255, 256, 2**32, 2**63]):
+            assert int(batch[i]) == h(key)
+
+    def test_zero_key_hashes_via_tables(self):
+        # h(0) XORs the 0th entry of all 8 tables — generally non-zero
+        # (unlike fmix64, tabulation does randomise the zero key).
+        assert TabulationHash(1)(0) != 0
+
+    def test_linearity_over_xor_of_disjoint_bytes(self):
+        # Keys differing in disjoint byte positions satisfy
+        # h(a|b) = h(a) ^ h(b) ^ h(0) — the structural identity of
+        # tabulation hashing (and why it is only 3-independent).
+        h = TabulationHash(9)
+        a = 0x00000000000000FF  # byte 0
+        b = 0x000000FF00000000  # byte 4
+        assert h(a | b) == h(a) ^ h(b) ^ h(0)
+
+    def test_uniformity_of_low_bits(self):
+        h = TabulationHash(3)
+        buckets = [0] * 16
+        for x in range(8000):
+            buckets[h(x) & 15] += 1
+        # Chi-square with 15 dof; 99.9% critical value ~ 37.7.
+        expected = 8000 / 16
+        chi2 = sum((c - expected) ** 2 / expected for c in buckets)
+        assert chi2 < 37.7
+
+    def test_no_collisions_on_small_range(self):
+        h = TabulationHash(11)
+        values = {h(x) for x in range(20000)}
+        assert len(values) == 20000  # 64-bit range: collisions ~ never
+
+
+class TestTabulationFamily:
+    def test_members_independent(self):
+        family = TabulationFamily(seed=2)
+        h0, h1 = family.function(0), family.function(1)
+        assert sum(1 for x in range(200) if h0(x) == h1(x)) == 0
+
+    def test_member_deterministic_by_index(self):
+        family = TabulationFamily(seed=2)
+        assert family.function(3)(42) == TabulationFamily(2).function(3)(42)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulationFamily(seed=0).function(-2)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Edge, write_edge_list
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["evaluate", "synth-grqc"])
+        assert args.method == "minhash"
+        assert args.k == 128
+
+
+class TestCommands:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "synth-facebook" in out
+        assert "ego-Facebook" in out
+
+    def test_stats_on_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(path, [Edge(0, 1), Edge(1, 2), Edge(0, 1)])
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+
+    def test_predict_on_small_file(self, tmp_path, capsys):
+        from repro.graph.generators import erdos_renyi
+
+        path = tmp_path / "g.txt"
+        write_edge_list(path, erdos_renyi(40, 100, seed=1))
+        code = main(
+            ["predict", str(path), "--candidates", "20", "--top", "5", "--k", "32"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adamic_adar" in out
+
+    def test_evaluate_on_dataset(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "synth-grqc",
+                "--k",
+                "64",
+                "--pairs",
+                "100",
+                "--measures",
+                "jaccard",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean rel err" in out
+
+    def test_unknown_source_reports_error(self, capsys):
+        assert main(["stats", "no-such-dataset"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_exact_method_supported(self, tmp_path, capsys):
+        from repro.graph.generators import erdos_renyi
+
+        path = tmp_path / "g.txt"
+        write_edge_list(path, erdos_renyi(40, 100, seed=2))
+        assert (
+            main(["evaluate", str(path), "--method", "exact", "--pairs", "5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "0.0000" in out  # exact method has zero error

@@ -1,0 +1,95 @@
+"""Tests for the extension CLI commands (discover, triangles,
+checkpointing through predict)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi, planted_partition
+
+
+@pytest.fixture
+def community_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(
+        path,
+        planted_partition(
+            n=200, communities=4, internal_edges=2500, external_edges=100, seed=1
+        ),
+    )
+    return str(path)
+
+
+class TestDiscover:
+    def test_runs_and_prints_pairs(self, community_file, capsys):
+        assert main(["discover", community_file, "--k", "64", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Most similar vertex pairs" in out
+
+    def test_threshold_changes_banding(self, community_file, capsys):
+        assert (
+            main(["discover", community_file, "--k", "64", "--threshold", "0.3"]) == 0
+        )
+        low = capsys.readouterr().out
+        assert main(["discover", community_file, "--k", "64", "--threshold", "0.9"]) == 0
+        high = capsys.readouterr().out
+        assert low.splitlines()[0] != high.splitlines()[0]
+
+
+class TestTriangles:
+    def test_estimate_only(self, community_file, capsys):
+        assert main(["triangles", community_file, "--k", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming triangle estimate" in out
+        assert "exact" not in out
+
+    def test_with_exact_comparison(self, community_file, capsys):
+        assert main(["triangles", community_file, "--k", "128", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact triangles" in out
+        assert "relative error" in out
+
+
+class TestCheckpointFlow:
+    def test_save_then_resume(self, tmp_path, capsys):
+        first = tmp_path / "phase1.txt"
+        second = tmp_path / "phase2.txt"
+        stream = erdos_renyi(60, 400, seed=2)
+        write_edge_list(first, stream[:200])
+        write_edge_list(second, stream[200:])
+        checkpoint = str(tmp_path / "state.npz")
+
+        code = main(
+            [
+                "predict",
+                str(first),
+                "--k",
+                "64",
+                "--candidates",
+                "30",
+                "--top",
+                "3",
+                "--save-checkpoint",
+                checkpoint,
+            ]
+        )
+        assert code == 0
+        assert "checkpoint:" in capsys.readouterr().out
+
+        code = main(
+            [
+                "predict",
+                str(second),
+                "--candidates",
+                "30",
+                "--top",
+                "3",
+                "--load-checkpoint",
+                checkpoint,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top 3 predicted links" in out

@@ -1,0 +1,144 @@
+"""Integration tests: the full pipeline across modules.
+
+Each test exercises a complete user journey — ingest a dataset stream,
+query/rank/evaluate — at a scale small enough for CI but large enough
+that the statistics are meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BiasedMinHashLinkPredictor,
+    MinHashLinkPredictor,
+    SketchConfig,
+    build_predictor,
+    memory_report,
+)
+from repro.eval.candidates import sample_two_hop_pairs
+from repro.eval.experiments import (
+    accuracy_profile,
+    rank_agreement,
+    ranking_quality,
+    temporal_ranking_task,
+)
+from repro.exact import ExactOracle
+from repro.graph import datasets, deduplicated, from_pairs, shuffled
+from repro.graph.generators import chung_lu, planted_partition
+
+
+@pytest.fixture(scope="module")
+def grqc_setup():
+    edges = datasets.load("synth-grqc")
+    oracle = ExactOracle()
+    oracle.process(edges)
+    predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=42))
+    predictor.process(edges)
+    return edges, oracle, predictor
+
+
+class TestAccuracyPipeline:
+    def test_paper_measures_within_sane_error(self, grqc_setup):
+        _, oracle, predictor = grqc_setup
+        pairs = sample_two_hop_pairs(oracle.graph, 250, seed=1)
+        profile = accuracy_profile(
+            predictor, oracle, pairs,
+            ["jaccard", "common_neighbors", "adamic_adar"],
+        )
+        for measure, summary in profile.items():
+            assert summary["mre"] < 0.6, measure
+
+    def test_ranking_agreement_with_exact(self, grqc_setup):
+        _, oracle, predictor = grqc_setup
+        # Two-hop pairs on a sparse graph have small, heavily tied CN
+        # values (mostly 1), which caps achievable rank agreement; the
+        # estimated ranking must still correlate clearly.
+        pairs = sample_two_hop_pairs(oracle.graph, 150, seed=2)
+        agreement = rank_agreement(predictor, oracle, pairs, "common_neighbors")
+        assert agreement["spearman_rho"] > 0.35
+        assert agreement["kendall_tau"] > 0.25
+
+    def test_sketch_is_constant_space_per_vertex(self, grqc_setup):
+        _, _, predictor = grqc_setup
+        report = memory_report(predictor)
+        expected = predictor.config.bytes_per_vertex() + 8
+        assert report.nominal_bytes_per_vertex == pytest.approx(expected, rel=0.01)
+
+
+class TestTemporalPrediction:
+    def test_sketch_tracks_exact_on_future_links(self):
+        edges = planted_partition(
+            n=600, communities=10, internal_edges=5400, external_edges=600, seed=3
+        )
+        train, positives, negatives = temporal_ranking_task(
+            edges, train_fraction=0.75, max_positives=250, seed=4
+        )
+        oracle = ExactOracle()
+        oracle.process(train)
+        predictor = MinHashLinkPredictor(SketchConfig(k=256, seed=5))
+        predictor.process(train)
+        exact_result = ranking_quality(oracle, positives, negatives, "common_neighbors")
+        sketch_result = ranking_quality(
+            predictor, positives, negatives, "common_neighbors"
+        )
+        assert exact_result.auc > 0.8  # community structure predicts well
+        # The sketch should recover most of the exact method's AUC.
+        assert sketch_result.auc > exact_result.auc - 0.1
+
+
+class TestMethodsAgreeAtLargeBudgets:
+    def test_all_methods_converge_on_easy_instance(self):
+        edges = chung_lu(n=300, edges=1800, exponent=2.5, seed=6)
+        oracle = ExactOracle()
+        oracle.process(edges)
+        pairs = sample_two_hop_pairs(oracle.graph, 60, seed=7)
+        config = SketchConfig(k=1024, seed=8)
+        methods = {
+            "minhash": build_predictor("minhash", config),
+            "neighbor_reservoir": build_predictor("neighbor_reservoir", config),
+            "edge_reservoir": build_predictor(
+                "edge_reservoir", config, expected_vertices=300
+            ),
+        }
+        for predictor in methods.values():
+            predictor.process(edges)
+        for u, v in pairs[:20]:
+            truth = oracle.score(u, v, "common_neighbors")
+            for name, predictor in methods.items():
+                estimate = predictor.score(u, v, "common_neighbors")
+                assert estimate == pytest.approx(truth, abs=max(2.5, truth)), name
+
+
+class TestStreamHygiene:
+    def test_dedup_makes_multi_edge_stream_safe(self):
+        base = datasets.load("synth-grqc")[:4000]
+        noisy = shuffled(list(base) * 3, seed=9)  # every edge thrice
+        clean_predictor = MinHashLinkPredictor(SketchConfig(k=128, seed=10))
+        clean_predictor.process(from_pairs([(e.u, e.v) for e in base]))
+        dedup_predictor = MinHashLinkPredictor(SketchConfig(k=128, seed=10))
+        dedup_predictor.process(deduplicated(noisy, expected_edges=10000))
+        # Degrees (and hence CN estimates) must agree on almost all
+        # vertices (Bloom dedup has a tiny false-positive drop rate).
+        sample_vertices = [e.u for e in base[:200]]
+        disagreements = sum(
+            1
+            for v in sample_vertices
+            if clean_predictor.degree(v) != dedup_predictor.degree(v)
+        )
+        assert disagreements <= 4
+
+    def test_biased_and_uniform_predictors_coexist(self):
+        edges = datasets.load("synth-grqc")[:3000]
+        uniform = MinHashLinkPredictor(SketchConfig(k=128, seed=11))
+        biased = BiasedMinHashLinkPredictor(SketchConfig(k=128, seed=11))
+        oracle = ExactOracle()
+        for predictor in (uniform, biased, oracle):
+            predictor.process(edges)
+        pairs = sample_two_hop_pairs(oracle.graph, 40, seed=12)
+        for u, v in pairs:
+            truth = oracle.score(u, v, "adamic_adar")
+            assert uniform.score(u, v, "adamic_adar") >= 0.0
+            assert biased.score(u, v, "adamic_adar") >= 0.0
+            if truth == 0:
+                continue

@@ -1,0 +1,51 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take tens of seconds each (they are demos, not
+tests), so the suite verifies that every example (a) compiles and
+(b) exposes a ``main`` callable guarded by ``__main__`` — the
+conventions the README promises — and it executes the cheapest one
+end-to-end.
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestEveryExample:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+    def test_has_docstring_and_main_guard(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        source = path.read_text(encoding="utf-8")
+        assert 'if __name__ == "__main__":' in source
+        assert "def main(" in source
+
+    def test_imports_resolve(self, path):
+        # Import every repro module the example references, catching
+        # stale imports without running the (slow) example body.
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    module = __import__(node.module, fromlist=[a.name for a in node.names])
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name} missing"
+                        )

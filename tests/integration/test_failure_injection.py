@@ -1,0 +1,120 @@
+"""Failure-injection tests: corrupted inputs, hostile values, truncated
+state.  A streaming system runs unattended; every failure here must be
+a *loud, typed* error (or a documented graceful behaviour), never a
+silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.persistence import load_predictor, save_predictor
+from repro.errors import ConfigurationError, ReproError, StreamFormatError
+from repro.graph import from_pairs, read_edge_list
+from tests.conftest import TOY_EDGES
+
+
+class TestCorruptedCheckpoints:
+    def test_truncated_file_raises(self, tmp_path):
+        predictor = MinHashLinkPredictor(SketchConfig(k=16, seed=1))
+        predictor.process(from_pairs(TOY_EDGES))
+        path = tmp_path / "state.npz"
+        save_predictor(predictor, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):  # zipfile/numpy corruption error
+            load_predictor(path)
+
+    def test_wrong_file_type_raises(self, tmp_path):
+        path = tmp_path / "state.npz"
+        path.write_text("this is not a checkpoint")
+        with pytest.raises(Exception):
+            load_predictor(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=2))
+        predictor.process(from_pairs(TOY_EDGES))
+        path = tmp_path / "state.npz"
+        save_predictor(predictor, path)
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        del fields["values"]
+        np.savez_compressed(path, **fields)
+        with pytest.raises(KeyError):
+            load_predictor(path)
+
+
+class TestHostileStreamFiles:
+    def test_binary_garbage_mid_file(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_bytes(b"0 1\n\xff\xfe garbage \x00\n2 3\n")
+        with pytest.raises((StreamFormatError, UnicodeDecodeError)):
+            read_edge_list(path)
+
+    def test_huge_field_count(self, tmp_path):
+        path = tmp_path / "wide.txt"
+        path.write_text("0 1 2 3 4 5 6 7 8 9\n")
+        with pytest.raises(StreamFormatError):
+            read_edge_list(path)
+
+    def test_float_vertex_ids_rejected(self, tmp_path):
+        path = tmp_path / "floats.txt"
+        path.write_text("1.5 2.5\n")
+        with pytest.raises(StreamFormatError):
+            read_edge_list(path)
+
+    def test_empty_file_is_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert read_edge_list(path) == []
+
+    def test_comment_only_file(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# nothing\n# here\n")
+        assert read_edge_list(path) == []
+
+
+class TestHostileUpdates:
+    def test_negative_vertex_rejected_everywhere(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=3))
+        with pytest.raises(ConfigurationError):
+            predictor.update(-1, 2)
+        with pytest.raises(ConfigurationError):
+            predictor.update(1, -2)
+
+    def test_huge_vertex_ids_work(self):
+        # Ids up to 2**62 survive the int64 witness storage; queries
+        # behave normally.
+        predictor = MinHashLinkPredictor(SketchConfig(k=32, seed=4))
+        big = 2**62
+        predictor.update(big, big - 1)
+        predictor.update(big, big - 2)
+        predictor.update(big - 3, big - 1)
+        predictor.update(big - 3, big - 2)
+        assert predictor.score(big, big - 3, "common_neighbors") >= 0.0
+        assert predictor.degree(big) == 2
+
+    def test_errors_are_catchable_as_repro_error(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=5))
+        with pytest.raises(ReproError):
+            predictor.update(3, 3)
+        with pytest.raises(ReproError):
+            predictor.score(0, 1, "nonsense_measure")
+
+
+class TestQueryUnderWeirdStates:
+    def test_query_before_any_update(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=6))
+        assert predictor.score(1, 2, "adamic_adar") == 0.0
+        assert predictor.nominal_bytes() == 0
+        assert predictor.bytes_per_vertex() == 0.0
+
+    def test_query_pair_with_self(self):
+        # Self-pairs are degenerate but must not crash: J(u,u)=1 by
+        # sketch identity; CN clamps to the degree.
+        predictor = MinHashLinkPredictor(SketchConfig(k=16, seed=7))
+        predictor.process(from_pairs(TOY_EDGES))
+        assert predictor.score(0, 0, "jaccard") == 1.0
+        assert predictor.score(0, 0, "common_neighbors") <= predictor.degree(0)

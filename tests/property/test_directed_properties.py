@@ -1,0 +1,89 @@
+"""Property-based tests for the directed substrate and predictor."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DirectedExactOracle, DirectedMinHashPredictor, SketchConfig
+from repro.graph.digraph import DirectedGraph
+
+arc_lists = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda p: p[0] != p[1]),
+    max_size=60,
+)
+
+
+class TestDigraphLaws:
+    @given(arc_lists)
+    def test_successor_predecessor_duality(self, arcs):
+        graph = DirectedGraph.from_arcs(arcs)
+        for source, target in graph.arcs():
+            assert target in graph.successors(source)
+            assert source in graph.predecessors(target)
+
+    @given(arc_lists)
+    def test_degree_sums_equal_arc_count(self, arcs):
+        graph = DirectedGraph.from_arcs(arcs)
+        out_total = sum(graph.out_degree(v) for v in graph.vertices())
+        in_total = sum(graph.in_degree(v) for v in graph.vertices())
+        assert out_total == in_total == graph.arc_count
+
+    @given(arc_lists)
+    def test_fold_never_gains_edges(self, arcs):
+        graph = DirectedGraph.from_arcs(arcs)
+        undirected = graph.as_undirected()
+        assert undirected.edge_count <= graph.arc_count
+        for u, v in undirected.edges():
+            assert graph.has_arc(u, v) or graph.has_arc(v, u)
+
+
+class TestDirectedPredictorLaws:
+    @settings(max_examples=30)
+    @given(arc_lists)
+    def test_degrees_match_exact(self, arcs):
+        seen = set()
+        simple = []
+        for arc in arcs:
+            if arc not in seen:
+                seen.add(arc)
+                simple.append(arc)
+        sketch = DirectedMinHashPredictor(SketchConfig(k=16, seed=1))
+        oracle = DirectedExactOracle()
+        for u, v in simple:
+            sketch.update(u, v)
+            oracle.update(u, v)
+        for vertex in {x for arc in simple for x in arc}:
+            for direction in ("out", "in"):
+                assert sketch.degree_directed(vertex, direction) == (
+                    oracle.degree_directed(vertex, direction)
+                )
+
+    @settings(max_examples=30)
+    @given(arc_lists)
+    def test_scores_nonnegative_and_symmetric(self, arcs):
+        sketch = DirectedMinHashPredictor(SketchConfig(k=16, seed=2))
+        for u, v in arcs:
+            sketch.update(u, v)
+        vertices = sorted({x for arc in arcs for x in arc})[:5]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                for direction in ("out", "in"):
+                    score = sketch.score_directed(u, v, "jaccard", direction)
+                    assert 0.0 <= score <= 1.0
+                    assert score == sketch.score_directed(v, u, "jaccard", direction)
+
+    @settings(max_examples=30)
+    @given(arc_lists)
+    def test_jaccard_exact_on_identical_neighborhoods(self, arcs):
+        # Append two fresh vertices following the same targets: their
+        # out-jaccard must be exactly 1.
+        targets = sorted({x for arc in arcs for x in arc})[:3] or [100, 101]
+        sketch = DirectedMinHashPredictor(SketchConfig(k=16, seed=3))
+        for u, v in arcs:
+            sketch.update(u, v)
+        a, b = 900, 901
+        for t in targets:
+            sketch.update(a, t)
+            sketch.update(b, t)
+        assert sketch.score_directed(a, b, "jaccard", "out") == 1.0

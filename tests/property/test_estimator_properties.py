@@ -1,0 +1,104 @@
+"""Property-based tests for the estimator algebra and graph laws."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    clamp_intersection,
+    common_neighbors_from_jaccard,
+    union_size_from_jaccard,
+)
+from repro.exact.measures import exact_score, MEASURES
+from repro.graph import AdjacencyGraph
+from repro.graph.stream import edge_key
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+degree = st.integers(min_value=0, max_value=10_000)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda p: p[0] != p[1]),
+    max_size=80,
+)
+
+
+class TestEstimatorAlgebra:
+    @given(unit, degree, degree)
+    def test_cn_estimate_always_feasible(self, j, du, dv):
+        cn = common_neighbors_from_jaccard(j, du, dv)
+        assert 0.0 <= cn <= min(du, dv)
+
+    @given(unit, degree, degree)
+    def test_union_estimate_bounds(self, j, du, dv):
+        union = union_size_from_jaccard(j, du, dv)
+        assert 0.0 <= union <= du + dv
+        # A union can never be smaller than the larger side... unless
+        # the (noisy) Ĵ overshoots; the bound that *always* holds is
+        # union >= (du+dv)/2.
+        assert union >= (du + dv) / 2.0 or du + dv == 0
+
+    @given(unit, degree, degree)
+    def test_identity_cn_plus_union(self, j, du, dv):
+        # CN + union == du + dv by construction (before clamping).
+        union = union_size_from_jaccard(j, du, dv)
+        cn_unclamped = j * (du + dv) / (1 + j) if j > 0 else 0.0
+        assert cn_unclamped + union == pytest.approx(du + dv, rel=1e-9, abs=1e-9)
+
+    @given(st.floats(-100, 100, allow_nan=False), degree, degree)
+    def test_clamp_idempotent(self, value, du, dv):
+        once = clamp_intersection(value, du, dv)
+        assert clamp_intersection(once, du, dv) == once
+
+
+class TestGraphLaws:
+    @given(edge_lists)
+    def test_adjacency_symmetric(self, pairs):
+        graph = AdjacencyGraph.from_edges(pairs)
+        for u, v in graph.edges():
+            assert graph.has_edge(v, u)
+            assert u in graph.neighbors(v)
+            assert v in graph.neighbors(u)
+
+    @given(edge_lists)
+    def test_handshake_lemma(self, pairs):
+        graph = AdjacencyGraph.from_edges(pairs)
+        degree_sum = sum(graph.degree(v) for v in graph.vertices())
+        assert degree_sum == 2 * graph.edge_count
+
+    @given(edge_lists)
+    def test_measures_symmetric_and_nonnegative(self, pairs):
+        graph = AdjacencyGraph.from_edges(pairs)
+        vertices = list(graph.vertices())[:6]
+        for u in vertices:
+            for v in vertices:
+                if u == v:
+                    continue
+                for measure in MEASURES.values():
+                    score = exact_score(graph, u, v, measure)
+                    assert score >= 0.0
+                    assert score == exact_score(graph, v, u, measure)
+
+    @given(edge_lists)
+    def test_jaccard_at_most_one(self, pairs):
+        graph = AdjacencyGraph.from_edges(pairs)
+        vertices = list(graph.vertices())[:6]
+        for u in vertices:
+            for v in vertices:
+                if u != v:
+                    assert exact_score(graph, u, v, MEASURES["jaccard"]) <= 1.0
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+    def test_edge_key_symmetric(self, u, v):
+        assert edge_key(u, v) == edge_key(v, u)
+
+    @given(
+        st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)),
+        st.tuples(st.integers(0, 2**20), st.integers(0, 2**20)),
+    )
+    def test_edge_key_injective_on_canonical_pairs(self, p, q):
+        pc = (min(p), max(p))
+        qc = (min(q), max(q))
+        if pc != qc:
+            assert edge_key(*pc) != edge_key(*qc)

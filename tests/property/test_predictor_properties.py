@@ -1,0 +1,111 @@
+"""Property-based tests for predictor-level invariants.
+
+These exercise the LinkPredictor implementations with
+hypothesis-generated streams, pinning the conventions every experiment
+relies on: symmetry, feasible ranges, cold-vertex behaviour, and the
+windowed/full-history equivalence while the window covers the stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.core.windowed import WindowedMinHashPredictor
+from repro.exact import ExactOracle
+from repro.graph import from_pairs
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 25), st.integers(0, 25)).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=60,
+)
+
+MEASURE_NAMES = [
+    "jaccard",
+    "common_neighbors",
+    "adamic_adar",
+    "resource_allocation",
+    "cosine",
+    "sorensen",
+    "hub_promoted",
+    "hub_depressed",
+    "leicht_holme_newman",
+    "preferential_attachment",
+]
+
+
+def fresh_predictor(pairs):
+    predictor = MinHashLinkPredictor(SketchConfig(k=32, seed=0xF00D))
+    predictor.process(from_pairs(pairs))
+    return predictor
+
+
+class TestPredictorInvariants:
+    @settings(max_examples=40)
+    @given(edge_lists)
+    def test_scores_symmetric_and_nonnegative(self, pairs):
+        predictor = fresh_predictor(pairs)
+        vertices = sorted({v for pair in pairs for v in pair})[:6]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                for measure in MEASURE_NAMES:
+                    score = predictor.score(u, v, measure)
+                    assert score >= 0.0, measure
+                    assert score == predictor.score(v, u, measure), measure
+
+    @settings(max_examples=40)
+    @given(edge_lists)
+    def test_feasible_ranges(self, pairs):
+        predictor = fresh_predictor(pairs)
+        vertices = sorted({v for pair in pairs for v in pair})[:6]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                assert predictor.score(u, v, "jaccard") <= 1.0
+                assert predictor.score(u, v, "hub_promoted") <= 1.0 + 1e-9
+                cn = predictor.score(u, v, "common_neighbors")
+                assert cn <= min(predictor.degree(u), predictor.degree(v))
+
+    @settings(max_examples=40)
+    @given(edge_lists)
+    def test_cold_vertex_scores_zero(self, pairs):
+        predictor = fresh_predictor(pairs)
+        known = next(iter({v for pair in pairs for v in pair}))
+        for measure in MEASURE_NAMES:
+            assert predictor.score(known, 10_000, measure) == 0.0
+
+    @settings(max_examples=40)
+    @given(edge_lists)
+    def test_degrees_match_exact_on_simple_streams(self, pairs):
+        # Deduplicate pairs (the generator may repeat undirected edges).
+        seen = set()
+        simple = []
+        for u, v in pairs:
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                simple.append((u, v))
+        predictor = fresh_predictor(simple)
+        oracle = ExactOracle()
+        oracle.process(from_pairs(simple))
+        for vertex in {v for pair in simple for v in pair}:
+            assert predictor.degree(vertex) == oracle.degree(vertex)
+
+    @settings(max_examples=25)
+    @given(edge_lists)
+    def test_windowed_equals_plain_while_window_covers(self, pairs):
+        config = SketchConfig(k=16, seed=0xCAFE)
+        plain = MinHashLinkPredictor(config)
+        windowed = WindowedMinHashPredictor(
+            config, pane_edges=len(pairs), panes=3
+        )
+        plain.process(from_pairs(pairs))
+        windowed.process(from_pairs(pairs))
+        vertices = sorted({v for pair in pairs for v in pair})[:5]
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                for measure in ("jaccard", "common_neighbors", "adamic_adar"):
+                    assert windowed.score(u, v, measure) == plain.score(
+                        u, v, measure
+                    )

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the sketch invariants.
+
+These pin the *algebraic* laws the estimator correctness arguments rely
+on — merge semantics, idempotency, order-insensitivity, one-sidedness —
+over adversarial inputs, complementing the statistical tests elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import HashBank
+from repro.sketches import BloomFilter, BottomK, CountMin, HyperLogLog, KMinHash, Reservoir
+
+keys = st.integers(min_value=0, max_value=2**40)
+key_lists = st.lists(keys, max_size=60)
+small_k = st.integers(min_value=2, max_value=32)
+
+_BANK = HashBank(seed=0xABCD, size=24)
+
+
+def minhash_of(items):
+    s = KMinHash(_BANK)
+    s.update_many(items)
+    return s
+
+
+class TestMinHashLaws:
+    @given(key_lists)
+    def test_order_insensitive(self, items):
+        assert minhash_of(items) == minhash_of(list(reversed(items)))
+
+    @given(key_lists)
+    def test_duplicate_insensitive(self, items):
+        assert minhash_of(items) == minhash_of(items + items)
+
+    @given(key_lists, key_lists)
+    def test_merge_equals_union_pass(self, a, b):
+        assert minhash_of(a).merge(minhash_of(b)) == minhash_of(a + b)
+
+    @given(key_lists, key_lists, key_lists)
+    def test_merge_associative(self, a, b, c):
+        x, y, z = minhash_of(a), minhash_of(b), minhash_of(c)
+        assert x.merge(y).merge(z) == x.merge(y.merge(z))
+
+    @given(key_lists, key_lists)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        sa, sb = minhash_of(a), minhash_of(b)
+        j = sa.jaccard(sb)
+        assert 0.0 <= j <= 1.0
+        assert j == sb.jaccard(sa)
+
+    @given(st.lists(keys, min_size=1, max_size=60))
+    def test_self_similarity_is_one(self, items):
+        s = minhash_of(items)
+        assert s.jaccard(s) == 1.0
+
+    @given(key_lists, key_lists)
+    def test_matching_witnesses_within_union(self, a, b):
+        sa, sb = minhash_of(a), minhash_of(b)
+        union = set(a) | set(b)
+        for w in sa.matching_witnesses(sb):
+            assert int(w) in union
+
+
+class TestBottomKLaws:
+    @given(key_lists, small_k)
+    def test_distinct_count_exact_below_capacity(self, items, k):
+        s = BottomK(k, seed=5)
+        s.update_many(items)
+        distinct = len(set(items))
+        if distinct < k:
+            assert s.distinct_count() == float(distinct)
+
+    @given(key_lists, key_lists, small_k)
+    def test_merge_values_equal_union_pass(self, a, b, k):
+        sa, sb = BottomK(k, 7), BottomK(k, 7)
+        sa.update_many(a)
+        sb.update_many(b)
+        combined = BottomK(k, 7)
+        combined.update_many(a + b)
+        assert sa.merge(sb).values() == combined.values()
+
+    @given(key_lists, small_k)
+    def test_holds_at_most_k(self, items, k):
+        s = BottomK(k, 3)
+        s.update_many(items)
+        assert len(s.values()) <= k
+
+
+class TestHyperLogLogLaws:
+    @given(key_lists, key_lists)
+    def test_merge_commutative_and_dominating(self, a, b):
+        ha, hb = HyperLogLog(8, 1), HyperLogLog(8, 1)
+        ha.update_many(a)
+        hb.update_many(b)
+        merged = ha.merge(hb)
+        assert (merged.registers == hb.merge(ha).registers).all()
+        assert (merged.registers >= ha.registers).all()
+        assert (merged.registers >= hb.registers).all()
+
+    @given(key_lists)
+    def test_estimate_nonnegative(self, items):
+        h = HyperLogLog(6, 2)
+        h.update_many(items)
+        assert h.cardinality() >= 0.0
+
+
+class TestCountMinLaws:
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    def test_one_sided_error(self, items):
+        sketch = CountMin(width=16, depth=3, seed=1)
+        truth = {}
+        for item in items:
+            truth[item] = truth.get(item, 0) + 1
+            sketch.update(item)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=150))
+    def test_conservative_dominated_by_plain(self, items):
+        plain = CountMin(width=16, depth=3, seed=2, conservative=False)
+        conservative = CountMin(width=16, depth=3, seed=2, conservative=True)
+        for item in items:
+            plain.update(item)
+            conservative.update(item)
+        for item in set(items):
+            assert conservative.estimate(item) <= plain.estimate(item)
+
+
+class TestReservoirLaws:
+    @given(st.lists(st.integers(), max_size=300), st.integers(1, 20), st.integers(0, 100))
+    def test_size_and_subset_invariants(self, items, capacity, seed):
+        r = Reservoir(capacity, seed)
+        r.offer_many(items)
+        sample = r.sample()
+        assert len(sample) == min(capacity, len(items))
+        assert all(item in items for item in sample)
+        assert r.seen == len(items)
+
+
+class TestBloomLaws:
+    @settings(max_examples=40)
+    @given(key_lists, key_lists)
+    def test_no_false_negatives_ever(self, inserted, _probed):
+        bf = BloomFilter(bits=512, hashes=3, seed=9)
+        bf.update_many(inserted)
+        assert all(key in bf for key in inserted)
+
+    @settings(max_examples=40)
+    @given(key_lists, key_lists)
+    def test_merge_superset_of_both(self, a, b):
+        fa = BloomFilter(bits=512, hashes=3, seed=9)
+        fb = BloomFilter(bits=512, hashes=3, seed=9)
+        fa.update_many(a)
+        fb.update_many(b)
+        merged = fa.merge(fb)
+        assert all(key in merged for key in a + b)

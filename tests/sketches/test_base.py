@@ -1,0 +1,56 @@
+"""Tests for the shared StreamSummary compatibility machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SketchStateError
+from repro.hashing import HashBank
+from repro.sketches import BloomFilter, BottomK, HyperLogLog, KMinHash
+
+
+class TestRequireCompatible:
+    def test_cross_type_combination_rejected(self):
+        minhash = KMinHash(HashBank(0, 8))
+        bottomk = BottomK(8, 0)
+        with pytest.raises(SketchStateError, match="KMinHash.*BottomK"):
+            minhash.require_compatible(bottomk)
+
+    def test_same_type_same_config_accepted(self):
+        a = HyperLogLog(8, 1)
+        b = HyperLogLog(8, 1)
+        a.require_compatible(b)  # no exception
+
+    def test_error_message_names_both_tokens(self):
+        a = BloomFilter(bits=1024, hashes=3, seed=1)
+        b = BloomFilter(bits=1024, hashes=3, seed=2)
+        with pytest.raises(SketchStateError, match="hash configurations"):
+            a.require_compatible(b)
+
+    def test_compatibility_token_is_hashable(self):
+        for sketch in (
+            KMinHash(HashBank(0, 4)),
+            BottomK(4, 0),
+            HyperLogLog(6, 0),
+            BloomFilter(bits=64, hashes=2),
+        ):
+            hash(sketch.compatibility_token)
+
+
+class TestUpdateHashed:
+    def test_matches_plain_update(self):
+        bank = HashBank(5, 16)
+        via_update = KMinHash(bank)
+        via_hashed = KMinHash(bank)
+        for key in (3, 99, 12345):
+            via_update.update(key)
+            via_hashed.update_hashed(key, bank.values(key))
+        assert via_update == via_hashed
+
+    def test_values_pair_feeds_update_hashed(self):
+        import numpy as np
+
+        bank = HashBank(7, 32)
+        hv, hu = bank.values_pair(11, 22)
+        assert np.array_equal(hv, bank.values(11))
+        assert np.array_equal(hu, bank.values(22))

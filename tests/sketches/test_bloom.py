@@ -1,0 +1,83 @@
+"""Tests for the Bloom filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.sketches import BloomFilter
+
+
+class TestConstruction:
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(bits=4)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(hashes=0)
+
+    def test_for_capacity_sizing(self):
+        bf = BloomFilter.for_capacity(10000, 0.01)
+        # Textbook sizing: ~9.59 bits/key and ~7 hashes at 1% FP.
+        assert 90000 < bf.bits < 100000
+        assert 6 <= bf.hashes <= 8
+
+    def test_for_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter.for_capacity(10, false_positive_rate=1.5)
+
+    def test_nominal_bytes(self):
+        assert BloomFilter(bits=8000).nominal_bytes() == 1000
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.for_capacity(2000, 0.01, seed=1)
+        bf.update_many(range(2000))
+        assert all(key in bf for key in range(2000))
+
+    def test_false_positive_rate_near_target(self):
+        bf = BloomFilter.for_capacity(5000, 0.01, seed=2)
+        bf.update_many(range(5000))
+        false_positives = sum(1 for key in range(100000, 120000) if key in bf)
+        assert false_positives / 20000 < 0.03
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(bits=1024, hashes=3)
+        assert all(key not in bf for key in range(100))
+
+    def test_add_if_new_semantics(self):
+        bf = BloomFilter.for_capacity(100, 0.001, seed=3)
+        assert bf.add_if_new(42) is True
+        assert bf.add_if_new(42) is False
+
+    def test_fill_ratio_and_fp_estimate_grow(self):
+        bf = BloomFilter(bits=4096, hashes=4, seed=4)
+        assert bf.fill_ratio() == 0.0
+        bf.update_many(range(500))
+        assert 0.0 < bf.fill_ratio() < 1.0
+        assert 0.0 < bf.false_positive_rate() < 1.0
+
+
+class TestMerge:
+    def test_merge_is_union(self):
+        a = BloomFilter(bits=4096, hashes=4, seed=5)
+        b = BloomFilter(bits=4096, hashes=4, seed=5)
+        a.update_many(range(0, 100))
+        b.update_many(range(100, 200))
+        merged = a.merge(b)
+        assert all(key in merged for key in range(200))
+
+    def test_incompatible_filters_rejected(self):
+        a = BloomFilter(bits=1024, hashes=3, seed=1)
+        with pytest.raises(SketchStateError):
+            a.merge(BloomFilter(bits=2048, hashes=3, seed=1))
+        with pytest.raises(SketchStateError):
+            a.merge(BloomFilter(bits=1024, hashes=3, seed=2))
+
+    def test_copy_independent(self):
+        a = BloomFilter(bits=1024, hashes=2, seed=0)
+        dup = a.copy()
+        dup.update(7)
+        assert 7 in dup and 7 not in a

@@ -1,0 +1,104 @@
+"""Tests for the bottom-k (KMV) sketch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.sketches import BottomK
+
+
+class TestConstruction:
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BottomK(1)
+
+    def test_compatibility_requires_same_seed_and_k(self):
+        with pytest.raises(SketchStateError):
+            BottomK(8, seed=1).jaccard(BottomK(8, seed=2))
+        with pytest.raises(SketchStateError):
+            BottomK(8, seed=1).jaccard(BottomK(16, seed=1))
+
+
+class TestDistinctCount:
+    def test_exact_below_k(self):
+        s = BottomK(64, seed=0)
+        s.update_many(range(40))
+        assert s.distinct_count() == 40.0
+        assert not s.is_full()
+
+    def test_duplicates_do_not_inflate(self):
+        s = BottomK(64, seed=0)
+        for _ in range(10):
+            s.update_many(range(30))
+        assert s.distinct_count() == 30.0
+        assert s.update_count == 300
+
+    def test_kth_value_unavailable_until_full(self):
+        s = BottomK(16, seed=0)
+        s.update_many(range(10))
+        with pytest.raises(ConfigurationError):
+            s.kth_value_unit()
+
+    @pytest.mark.parametrize("true_count", [500, 5000, 50000])
+    def test_estimate_within_relative_error(self, true_count):
+        # RSE ~ 1/sqrt(k-2) ~ 6.3% at k=256; allow 4 sigma.
+        s = BottomK(256, seed=7)
+        s.update_many(range(true_count))
+        assert s.distinct_count() == pytest.approx(true_count, rel=0.25)
+
+    def test_values_are_sorted_and_bounded(self):
+        s = BottomK(16, seed=3)
+        s.update_many(range(100))
+        values = s.values()
+        assert values == sorted(values)
+        assert len(values) == 16
+
+
+class TestJaccard:
+    def test_exact_when_sets_fit(self):
+        a, b = BottomK(128, 5), BottomK(128, 5)
+        a.update_many(range(0, 60))
+        b.update_many(range(30, 90))
+        # Both sets (60 elements) fit entirely: jaccard is exact.
+        assert a.jaccard(b) == pytest.approx(30 / 90)
+
+    def test_statistical_accuracy_when_overflowing(self):
+        a, b = BottomK(512, 5), BottomK(512, 5)
+        a.update_many(range(0, 3000))
+        b.update_many(range(1500, 4500))
+        assert a.jaccard(b) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_empty_pair_scores_zero(self):
+        assert BottomK(8, 0).jaccard(BottomK(8, 0)) == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_single_pass(self):
+        a, b = BottomK(64, 9), BottomK(64, 9)
+        a.update_many(range(0, 150))
+        b.update_many(range(100, 250))
+        combined = BottomK(64, 9)
+        combined.update_many(range(0, 250))
+        assert a.merge(b).values() == combined.values()
+
+    def test_merge_distinct_count_matches_union(self):
+        a, b = BottomK(128, 9), BottomK(128, 9)
+        a.update_many(range(0, 2000))
+        b.update_many(range(1000, 3000))
+        assert a.merge(b).distinct_count() == pytest.approx(3000, rel=0.3)
+
+    def test_copy_independent(self):
+        a = BottomK(8, 1)
+        a.update_many(range(20))
+        dup = a.copy()
+        dup.update(999)
+        assert dup.update_count == a.update_count + 1
+
+    def test_nominal_bytes_grows_to_cap(self):
+        s = BottomK(32, 0)
+        assert s.nominal_bytes() == 0
+        s.update_many(range(10))
+        assert s.nominal_bytes() == 80
+        s.update_many(range(10, 500))
+        assert s.nominal_bytes() == 32 * 8

@@ -1,0 +1,122 @@
+"""Tests for the Count-Min sketch."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.sketches import CountMin
+
+
+class TestConstruction:
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountMin(width=0)
+        with pytest.raises(ConfigurationError):
+            CountMin(depth=0)
+
+    def test_from_error_bounds(self):
+        sketch = CountMin.from_error_bounds(epsilon=0.01, delta=0.01)
+        assert sketch.width == math.ceil(math.e / 0.01)
+        assert sketch.depth == math.ceil(math.log(100))
+
+    def test_from_error_bounds_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountMin.from_error_bounds(epsilon=0.0, delta=0.5)
+        with pytest.raises(ConfigurationError):
+            CountMin.from_error_bounds(epsilon=0.5, delta=1.5)
+
+    def test_nominal_bytes(self):
+        assert CountMin(width=100, depth=3).nominal_bytes() == 100 * 3 * 8
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("conservative", [True, False])
+    def test_never_underestimates(self, conservative):
+        rng = random.Random(0)
+        sketch = CountMin(width=64, depth=4, conservative=conservative)
+        truth = {}
+        for _ in range(3000):
+            key = rng.randrange(200)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_exact_on_light_load(self):
+        sketch = CountMin(width=4096, depth=4)
+        for key in range(50):
+            sketch.update(key, key + 1)
+        for key in range(50):
+            assert sketch.estimate(key) == key + 1
+
+    def test_error_bound_holds_in_practice(self):
+        rng = random.Random(1)
+        sketch = CountMin(width=256, depth=5, conservative=False)
+        truth = {}
+        for _ in range(20000):
+            key = rng.randrange(2000)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for key, count in truth.items() if sketch.estimate(key) - count > bound
+        )
+        # Bound holds per-key with prob 1 - e^-5 ~ 99.3%.
+        assert violations <= len(truth) * 0.05
+
+    def test_conservative_no_worse_than_plain(self):
+        rng = random.Random(2)
+        plain = CountMin(width=64, depth=4, conservative=False)
+        conservative = CountMin(width=64, depth=4, conservative=True)
+        keys = [rng.randrange(500) for _ in range(5000)]
+        for key in keys:
+            plain.update(key)
+            conservative.update(key)
+        for key in set(keys):
+            assert conservative.estimate(key) <= plain.estimate(key)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountMin().update(1, -1)
+
+    def test_weighted_increment(self):
+        sketch = CountMin(width=1024, depth=4)
+        sketch.update(7, 41)
+        sketch.update(7)
+        assert sketch.estimate(7) == 42
+        assert sketch.total == 42
+
+
+class TestMerge:
+    def test_merge_sums_non_conservative_tables(self):
+        a = CountMin(width=128, depth=3, conservative=False)
+        b = CountMin(width=128, depth=3, conservative=False)
+        a.update_many(range(100))
+        b.update_many(range(50, 150))
+        merged = a.merge(b)
+        assert merged.estimate(75) >= 2
+        assert merged.total == 200
+
+    def test_conservative_merge_refused(self):
+        a = CountMin(width=16, depth=2, conservative=True)
+        b = CountMin(width=16, depth=2, conservative=True)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_incompatible_shapes_rejected(self):
+        a = CountMin(width=16, depth=2, conservative=False)
+        b = CountMin(width=32, depth=2, conservative=False)
+        with pytest.raises(SketchStateError):
+            a.merge(b)
+
+    def test_copy_independent(self):
+        a = CountMin(width=16, depth=2)
+        a.update(1)
+        dup = a.copy()
+        dup.update(1)
+        assert a.estimate(1) == 1
+        assert dup.estimate(1) == 2

@@ -1,0 +1,82 @@
+"""Tests for HyperLogLog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.sketches import HyperLogLog
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("precision", [3, 19, 0, -1])
+    def test_precision_out_of_range_rejected(self, precision):
+        with pytest.raises(ConfigurationError):
+            HyperLogLog(precision)
+
+    def test_register_count(self):
+        assert HyperLogLog(10).m == 1024
+
+    def test_nominal_bytes_is_register_count(self):
+        assert HyperLogLog(12).nominal_bytes() == 4096
+
+
+class TestCardinality:
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(10).cardinality() == pytest.approx(0.0, abs=1.0)
+
+    def test_small_range_linear_counting_is_tight(self):
+        h = HyperLogLog(12, seed=1)
+        h.update_many(range(100))
+        assert h.cardinality() == pytest.approx(100, rel=0.05)
+
+    @pytest.mark.parametrize("true_count", [1000, 20000, 200000])
+    def test_estimate_within_rse_budget(self, true_count):
+        h = HyperLogLog(12, seed=2)
+        h.update_many(range(true_count))
+        # RSE = 1.04/sqrt(4096) ~ 1.6%; allow 5 sigma plus small-range bias.
+        assert h.cardinality() == pytest.approx(true_count, rel=0.10)
+
+    def test_duplicates_do_not_inflate(self):
+        h = HyperLogLog(10, seed=3)
+        for _ in range(5):
+            h.update_many(range(500))
+        assert h.cardinality() == pytest.approx(500, rel=0.15)
+
+    def test_reported_rse_formula(self):
+        assert HyperLogLog(12).relative_standard_error() == pytest.approx(
+            1.04 / 64.0
+        )
+
+    def test_registers_never_exceed_max_rank(self):
+        h = HyperLogLog(4, seed=4)  # widest remainder: 60 bits, max rank 61
+        h.update_many(range(100000))
+        assert int(h.registers.max()) <= 61
+
+
+class TestMerge:
+    def test_merge_estimates_union(self):
+        a, b = HyperLogLog(12, 7), HyperLogLog(12, 7)
+        a.update_many(range(0, 30000))
+        b.update_many(range(15000, 45000))
+        assert a.merge(b).cardinality() == pytest.approx(45000, rel=0.10)
+
+    def test_merge_idempotent_on_same_stream(self):
+        a, b = HyperLogLog(10, 7), HyperLogLog(10, 7)
+        a.update_many(range(1000))
+        b.update_many(range(1000))
+        merged = a.merge(b)
+        assert (merged.registers == a.registers).all()
+
+    def test_incompatible_precision_or_seed_rejected(self):
+        with pytest.raises(SketchStateError):
+            HyperLogLog(10, 1).merge(HyperLogLog(11, 1))
+        with pytest.raises(SketchStateError):
+            HyperLogLog(10, 1).merge(HyperLogLog(10, 2))
+
+    def test_copy_independent(self):
+        a = HyperLogLog(10, 1)
+        a.update_many(range(100))
+        dup = a.copy()
+        dup.update_many(range(100, 10000))
+        assert a.cardinality() < dup.cardinality()

@@ -1,0 +1,171 @@
+"""Tests for the k-mins MinHash sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.hashing import HashBank
+from repro.sketches import EMPTY_SLOT, KMinHash
+
+
+def sketch_of(bank, items, track=True):
+    s = KMinHash(bank, track_witnesses=track)
+    s.update_many(items)
+    return s
+
+
+class TestUpdates:
+    def test_empty_sketch_state(self, small_bank):
+        s = KMinHash(small_bank)
+        assert s.is_empty()
+        assert np.all(s.values == EMPTY_SLOT)
+        assert np.all(s.witnesses == -1)
+
+    def test_update_fills_all_slots(self, small_bank):
+        s = sketch_of(small_bank, [7])
+        assert not s.is_empty()
+        assert np.all(s.values != EMPTY_SLOT)
+        assert np.all(s.witnesses == 7)
+
+    def test_updates_are_idempotent(self, bank):
+        a = sketch_of(bank, [1, 2, 3])
+        b = sketch_of(bank, [1, 2, 3, 3, 2, 1, 1])
+        assert a == b
+
+    def test_insertion_order_irrelevant(self, bank):
+        assert sketch_of(bank, [5, 9, 1]) == sketch_of(bank, [1, 5, 9])
+
+    def test_negative_key_rejected(self, small_bank):
+        with pytest.raises(ConfigurationError):
+            KMinHash(small_bank).update(-3)
+
+    def test_witness_is_the_argmin(self, small_bank):
+        s = sketch_of(small_bank, range(50))
+        for i in range(small_bank.size):
+            witness = int(s.witnesses[i])
+            assert int(s.values[i]) == min(
+                min(int(small_bank.values(x)[i]) for x in range(50)),
+                int(EMPTY_SLOT) - 1,
+            )
+            assert int(small_bank.values(witness)[i]) == int(s.values[i])
+
+
+class TestJaccard:
+    def test_identical_sets_give_one(self, bank):
+        a = sketch_of(bank, range(100))
+        b = sketch_of(bank, range(100))
+        assert a.jaccard(b) == 1.0
+
+    def test_disjoint_sets_give_near_zero(self, bank):
+        a = sketch_of(bank, range(0, 500))
+        b = sketch_of(bank, range(1000, 1500))
+        assert a.jaccard(b) < 0.05
+
+    def test_empty_sketch_scores_zero(self, bank):
+        a = sketch_of(bank, range(10))
+        empty = KMinHash(bank)
+        assert a.jaccard(empty) == 0.0
+        assert empty.jaccard(a) == 0.0
+        assert empty.jaccard(KMinHash(bank)) == 0.0
+
+    def test_statistical_accuracy_half_overlap(self):
+        # J = 1/3 population; k=512 => std ~ sqrt(J(1-J)/k) ~ 0.021.
+        bank = HashBank(seed=4, size=512)
+        a = sketch_of(bank, range(0, 1000))
+        b = sketch_of(bank, range(500, 1500))
+        assert a.jaccard(b) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_symmetry(self, bank):
+        a = sketch_of(bank, range(0, 60))
+        b = sketch_of(bank, range(30, 90))
+        assert a.jaccard(b) == b.jaccard(a)
+
+    def test_incompatible_banks_rejected(self):
+        a = KMinHash(HashBank(1, 16))
+        b = KMinHash(HashBank(2, 16))
+        with pytest.raises(SketchStateError):
+            a.jaccard(b)
+
+    def test_different_k_rejected(self):
+        a = KMinHash(HashBank(1, 16))
+        b = KMinHash(HashBank(1, 32))
+        with pytest.raises(SketchStateError):
+            a.jaccard(b)
+
+
+class TestWitnesses:
+    def test_matching_witnesses_lie_in_intersection_mostly(self):
+        # A colliding slot's witness is in the union always, and in the
+        # intersection whenever the collision is "honest" (same key).
+        # Value collisions of different keys have probability ~2^-64.
+        bank = HashBank(seed=8, size=256)
+        a_items = set(range(0, 800))
+        b_items = set(range(400, 1200))
+        a = sketch_of(bank, a_items)
+        b = sketch_of(bank, b_items)
+        witnesses = [int(w) for w in a.matching_witnesses(b)]
+        assert witnesses  # overlap 1/3: expect ~85 matches of 256
+        assert all(w in (a_items & b_items) for w in witnesses)
+
+    def test_disabled_tracking_raises_on_witness_query(self, bank):
+        a = sketch_of(bank, range(10), track=False)
+        b = sketch_of(bank, range(10), track=False)
+        assert a.witnesses is None
+        with pytest.raises(SketchStateError):
+            a.matching_witnesses(b)
+
+    def test_jaccard_still_works_without_witnesses(self, bank):
+        a = sketch_of(bank, range(100), track=False)
+        b = sketch_of(bank, range(100), track=False)
+        assert a.jaccard(b) == 1.0
+
+
+class TestMerge:
+    def test_merge_equals_single_pass_over_union(self, bank):
+        combined = sketch_of(bank, range(0, 200))
+        merged = sketch_of(bank, range(0, 120)).merge(sketch_of(bank, range(80, 200)))
+        assert merged == combined
+
+    def test_merge_is_commutative(self, bank):
+        a = sketch_of(bank, range(0, 50))
+        b = sketch_of(bank, range(25, 75))
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_leaves_inputs_untouched(self, bank):
+        a = sketch_of(bank, range(10))
+        b = sketch_of(bank, range(5, 15))
+        a_before = a.copy()
+        a.merge(b)
+        assert a == a_before
+
+    def test_merge_mixed_tracking_rejected(self, bank):
+        a = sketch_of(bank, range(5), track=True)
+        b = sketch_of(bank, range(5), track=False)
+        with pytest.raises(SketchStateError):
+            a.merge(b)
+
+    def test_merge_with_empty_is_identity_on_values(self, bank):
+        a = sketch_of(bank, range(30))
+        merged = a.merge(KMinHash(bank))
+        assert np.array_equal(merged.values, a.values)
+
+
+class TestAccounting:
+    def test_nominal_bytes_with_witnesses(self):
+        s = KMinHash(HashBank(0, 64))
+        assert s.nominal_bytes() == 64 * 16
+
+    def test_nominal_bytes_without_witnesses(self):
+        s = KMinHash(HashBank(0, 64), track_witnesses=False)
+        assert s.nominal_bytes() == 64 * 8
+
+    def test_copy_is_independent(self, small_bank):
+        a = sketch_of(small_bank, range(5))
+        dup = a.copy()
+        dup.update(1000)
+        assert a != dup
+
+    def test_repr_mentions_k(self, small_bank):
+        assert "k=8" in repr(KMinHash(small_bank))

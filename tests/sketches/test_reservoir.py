@@ -1,0 +1,83 @@
+"""Tests for reservoir sampling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches import Reservoir
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            Reservoir(0)
+
+    def test_holds_everything_below_capacity(self):
+        r = Reservoir(10, seed=1)
+        r.offer_many(range(7))
+        assert sorted(r.sample()) == list(range(7))
+        assert not r.is_full()
+        assert r.sampling_probability() == 1.0
+
+    def test_never_exceeds_capacity(self):
+        r = Reservoir(10, seed=1)
+        r.offer_many(range(1000))
+        assert len(r) == 10
+        assert r.is_full()
+        assert r.seen == 1000
+
+    def test_sample_is_subset_of_stream(self):
+        r = Reservoir(5, seed=2)
+        r.offer_many(range(100))
+        assert all(0 <= item < 100 for item in r)
+
+    def test_sampling_probability(self):
+        r = Reservoir(25, seed=0)
+        r.offer_many(range(100))
+        assert r.sampling_probability() == pytest.approx(0.25)
+
+    def test_deterministic_by_seed(self):
+        a, b = Reservoir(5, seed=9), Reservoir(5, seed=9)
+        a.offer_many(range(200))
+        b.offer_many(range(200))
+        assert a.sample() == b.sample()
+
+    def test_contains(self):
+        r = Reservoir(3, seed=0)
+        r.offer("x")
+        assert "x" in r
+        assert "y" not in r
+
+
+class TestUniformity:
+    def test_inclusion_is_uniform_over_positions(self):
+        # Each of 50 stream positions should appear in a capacity-10
+        # reservoir with probability 1/5; average over 2000 seeded runs.
+        counts = Counter()
+        runs = 2000
+        for seed in range(runs):
+            r = Reservoir(10, seed=seed)
+            r.offer_many(range(50))
+            counts.update(r.sample())
+        for position in range(50):
+            assert counts[position] / runs == pytest.approx(0.2, abs=0.04)
+
+    def test_eviction_reporting_is_consistent(self):
+        r = Reservoir(4, seed=3)
+        mirror = set()
+        for item in range(500):
+            admitted, evicted = r.offer_with_eviction(item)
+            if evicted is not None:
+                mirror.discard(evicted)
+            if admitted:
+                mirror.add(item)
+        assert mirror == set(r.sample())
+
+    def test_eviction_only_once_full(self):
+        r = Reservoir(3, seed=0)
+        for item in range(3):
+            admitted, evicted = r.offer_with_eviction(item)
+            assert admitted and evicted is None

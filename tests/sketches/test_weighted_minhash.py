@@ -1,0 +1,129 @@
+"""Tests for exponential-rank weighted MinHash."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.hashing import HashBank
+from repro.sketches import WeightedMinHash
+
+
+def weighted_sketch(bank, pairs):
+    s = WeightedMinHash(bank)
+    s.update_many(pairs)
+    return s
+
+
+class TestUpdates:
+    def test_weight_sum_accumulates_distinct_keys(self):
+        s = WeightedMinHash(HashBank(0, 8))
+        s.update(1, 2.0)
+        s.update(2, 3.0)
+        assert s.weight_sum == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_and_nonfinite_weights(self):
+        s = WeightedMinHash(HashBank(0, 8))
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ConfigurationError):
+                s.update(1, bad)
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(ConfigurationError):
+            WeightedMinHash(HashBank(0, 8)).update(-1, 1.0)
+
+    def test_same_weight_reinsertion_is_idempotent_on_slots(self):
+        bank = HashBank(3, 16)
+        a = weighted_sketch(bank, [(1, 2.0), (2, 1.0)])
+        b = weighted_sketch(bank, [(1, 2.0), (2, 1.0)])
+        b.update(1, 2.0, first_insertion=False)
+        assert (a.ranks == b.ranks).all()
+        assert (a.witnesses == b.witnesses).all()
+        assert b.weight_sum == a.weight_sum
+
+
+class TestBiasedSampling:
+    def test_slot_minimum_samples_proportional_to_weight(self):
+        # Three keys with weights 1:2:4 — slot-minimum frequencies over
+        # 4096 slots should approximate 1/7 : 2/7 : 4/7.
+        bank = HashBank(21, 4096)
+        s = weighted_sketch(bank, [(10, 1.0), (11, 2.0), (12, 4.0)])
+        counts = Counter(int(w) for w in s.witnesses)
+        total = sum(counts.values())
+        assert counts[12] / total == pytest.approx(4 / 7, abs=0.04)
+        assert counts[11] / total == pytest.approx(2 / 7, abs=0.04)
+        assert counts[10] / total == pytest.approx(1 / 7, abs=0.04)
+
+    def test_match_fraction_estimates_weighted_overlap(self):
+        bank = HashBank(31, 2048)
+        weights = {x: 1.0 + (x % 5) for x in range(900)}
+        a = weighted_sketch(bank, [(x, weights[x]) for x in range(0, 600)])
+        b = weighted_sketch(bank, [(x, weights[x]) for x in range(300, 900)])
+        lam_intersection = sum(weights[x] for x in range(300, 600))
+        lam_union = sum(weights[x] for x in range(0, 900))
+        assert a.match_fraction(b) == pytest.approx(
+            lam_intersection / lam_union, abs=0.05
+        )
+
+    def test_identical_weighted_sets_match_fully(self):
+        bank = HashBank(5, 128)
+        pairs = [(x, 1.0 + x / 10) for x in range(50)]
+        a = weighted_sketch(bank, pairs)
+        b = weighted_sketch(bank, pairs)
+        assert a.match_fraction(b) == 1.0
+
+    def test_empty_sketch_matches_nothing(self):
+        bank = HashBank(5, 64)
+        a = weighted_sketch(bank, [(1, 1.0)])
+        assert a.match_fraction(WeightedMinHash(bank)) == 0.0
+
+
+class TestReweigh:
+    def test_monotone_increase_adjusts_weight_sum(self):
+        s = WeightedMinHash(HashBank(0, 32))
+        s.update(1, 1.0)
+        s.reweigh(1, 1.0, 3.0)
+        assert s.weight_sum == pytest.approx(3.0)
+
+    def test_decrease_rejected(self):
+        s = WeightedMinHash(HashBank(0, 32))
+        s.update(1, 2.0)
+        with pytest.raises(SketchStateError):
+            s.reweigh(1, 2.0, 1.0)
+
+    def test_reweigh_can_only_lower_ranks(self):
+        s = WeightedMinHash(HashBank(0, 32))
+        s.update(1, 1.0)
+        before = s.ranks.copy()
+        s.reweigh(1, 1.0, 5.0)
+        assert (s.ranks <= before).all()
+
+
+class TestMergeAndCopy:
+    def test_merge_of_disjoint_sets_matches_single_pass(self):
+        bank = HashBank(8, 64)
+        a = weighted_sketch(bank, [(x, 1.5) for x in range(0, 40)])
+        b = weighted_sketch(bank, [(x, 1.5) for x in range(40, 80)])
+        combined = weighted_sketch(bank, [(x, 1.5) for x in range(80)])
+        merged = a.merge(b)
+        assert (merged.ranks == combined.ranks).all()
+        assert (merged.witnesses == combined.witnesses).all()
+        assert merged.weight_sum == pytest.approx(combined.weight_sum)
+
+    def test_incompatible_banks_rejected(self):
+        with pytest.raises(SketchStateError):
+            WeightedMinHash(HashBank(1, 8)).merge(WeightedMinHash(HashBank(2, 8)))
+
+    def test_copy_independent(self):
+        bank = HashBank(8, 16)
+        a = weighted_sketch(bank, [(1, 1.0)])
+        dup = a.copy()
+        dup.update(2, 2.0)
+        assert a.weight_sum == pytest.approx(1.0)
+        assert dup.weight_sum == pytest.approx(3.0)
+
+    def test_nominal_bytes(self):
+        assert WeightedMinHash(HashBank(0, 10)).nominal_bytes() == 10 * 24 + 8

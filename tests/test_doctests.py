@@ -1,0 +1,32 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Docstring examples are part of the documentation deliverable; this
+test keeps them executable so they cannot rot.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.config
+import repro.core.lshindex
+import repro.core.predictor
+import repro.graph.datasets
+import repro.hashing.mixers
+
+MODULES = [
+    repro.hashing.mixers,
+    repro.core.config,
+    repro.core.lshindex,
+    repro.core.predictor,
+    repro.graph.datasets,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

@@ -1,0 +1,103 @@
+"""Tests for the LinkPredictor protocol's shared machinery.
+
+Verifies the default implementations (`process`, `scores`,
+`rank_candidates`) against every concrete method, and the public error
+hierarchy's contracts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.core import (
+    BiasedMinHashLinkPredictor,
+    MinHashLinkPredictor,
+    SketchConfig,
+)
+from repro.core.triangles import StreamingTriangleCounter
+from repro.core.windowed import WindowedMinHashPredictor
+from repro.exact import EdgeReservoirBaseline, ExactOracle, NeighborReservoirBaseline
+from repro.graph import from_pairs
+from tests.conftest import TOY_EDGES
+
+ALL_METHODS = [
+    ("minhash", lambda: MinHashLinkPredictor(SketchConfig(k=64, seed=1))),
+    ("biased", lambda: BiasedMinHashLinkPredictor(SketchConfig(k=64, seed=1))),
+    ("exact", ExactOracle),
+    ("edge_reservoir", lambda: EdgeReservoirBaseline(100, seed=1)),
+    ("neighbor_reservoir", lambda: NeighborReservoirBaseline(16, seed=1)),
+    ("windowed", lambda: WindowedMinHashPredictor(SketchConfig(k=64, seed=1), 100, 2)),
+    ("triangles", lambda: StreamingTriangleCounter(SketchConfig(k=64, seed=1))),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_METHODS)
+class TestProtocolAcrossMethods:
+    def test_process_returns_edge_count(self, name, factory):
+        predictor = factory()
+        assert predictor.process(from_pairs(TOY_EDGES)) == len(TOY_EDGES)
+
+    def test_method_name_is_set(self, name, factory):
+        assert factory().method_name != "abstract"
+
+    def test_degree_zero_for_unseen(self, name, factory):
+        predictor = factory()
+        predictor.process(from_pairs(TOY_EDGES))
+        assert predictor.degree(123456) == 0
+
+    def test_nominal_bytes_nonnegative_and_grows(self, name, factory):
+        empty = factory()
+        loaded = factory()
+        loaded.process(from_pairs(TOY_EDGES))
+        assert empty.nominal_bytes() >= 0
+        assert loaded.nominal_bytes() >= empty.nominal_bytes()
+
+    def test_pa_supported_everywhere(self, name, factory):
+        predictor = factory()
+        predictor.process(from_pairs(TOY_EDGES))
+        assert predictor.score(0, 4, "preferential_attachment") == 9.0
+
+
+class TestRankCandidatesDefaults:
+    def test_deterministic_tie_break(self, toy_oracle):
+        ties = [(2, 3), (0, 3)]  # both CN = 1
+        first = toy_oracle.rank_candidates(ties, "common_neighbors")
+        second = toy_oracle.rank_candidates(list(reversed(ties)), "common_neighbors")
+        assert first == second
+
+    def test_top_none_returns_all(self, toy_oracle):
+        ranked = toy_oracle.rank_candidates([(0, 1), (2, 3)], "jaccard", top=None)
+        assert len(ranked) == 2
+
+    def test_scores_batch_keys(self, toy_oracle):
+        result = toy_oracle.scores(0, 1, ["jaccard", "adamic_adar"])
+        assert set(result) == {"jaccard", "adamic_adar"}
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            error_class = getattr(errors, name)
+            assert issubclass(error_class, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_unknown_vertex_error_message_and_key(self):
+        error = errors.UnknownVertexError(42)
+        assert "42" in str(error)
+        assert error.vertex == 42
+        assert isinstance(error, KeyError)
+
+    def test_stream_format_error_carries_line(self):
+        error = errors.StreamFormatError("bad row", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_stream_format_error_without_line(self):
+        error = errors.StreamFormatError("bad row")
+        assert error.line_number is None
+
+    def test_dataset_error_is_lookup_error(self):
+        assert issubclass(errors.DatasetError, LookupError)
