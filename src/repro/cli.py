@@ -17,6 +17,10 @@ code:
   the most similar vertex pairs with no candidate list.
 * ``repro-linkpred triangles <file-or-dataset>`` — one-pass streaming
   triangle count (optionally checked against the exact count).
+* ``repro-linkpred ingest <file-or-dataset>`` — the fault-tolerant
+  ingestion runtime: checkpointed, resumable consumption with retries
+  and a dead-letter channel (``--checkpoint-every N --resume``); see
+  ``docs/OPERATIONS.md``.
 
 Input may be a registry dataset name or a path to a SNAP-format edge
 list (``u v [timestamp]`` rows, ``#`` comments).
@@ -222,6 +226,62 @@ def _cmd_triangles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.stream import (
+        CheckpointManager,
+        FileDeadLetters,
+        FileEdgeSource,
+        IteratorEdgeSource,
+        MemoryDeadLetters,
+        RetryingSource,
+        RetryPolicy,
+        StreamRunner,
+    )
+
+    if os.path.exists(args.source):
+        source = FileEdgeSource(args.source)
+    elif args.source in datasets.DATASETS:
+        source = IteratorEdgeSource(
+            datasets.load(args.source, seed=args.seed), name=f"dataset:{args.source}"
+        )
+    else:
+        known = ", ".join(datasets.dataset_names())
+        raise ReproError(
+            f"{args.source!r} is neither a registry dataset ({known}) nor a file path"
+        )
+    retrying = RetryingSource(source, RetryPolicy(max_attempts=args.max_retries))
+    manager = (
+        CheckpointManager(args.checkpoint_dir, keep=args.keep)
+        if args.checkpoint_dir
+        else None
+    )
+    if args.resume and manager is None:
+        raise ReproError("--resume needs --checkpoint-dir")
+    sink = FileDeadLetters(args.dead_letter) if args.dead_letter else MemoryDeadLetters()
+    runner = StreamRunner(
+        retrying,
+        config=_config_from_args(args),
+        checkpoint_manager=manager,
+        checkpoint_every=args.checkpoint_every if manager else 0,
+        dead_letters=sink,
+        policy=args.policy,
+        self_loops=args.self_loops,
+    )
+    if args.resume:
+        resumed = runner.resume()
+        print(
+            f"resumed from generation {runner.resumed_from} at offset {runner.offset}"
+            if resumed
+            else "no checkpoint found; starting fresh"
+        )
+    stats = runner.run(max_records=args.max_records)
+    reasons = stats.pop("dead_letter_reasons")
+    rows = [[key, value] for key, value in stats.items()]
+    rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
+    print(format_table(["metric", "value"], rows, title=f"Ingest: {args.source}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed separately for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -285,6 +345,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--exact", action="store_true", help="also compute the exact count"
     )
     triangles.set_defaults(run=_cmd_triangles)
+
+    ingest = commands.add_parser(
+        "ingest", help="fault-tolerant checkpointed ingestion (resumable)"
+    )
+    ingest.add_argument("source", help="dataset name or edge-list path")
+    ingest.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+    ingest.add_argument(
+        "--checkpoint-dir", default="", help="directory for rotated checkpoint generations"
+    )
+    ingest.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="snapshot state every N consumed records (0: only at end)",
+    )
+    ingest.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore (state, offset) from the newest intact checkpoint",
+    )
+    ingest.add_argument(
+        "--keep", type=int, default=3, help="checkpoint generations to retain"
+    )
+    ingest.add_argument(
+        "--dead-letter",
+        default="",
+        metavar="FILE",
+        help="append quarantined records to this JSON-lines file",
+    )
+    ingest.add_argument(
+        "--policy",
+        default="quarantine",
+        choices=["quarantine", "strict"],
+        help="malformed-record policy: route aside, or fail fast",
+    )
+    ingest.add_argument(
+        "--self-loops",
+        default="quarantine",
+        choices=["quarantine", "drop"],
+        help="self-loop handling: count in the dead-letter channel, or drop silently",
+    )
+    ingest.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="consecutive transient I/O failures tolerated before giving up",
+    )
+    ingest.add_argument(
+        "--max-records", type=int, default=None, help="stop after N records (drills)"
+    )
+    ingest.set_defaults(run=_cmd_ingest)
 
     evaluate = commands.add_parser("evaluate", help="accuracy vs the exact oracle")
     add_method_arguments(evaluate)

@@ -8,13 +8,24 @@ into a single compressed ``.npz`` archive:
 * ``values``/``witnesses`` — the per-vertex slot matrices, stacked in
   one ``(n, k)`` array each (row order = ``vertex_ids``),
 * ``degrees`` — the exact degree table,
-* configuration scalars (k, seed, flags) for validation at load time.
+* configuration scalars (k, seed, flags) for validation at load time,
+* a ``sha256`` content checksum over every payload array, verified on
+  load, so a torn or bit-rotted file is rejected with
+  :class:`~repro.errors.CheckpointCorruptError` instead of resuming
+  from garbage.
 
 Restoring reconstructs a predictor that is *bit-identical* to the
 original: every future update and query gives the same answer (the
 round-trip test pins this).  Checkpoints embed a format version and the
 hash seed; loading a checkpoint into an incompatible library version or
 configuration fails loudly instead of silently mixing hash spaces.
+
+Writes to a filesystem path are **atomic**: the archive is written to a
+temporary sibling file, flushed and fsynced, then moved over the target
+with ``os.replace``.  A crash mid-write therefore never destroys the
+last good checkpoint — the worst case is a stray ``*.tmp-*`` file that
+the next write cleans up.  Writes to an already-open file object (the
+distributed-ingest transport) skip the rename dance.
 
 Only the exact-degree configuration is checkpointable: Count-Min degree
 tables and the biased predictor's refresh buffers are supported by
@@ -24,26 +35,105 @@ paper's deployment mode is the exact-degree uniform sketch).
 
 from __future__ import annotations
 
+import hashlib
+import os
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import IO, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import SketchConfig
 from repro.core.degrees import ExactDegrees
 from repro.core.predictor import MinHashLinkPredictor
-from repro.errors import ConfigurationError, SketchStateError
+from repro.errors import CheckpointCorruptError, ConfigurationError, ReproError, SketchStateError
 from repro.sketches.minhash import KMinHash
 
-__all__ = ["save_predictor", "load_predictor", "FORMAT_VERSION"]
+__all__ = [
+    "save_predictor",
+    "load_predictor",
+    "load_predictor_with_metadata",
+    "FORMAT_VERSION",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 PathLike = Union[str, Path]
 
+#: Prefix distinguishing caller-supplied metadata fields (stream offset,
+#: checkpoint generation, ...) from predictor payload fields.
+_META_PREFIX = "meta_"
 
-def save_predictor(predictor: MinHashLinkPredictor, path: PathLike) -> int:
+#: Exceptions numpy/zipfile raise on truncated or garbled archives.  A
+#: half-written ``.npz`` can die in the zip directory (``BadZipFile``),
+#: in a member's deflate stream (``zlib.error``), in the ``.npy`` header
+#: parse (``ValueError``), or at a short read (``EOFError``/``OSError``).
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zipfile.LargeZipFile,
+    zlib.error,
+    ValueError,
+    EOFError,
+    OSError,
+)
+
+
+def _payload_checksum(fields: Mapping[str, np.ndarray]) -> str:
+    """Deterministic sha256 over every non-checksum field.
+
+    Field name, dtype, shape and raw bytes all feed the digest, so a
+    renamed, retyped, reshaped or bit-flipped array is all caught.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(fields):
+        if name == "sha256":
+            continue
+        array = np.asarray(fields[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _savez_atomic(path_or_file: Union[PathLike, IO[bytes]], fields: Dict[str, np.ndarray]) -> None:
+    """Write ``fields`` as a compressed archive, atomically for paths."""
+    if hasattr(path_or_file, "write"):
+        np.savez_compressed(path_or_file, **fields)
+        return
+    path = Path(path_or_file)
+    # np.savez appends ".npz" to suffixless *paths*, but not to open file
+    # objects — mirror that quirk so atomic writes land on the same name.
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **fields)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def save_predictor(
+    predictor: MinHashLinkPredictor,
+    path: Union[PathLike, IO[bytes]],
+    *,
+    metadata: Optional[Mapping[str, int]] = None,
+) -> int:
     """Write a checkpoint; returns the number of vertices saved.
+
+    ``metadata`` is an optional mapping of integer-valued fields (e.g.
+    ``{"stream_offset": 1024}``) stored alongside the predictor state,
+    checksummed with it, and returned verbatim by
+    :func:`load_predictor_with_metadata`.
 
     Raises :class:`SketchStateError` for configurations whose state is
     not fully capturable (Count-Min degrees).
@@ -67,54 +157,104 @@ def save_predictor(predictor: MinHashLinkPredictor, path: PathLike) -> int:
             witnesses[row] = sketch.witnesses
         update_counts[row] = sketch.update_count
         degrees[row] = predictor.degree(vertex)
-    np.savez_compressed(
-        path,
-        format_version=np.int64(FORMAT_VERSION),
-        k=np.int64(k),
-        seed=np.uint64(predictor.config.seed),
-        track_witnesses=np.bool_(track),
-        vertex_ids=vertex_ids,
-        values=values,
-        witnesses=witnesses,
-        update_counts=update_counts,
-        degrees=degrees,
-    )
+    fields: Dict[str, np.ndarray] = {
+        "format_version": np.int64(FORMAT_VERSION),
+        "k": np.int64(k),
+        "seed": np.uint64(predictor.config.seed),
+        "track_witnesses": np.bool_(track),
+        "vertex_ids": vertex_ids,
+        "values": values,
+        "witnesses": witnesses,
+        "update_counts": update_counts,
+        "degrees": degrees,
+    }
+    for key, value in (metadata or {}).items():
+        fields[_META_PREFIX + key] = np.int64(value)
+    fields["sha256"] = np.frombuffer(bytes.fromhex(_payload_checksum(fields)), dtype=np.uint8)
+    _savez_atomic(path, fields)
     return len(vertex_ids)
 
 
-def load_predictor(path: PathLike) -> MinHashLinkPredictor:
+def load_predictor(path: Union[PathLike, IO[bytes]]) -> MinHashLinkPredictor:
     """Reconstruct a predictor from a checkpoint written by
     :func:`save_predictor`.
 
     The restored object answers every query identically to the saved
-    one and accepts further stream updates.
+    one and accepts further stream updates.  Raises
+    :class:`~repro.errors.CheckpointCorruptError` (a
+    :class:`SketchStateError`) if the file is truncated, fails its
+    embedded checksum, or is not a checkpoint archive at all.
     """
-    with np.load(path) as archive:
-        version = int(archive["format_version"])
-        if version != FORMAT_VERSION:
-            raise ConfigurationError(
-                f"checkpoint format version {version} is not supported "
-                f"(this library writes version {FORMAT_VERSION})"
-            )
-        config = SketchConfig(
-            k=int(archive["k"]),
-            seed=int(archive["seed"]),
-            track_witnesses=bool(archive["track_witnesses"]),
+    return load_predictor_with_metadata(path)[0]
+
+
+def load_predictor_with_metadata(
+    path: Union[PathLike, IO[bytes]],
+) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
+    """Like :func:`load_predictor`, also returning the metadata mapping
+    stored at save time (empty dict if none was supplied)."""
+    try:
+        with np.load(path) as archive:
+            return _restore(archive, describe(path))
+    except ReproError:
+        raise
+    except FileNotFoundError:
+        raise  # an absent checkpoint is not a corrupt one
+    except _CORRUPTION_ERRORS as error:
+        raise CheckpointCorruptError(
+            f"checkpoint {describe(path)} is truncated or corrupt: {error}"
+        ) from error
+
+
+def describe(path: Union[PathLike, IO[bytes]]) -> str:
+    """A human-readable name for a checkpoint target (path or buffer)."""
+    return str(path) if isinstance(path, (str, Path)) else getattr(path, "name", "<buffer>")
+
+
+def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
+    fields = {field: archive[field] for field in archive.files}
+    # Version first: a future format may checksum differently, and the
+    # "wrong library version" diagnosis beats a checksum mismatch.
+    version = int(fields["format_version"])
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint format version {version} is not supported "
+            f"(this library writes version {FORMAT_VERSION})"
         )
-        predictor = MinHashLinkPredictor(config)
-        vertex_ids = archive["vertex_ids"]
-        values = archive["values"]
-        witnesses = archive["witnesses"]
-        update_counts = archive["update_counts"]
-        degrees = archive["degrees"]
-        degree_table: ExactDegrees = predictor._degrees  # type: ignore[assignment]
-        for row, vertex in enumerate(vertex_ids.tolist()):
-            sketch = KMinHash(predictor.bank, track_witnesses=config.track_witnesses)
-            sketch.values = values[row].copy()
-            if config.track_witnesses:
-                sketch.witnesses = witnesses[row].copy()
-            sketch.update_count = int(update_counts[row])
-            predictor._sketches[vertex] = sketch
-            if degrees[row]:
-                degree_table._counts[vertex] = int(degrees[row])
-    return predictor
+    stored = fields.pop("sha256", None)
+    if stored is None:
+        raise CheckpointCorruptError(f"checkpoint {name} has no embedded checksum")
+    expected = bytes(np.asarray(stored, dtype=np.uint8)).hex()
+    actual = _payload_checksum(fields)
+    if actual != expected:
+        raise CheckpointCorruptError(
+            f"checkpoint {name} failed checksum verification "
+            f"(stored {expected[:12]}..., recomputed {actual[:12]}...)"
+        )
+    config = SketchConfig(
+        k=int(fields["k"]),
+        seed=int(fields["seed"]),
+        track_witnesses=bool(fields["track_witnesses"]),
+    )
+    predictor = MinHashLinkPredictor(config)
+    vertex_ids = fields["vertex_ids"]
+    values = fields["values"]
+    witnesses = fields["witnesses"]
+    update_counts = fields["update_counts"]
+    degrees = fields["degrees"]
+    degree_table: ExactDegrees = predictor._degrees  # type: ignore[assignment]
+    for row, vertex in enumerate(vertex_ids.tolist()):
+        sketch = KMinHash(predictor.bank, track_witnesses=config.track_witnesses)
+        sketch.values = values[row].copy()
+        if config.track_witnesses:
+            sketch.witnesses = witnesses[row].copy()
+        sketch.update_count = int(update_counts[row])
+        predictor._sketches[vertex] = sketch
+        if degrees[row]:
+            degree_table._counts[vertex] = int(degrees[row])
+    metadata = {
+        field[len(_META_PREFIX):]: int(value)
+        for field, value in fields.items()
+        if field.startswith(_META_PREFIX)
+    }
+    return predictor, metadata

@@ -19,6 +19,9 @@ __all__ = [
     "DatasetError",
     "EvaluationError",
     "SketchStateError",
+    "RetryExhaustedError",
+    "CheckpointCorruptError",
+    "DeadLetterError",
 ]
 
 
@@ -51,13 +54,26 @@ class EmptyNeighborhoodError(ReproError, ValueError):
 
 
 class StreamFormatError(ReproError, ValueError):
-    """An edge-list file or stream record could not be parsed."""
+    """An edge-list file or stream record could not be parsed.
 
-    def __init__(self, message: str, *, line_number: int | None = None) -> None:
+    ``reason`` is a machine-readable slug from the dead-letter
+    vocabulary (:data:`repro.stream.deadletter.REASONS`) so lenient
+    consumers can count failure classes without string-matching
+    messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line_number: int | None = None,
+        reason: str | None = None,
+    ) -> None:
         if line_number is not None:
             message = f"line {line_number}: {message}"
         super().__init__(message)
         self.line_number = line_number
+        self.reason = reason
 
 
 class DatasetError(ReproError, LookupError):
@@ -72,3 +88,43 @@ class EvaluationError(ReproError, ValueError):
 class SketchStateError(ReproError, RuntimeError):
     """A sketch operation was invalid for the sketch's current state
     (e.g. merging sketches built from different hash seeds)."""
+
+
+class RetryExhaustedError(ReproError, IOError):
+    """A transient source failure persisted through every allowed retry.
+
+    Raised by :class:`repro.stream.RetryingSource` once its
+    :class:`~repro.stream.RetryPolicy` attempt cap is reached; carries
+    the attempt count and the last underlying error so operators can
+    distinguish "the disk blipped" from "the mount is gone".
+    """
+
+    def __init__(self, message: str, *, attempts: int, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CheckpointCorruptError(SketchStateError):
+    """A checkpoint file failed integrity verification.
+
+    Raised when a checkpoint is truncated, fails its embedded checksum,
+    or is not a readable archive at all.  A corrupt checkpoint is never
+    loaded silently: the runtime either falls back to an older rotated
+    generation or fails loudly, but it must not resume from garbage.
+    """
+
+
+class DeadLetterError(ReproError, ValueError):
+    """A stream record violated the edge contract under ``strict`` policy.
+
+    Under ``quarantine`` policy the same record would be routed to the
+    dead-letter sink with a reason counter instead; ``strict`` turns the
+    first such record into this error so batch jobs fail fast.  Carries
+    the machine-readable ``reason`` and the source ``offset``.
+    """
+
+    def __init__(self, message: str, *, reason: str, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.offset = offset

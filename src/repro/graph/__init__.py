@@ -8,7 +8,15 @@ produces or transforms such streams.
 
 from repro.graph.adjacency import AdjacencyGraph
 from repro.graph.digraph import DirectedGraph
-from repro.graph.io import VertexRelabeler, iter_edge_list, read_edge_list, write_edge_list
+from repro.graph.io import (
+    LineDiagnostic,
+    VertexRelabeler,
+    iter_edge_list,
+    parse_edge_line,
+    read_edge_list,
+    scan_edge_list,
+    write_edge_list,
+)
 from repro.graph.stream import (
     Edge,
     EdgeStream,
@@ -43,6 +51,9 @@ __all__ = [
     "edge_key",
     "from_pairs",
     "iter_edge_list",
+    "LineDiagnostic",
+    "parse_edge_line",
+    "scan_edge_list",
     "prefix",
     "rate_profile",
     "read_edge_list",

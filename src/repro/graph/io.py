@@ -22,14 +22,17 @@ back.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Union
 
-from repro.errors import StreamFormatError
+from repro.errors import ConfigurationError, StreamFormatError
 from repro.graph.stream import Edge
 
 __all__ = [
     "read_edge_list",
     "iter_edge_list",
+    "scan_edge_list",
+    "parse_edge_line",
+    "LineDiagnostic",
     "write_edge_list",
     "VertexRelabeler",
 ]
@@ -37,10 +40,116 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+def parse_edge_line(
+    text: str,
+    *,
+    line_number: Optional[int] = None,
+    default_timestamp: float = 0.0,
+    relabeler: Optional["VertexRelabeler"] = None,
+) -> Edge:
+    """Parse one SNAP data line (``u v`` or ``u v timestamp``) into an
+    :class:`Edge`.
+
+    The single parsing authority: the eager readers below and the
+    fault-tolerant ingestion runtime (:mod:`repro.stream`) both call
+    this, so "what is a well-formed record" has exactly one definition.
+    Raises :class:`StreamFormatError` whose ``reason`` attribute is a
+    dead-letter vocabulary slug (``bad_arity``, ``non_integer_vertex``,
+    ``negative_vertex``, ``bad_timestamp``).  Self-loop policy is the
+    *caller's* decision — a self-loop parses fine here.
+    """
+    fields = text.split()
+    if len(fields) not in (2, 3):
+        raise StreamFormatError(
+            f"expected 2 or 3 whitespace-separated fields, got {len(fields)}",
+            line_number=line_number,
+            reason="bad_arity",
+        )
+    if relabeler is not None:
+        u = relabeler.encode(fields[0])
+        v = relabeler.encode(fields[1])
+    else:
+        try:
+            u, v = int(fields[0]), int(fields[1])
+        except ValueError:
+            raise StreamFormatError(
+                f"non-integer vertex id in {fields[:2]!r} "
+                "(pass a VertexRelabeler for labelled data)",
+                line_number=line_number,
+                reason="non_integer_vertex",
+            ) from None
+        if u < 0 or v < 0:
+            raise StreamFormatError(
+                f"negative vertex id in {fields[:2]!r}",
+                line_number=line_number,
+                reason="negative_vertex",
+            )
+    if len(fields) == 3:
+        try:
+            timestamp = float(fields[2])
+        except ValueError:
+            raise StreamFormatError(
+                f"non-numeric timestamp {fields[2]!r}",
+                line_number=line_number,
+                reason="bad_timestamp",
+            ) from None
+    else:
+        timestamp = default_timestamp
+    return Edge(u, v, timestamp)
+
+
+class LineDiagnostic(NamedTuple):
+    """One data line's parse outcome: exactly one of ``edge``/``error``
+    is set.  ``raw`` is the stripped line text for dead-letter triage."""
+
+    line_number: int
+    raw: str
+    edge: Optional[Edge] = None
+    error: Optional[StreamFormatError] = None
+
+
+def scan_edge_list(
+    path: PathLike,
+    relabeler: Optional["VertexRelabeler"] = None,
+    allow_self_loops: bool = False,
+) -> Iterator[LineDiagnostic]:
+    """Stream per-line parse diagnostics instead of aborting on the
+    first malformed line.
+
+    Yields one :class:`LineDiagnostic` per data line — a parsed
+    ``edge`` or the typed ``error`` (with ``.reason``) it produced —
+    which is exactly the shape a dead-letter channel wants.  Comments
+    and blank lines are skipped; dropped self-loops (when
+    ``allow_self_loops`` is false) are skipped silently, matching
+    :func:`iter_edge_list`.
+    """
+    index = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith(("#", "%")):
+                continue
+            try:
+                edge = parse_edge_line(
+                    text,
+                    line_number=line_number,
+                    default_timestamp=float(index),
+                    relabeler=relabeler,
+                )
+            except StreamFormatError as error:
+                yield LineDiagnostic(line_number, text, error=error)
+                continue
+            if edge.u == edge.v and not allow_self_loops:
+                continue  # SNAP files occasionally carry self-loops; drop them
+            yield LineDiagnostic(line_number, text, edge=edge)
+            index += 1
+
+
 def iter_edge_list(
     path: PathLike,
     relabeler: Optional["VertexRelabeler"] = None,
     allow_self_loops: bool = False,
+    on_error: str = "raise",
 ) -> Iterator[Edge]:
     """Stream edges from a SNAP-format file without materialising it.
 
@@ -50,63 +159,34 @@ def iter_edge_list(
     non-negative integers already.  Two-column rows are timestamped by
     their (data-)line index.
 
-    Raises :class:`StreamFormatError` with the offending line number on
-    malformed input.
+    ``on_error`` selects the malformed-line policy: ``"raise"`` (the
+    default) raises :class:`StreamFormatError` with the offending line
+    number; ``"skip"`` silently drops bad lines and keeps streaming —
+    use :func:`scan_edge_list` instead when the *reasons* matter.
     """
-    index = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            text = line.strip()
-            if not text or text.startswith(("#", "%")):
-                continue
-            fields = text.split()
-            if len(fields) not in (2, 3):
-                raise StreamFormatError(
-                    f"expected 2 or 3 whitespace-separated fields, got {len(fields)}",
-                    line_number=line_number,
-                )
-            if relabeler is not None:
-                u = relabeler.encode(fields[0])
-                v = relabeler.encode(fields[1])
-            else:
-                try:
-                    u, v = int(fields[0]), int(fields[1])
-                except ValueError:
-                    raise StreamFormatError(
-                        f"non-integer vertex id in {fields[:2]!r} "
-                        "(pass a VertexRelabeler for labelled data)",
-                        line_number=line_number,
-                    ) from None
-                if u < 0 or v < 0:
-                    raise StreamFormatError(
-                        f"negative vertex id in {fields[:2]!r}",
-                        line_number=line_number,
-                    )
-            if u == v and not allow_self_loops:
-                continue  # SNAP files occasionally carry self-loops; drop them
-            if len(fields) == 3:
-                try:
-                    timestamp = float(fields[2])
-                except ValueError:
-                    raise StreamFormatError(
-                        f"non-numeric timestamp {fields[2]!r}",
-                        line_number=line_number,
-                    ) from None
-            else:
-                timestamp = float(index)
-            yield Edge(u, v, timestamp)
-            index += 1
+    if on_error not in ("raise", "skip"):
+        raise ConfigurationError(
+            f'on_error must be "raise" or "skip", got {on_error!r}'
+        )
+    for diagnostic in scan_edge_list(path, relabeler, allow_self_loops):
+        if diagnostic.error is not None:
+            if on_error == "raise":
+                raise diagnostic.error
+            continue
+        assert diagnostic.edge is not None
+        yield diagnostic.edge
 
 
 def read_edge_list(
     path: PathLike,
     relabeler: Optional["VertexRelabeler"] = None,
     allow_self_loops: bool = False,
+    on_error: str = "raise",
 ) -> List[Edge]:
     """Read a whole SNAP-format edge list into memory (see
     :func:`iter_edge_list` for the streaming variant and the format
     details)."""
-    return list(iter_edge_list(path, relabeler, allow_self_loops))
+    return list(iter_edge_list(path, relabeler, allow_self_loops, on_error))
 
 
 def write_edge_list(

@@ -1,0 +1,68 @@
+"""Fault-tolerant ingestion runtime.
+
+The paper's deployment story — an unattended consumer sketching an
+unbounded edge stream in constant space — only works in production if
+the consumer survives crashes, flaky sources and malformed records
+without replaying the stream or corrupting state.  This package is that
+runtime:
+
+* :mod:`~repro.stream.sources` — resumable, offset-addressable record
+  suppliers (:class:`FileEdgeSource`, :class:`IteratorEdgeSource`,
+  :class:`SyntheticEdgeSource`) and transient-failure retry
+  (:class:`RetryPolicy`, :class:`RetryingSource`),
+* :mod:`~repro.stream.checkpoint` — :class:`CheckpointManager`:
+  atomic, checksummed, rotated checkpoint generations embedding the
+  committed stream offset,
+* :mod:`~repro.stream.deadletter` — the quarantine channel with
+  per-reason counters (:class:`MemoryDeadLetters`,
+  :class:`FileDeadLetters`),
+* :mod:`~repro.stream.runner` — :class:`StreamRunner`, the consumer
+  loop tying it together with exact crash recovery, and
+* :mod:`~repro.stream.faults` — :class:`FaultInjector`, the seeded
+  chaos harness the crash-recovery suite is built on.
+
+See ``docs/OPERATIONS.md`` for the operator's view (cadence, resume
+semantics, dead-letter triage, retry tuning).
+"""
+
+from __future__ import annotations
+
+from repro.stream.checkpoint import Checkpoint, CheckpointManager
+from repro.stream.deadletter import (
+    REASONS,
+    DeadLetter,
+    DeadLetterSink,
+    FileDeadLetters,
+    MemoryDeadLetters,
+)
+from repro.stream.faults import FaultInjector, FlakySource
+from repro.stream.runner import StreamRunner
+from repro.stream.sources import (
+    EdgeSource,
+    FileEdgeSource,
+    IteratorEdgeSource,
+    RetryingSource,
+    RetryPolicy,
+    SourceRecord,
+    SyntheticEdgeSource,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "DeadLetter",
+    "DeadLetterSink",
+    "EdgeSource",
+    "FaultInjector",
+    "FileDeadLetters",
+    "FileEdgeSource",
+    "FlakySource",
+    "IteratorEdgeSource",
+    "MemoryDeadLetters",
+    "REASONS",
+    "RetryPolicy",
+    "RetryingSource",
+    "SourceRecord",
+    "StreamRunner",
+    "SyntheticEdgeSource",
+]

@@ -1,0 +1,129 @@
+"""Dead-letter channel: quarantine for records that violate the contract.
+
+An unattended consumer must not abort on one malformed line, and must
+not silently drop it either — both lose information.  The dead-letter
+channel is the third option: the record is *routed aside* with a
+machine-readable reason, per-reason counters accumulate for monitoring,
+and the stream keeps flowing.
+
+Reasons are a closed vocabulary (see :data:`REASONS`) so dashboards can
+alert on specific classes: a burst of ``bad_arity`` means an upstream
+format change; a trickle of ``self_loop`` is normal SNAP data.
+
+Two sinks are provided: :class:`MemoryDeadLetters` (bounded ring for
+tests and interactive use) and :class:`FileDeadLetters` (append-only
+JSON-lines file an operator can triage and replay — each entry carries
+the source offset, line number, reason and the verbatim raw record).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Union
+
+__all__ = [
+    "DeadLetter",
+    "DeadLetterSink",
+    "MemoryDeadLetters",
+    "FileDeadLetters",
+    "REASONS",
+]
+
+#: The closed vocabulary of dead-letter reasons the runner emits.
+REASONS = (
+    "bad_arity",           # not 2 or 3 fields / wrong tuple length
+    "non_integer_vertex",  # vertex token is not an integer
+    "negative_vertex",     # vertex id < 0
+    "bad_timestamp",       # third field is not numeric
+    "self_loop",           # u == v and self-loops are quarantined
+    "bad_record_type",     # record is neither text, tuple, nor Edge
+)
+
+PathLike = Union[str, Path]
+
+
+class DeadLetter(NamedTuple):
+    """One quarantined record with enough context to triage it."""
+
+    offset: int
+    reason: str
+    raw: str
+    line_number: Optional[int] = None
+    detail: str = ""
+
+
+class DeadLetterSink:
+    """Base sink: counts per-reason; subclasses decide where entries go."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def record(self, letter: DeadLetter) -> None:
+        self.counts[letter.reason] += 1
+        self._store(letter)
+
+    def _store(self, letter: DeadLetter) -> None:
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, int]:
+        """Per-reason counts, stably ordered by the reason vocabulary."""
+        ordered = {reason: self.counts[reason] for reason in REASONS if self.counts[reason]}
+        # Unknown reasons (future extensions) trail in insertion order.
+        for reason, count in self.counts.items():
+            if reason not in ordered:
+                ordered[reason] = count
+        return ordered
+
+
+class MemoryDeadLetters(DeadLetterSink):
+    """Keep the most recent ``capacity`` letters in memory.
+
+    The counters are exact regardless of capacity; only the retained
+    entries are bounded, so a pathological input cannot balloon memory.
+    """
+
+    def __init__(self, capacity: int = 1000) -> None:
+        super().__init__()
+        self._entries: deque = deque(maxlen=capacity)
+
+    def _store(self, letter: DeadLetter) -> None:
+        self._entries.append(letter)
+
+    @property
+    def entries(self) -> List[DeadLetter]:
+        return list(self._entries)
+
+
+class FileDeadLetters(DeadLetterSink):
+    """Append letters to a JSON-lines file for offline triage.
+
+    Entries are flushed per record (a crash loses at most the OS buffer)
+    and the file is append-only, so re-running a consumer over the same
+    stream accumulates rather than truncates — offsets disambiguate.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _store(self, letter: DeadLetter) -> None:
+        json.dump(letter._asdict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "FileDeadLetters":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,174 @@
+"""Fault injection: deterministic chaos for the ingestion runtime.
+
+Testing "survives crashes, flaky sources, and malformed records" needs
+faults that are *reproducible* — a flake that only happens on one CI
+run proves nothing.  Everything here derives its misbehaviour from a
+seed plus the record offset, never from wall-clock or shared global
+RNG state, so the same :class:`FaultInjector` produces the same fault
+schedule on every run **and on every retry/resume replay** (which is
+exactly what lets the crash-recovery suite assert bit-identical state).
+
+Two orthogonal layers:
+
+* :meth:`FaultInjector.mutate_records` corrupts the *data*: it maps a
+  clean record list to one with corrupt lines, duplicated records and
+  adjacent out-of-order swaps at configured rates.  The mutation is
+  applied once, up front, producing a plain list — so offsets of the
+  mutated stream are stable, and both the uninterrupted reference run
+  and the crash/resume run see the identical byte sequence.
+* :meth:`FaultInjector.flaky` corrupts the *transport*: it wraps a
+  source so ``IOError`` is raised before certain offsets, a bounded
+  number of times per offset (the failure "heals", as real transient
+  faults do), which exercises :class:`~repro.stream.sources.RetryingSource`
+  offset-exact recovery.  Set ``max_failures_per_offset`` at or above
+  the retry policy's attempt cap to exercise
+  :class:`~repro.errors.RetryExhaustedError` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.stream.sources import EdgeSource, SourceRecord
+
+__all__ = ["FaultInjector", "FlakySource"]
+
+#: Corrupt-line shapes cycled through by ``mutate_records`` — one per
+#: dead-letter reason class the parser can hit.
+_CORRUPT_SHAPES = (
+    "garbled",                # bad_arity (one field)
+    "1 2 3 4 5",              # bad_arity (five fields)
+    "x y",                    # non_integer_vertex
+    "-4 7",                   # negative_vertex
+    "3 4 not-a-time",         # bad_timestamp
+    "9 9",                    # self_loop
+)
+
+
+def _offset_hash(seed: int, offset: int, salt: str) -> float:
+    """Deterministic uniform [0, 1) from (seed, offset, purpose)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{offset}:{salt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class FaultInjector:
+    """Seeded generator of data and transport faults.
+
+    Rates are per-record probabilities in ``[0, 1]``.  ``io_error_rate``
+    applies per *offset* of the wrapped source; each failing offset
+    fails ``1 + (offset-hash % max_failures_per_offset)`` consecutive
+    attempts before healing.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        corrupt_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        swap_rate: float = 0.0,
+        io_error_rate: float = 0.0,
+        max_failures_per_offset: int = 2,
+    ) -> None:
+        for name, rate in (
+            ("corrupt_rate", corrupt_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("swap_rate", swap_rate),
+            ("io_error_rate", io_error_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if max_failures_per_offset < 1:
+            raise ConfigurationError(
+                f"max_failures_per_offset must be >= 1, got {max_failures_per_offset}"
+            )
+        self.seed = seed
+        self.corrupt_rate = corrupt_rate
+        self.duplicate_rate = duplicate_rate
+        self.swap_rate = swap_rate
+        self.io_error_rate = io_error_rate
+        self.max_failures_per_offset = max_failures_per_offset
+
+    # ------------------------------------------------------------------
+    # Data faults
+    # ------------------------------------------------------------------
+
+    def mutate_records(self, records: Sequence[object]) -> List[object]:
+        """A mutated copy: corruption, duplication, adjacent swaps.
+
+        Deterministic in ``(seed, len(records))``; the input is never
+        modified.  Order of application: duplicate, then corrupt, then
+        swap — so a duplicate can itself be corrupted and a corrupt
+        line can land out of order, like real pipelines.
+        """
+        rng = random.Random(self.seed)
+        mutated: List[object] = []
+        for record in records:
+            mutated.append(record)
+            if self.duplicate_rate and rng.random() < self.duplicate_rate:
+                mutated.append(record)
+        if self.corrupt_rate:
+            for index in range(len(mutated)):
+                if rng.random() < self.corrupt_rate:
+                    mutated[index] = _CORRUPT_SHAPES[rng.randrange(len(_CORRUPT_SHAPES))]
+        if self.swap_rate:
+            for index in range(len(mutated) - 1):
+                if rng.random() < self.swap_rate:
+                    mutated[index], mutated[index + 1] = mutated[index + 1], mutated[index]
+        return mutated
+
+    # ------------------------------------------------------------------
+    # Transport faults
+    # ------------------------------------------------------------------
+
+    def flaky(self, source: EdgeSource) -> "FlakySource":
+        """Wrap ``source`` with seeded transient ``IOError`` injection."""
+        return FlakySource(source, self)
+
+    def failures_for_offset(self, offset: int) -> int:
+        """How many consecutive attempts the given offset will fail."""
+        if not self.io_error_rate:
+            return 0
+        if _offset_hash(self.seed, offset, "io") >= self.io_error_rate:
+            return 0
+        span = _offset_hash(self.seed, offset, "count")
+        return 1 + int(span * self.max_failures_per_offset)
+
+
+class FlakySource(EdgeSource):
+    """A source wrapper that raises ``IOError`` before chosen offsets.
+
+    Failure state is held on the wrapper object (not the iterator), so
+    a :class:`~repro.stream.sources.RetryingSource` re-opening the
+    stream after backoff sees the fault *heal* after its budgeted
+    failures — the way a recovering disk or NFS mount behaves.
+    """
+
+    def __init__(self, source: EdgeSource, injector: FaultInjector) -> None:
+        self.source = source
+        self.injector = injector
+        self.name = f"flaky({source.name})"
+        self.failures_injected = 0
+        self._failed_so_far: Dict[int, int] = {}
+
+    def records(self, start_offset: int = 0) -> Iterator[SourceRecord]:
+        for record in self.source.records(start_offset):
+            budget = self.injector.failures_for_offset(record.offset)
+            if budget:
+                done = self._failed_so_far.get(record.offset, 0)
+                if done < budget:
+                    self._failed_so_far[record.offset] = done + 1
+                    self.failures_injected += 1
+                    raise IOError(
+                        f"injected transient failure at offset {record.offset} "
+                        f"({done + 1}/{budget})"
+                    )
+            yield record
+
+    def __repr__(self) -> str:
+        return f"FlakySource({self.source!r}, injected={self.failures_injected})"

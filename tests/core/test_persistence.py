@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core import MinHashLinkPredictor, SketchConfig
-from repro.core.persistence import FORMAT_VERSION, load_predictor, save_predictor
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_predictor,
+    load_predictor_with_metadata,
+    save_predictor,
+)
 from repro.errors import ConfigurationError, SketchStateError
 from repro.graph import from_pairs
 from repro.graph.generators import erdos_renyi
@@ -97,6 +102,69 @@ class TestFileObjects:
         assert restored.score(0, 1, "adamic_adar") == original.score(
             0, 1, "adamic_adar"
         )
+
+
+class TestIntegrity:
+    """The hardened-write guarantees: atomicity, checksums, metadata."""
+
+    def _saved(self, tmp_path, k=16, seed=8, metadata=None):
+        predictor = MinHashLinkPredictor(SketchConfig(k=k, seed=seed))
+        predictor.process(from_pairs(TOY_EDGES))
+        path = checkpoint_path(tmp_path)
+        save_predictor(predictor, path, metadata=metadata)
+        return predictor, path
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        self._saved(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_metadata_round_trips(self, tmp_path):
+        _, path = self._saved(tmp_path, metadata={"stream_offset": 4242, "generation": 7})
+        _, metadata = load_predictor_with_metadata(path)
+        assert metadata == {"stream_offset": 4242, "generation": 7}
+
+    def test_no_metadata_is_empty_dict(self, tmp_path):
+        _, path = self._saved(tmp_path)
+        _, metadata = load_predictor_with_metadata(path)
+        assert metadata == {}
+
+    def test_suffixless_path_gets_npz_suffix(self, tmp_path):
+        """np.savez appends .npz to suffixless paths; the atomic path
+        must mirror that so callers find the file where numpy would
+        have put it."""
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=2))
+        predictor.process(from_pairs(TOY_EDGES))
+        save_predictor(predictor, tmp_path / "state")
+        assert (tmp_path / "state.npz").exists()
+        assert load_predictor(tmp_path / "state.npz").vertex_count == predictor.vertex_count
+
+    def test_bit_flip_in_payload_detected(self, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        _, path = self._saved(tmp_path)
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        values = fields["values"].copy()
+        values[0, 0] ^= 1  # single bit flip, archive stays a valid zip
+        fields["values"] = values
+        np.savez_compressed(path, **fields)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_predictor(path)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9, 0.99])
+    def test_truncation_at_any_offset_rejected(self, tmp_path, fraction):
+        from repro.errors import CheckpointCorruptError
+
+        _, path = self._saved(tmp_path, k=32)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: int(len(raw) * fraction)])
+        with pytest.raises(CheckpointCorruptError):
+            load_predictor(path)
+
+    def test_missing_file_is_not_corrupt(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_predictor(tmp_path / "never-written.npz")
 
 
 class TestValidation:

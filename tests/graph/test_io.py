@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import StreamFormatError
+from repro.errors import ConfigurationError, StreamFormatError
 from repro.graph import (
     Edge,
     VertexRelabeler,
@@ -12,6 +12,7 @@ from repro.graph import (
     read_edge_list,
     write_edge_list,
 )
+from repro.graph.io import parse_edge_line, scan_edge_list
 
 
 class TestReading:
@@ -75,6 +76,78 @@ class TestReading:
         path.write_text("0 1\n1 2\n")
         iterator = iter_edge_list(path)
         assert next(iterator) == Edge(0, 1, 0.0)
+
+
+#: Every malformed-line class the strict reader raises on, with the
+#: machine-readable reason the lenient paths must attach.
+MALFORMED_LINES = [
+    ("0", "bad_arity"),
+    ("0 1 2 3", "bad_arity"),
+    ("alice bob", "non_integer_vertex"),
+    ("1.5 2.5", "non_integer_vertex"),
+    ("-1 2", "negative_vertex"),
+    ("0 -9", "negative_vertex"),
+    ("0 1 yesterday", "bad_timestamp"),
+]
+
+
+class TestLenientParsing:
+    """The on_error="skip" mode and the diagnostics generator."""
+
+    @pytest.mark.parametrize("line,reason", MALFORMED_LINES)
+    def test_parse_edge_line_tags_reason(self, line, reason):
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_edge_line(line, line_number=7)
+        assert excinfo.value.reason == reason
+        assert excinfo.value.line_number == 7
+
+    @pytest.mark.parametrize("line,reason", MALFORMED_LINES)
+    def test_skip_mode_drops_each_malformed_class(self, tmp_path, line, reason):
+        path = tmp_path / "graph.txt"
+        path.write_text(f"0 1\n{line}\n2 3\n")
+        edges = read_edge_list(path, on_error="skip")
+        assert [(e.u, e.v) for e in edges] == [(0, 1), (2, 3)]
+        with pytest.raises(StreamFormatError):  # default stays strict
+            read_edge_list(path)
+
+    @pytest.mark.parametrize("line,reason", MALFORMED_LINES)
+    def test_scan_yields_typed_diagnostics(self, tmp_path, line, reason):
+        path = tmp_path / "graph.txt"
+        path.write_text(f"0 1\n{line}\n2 3\n")
+        diagnostics = list(scan_edge_list(path))
+        assert len(diagnostics) == 3
+        good, bad, tail = diagnostics
+        assert good.edge == Edge(0, 1, 0.0) and good.error is None
+        assert bad.edge is None
+        assert bad.error.reason == reason
+        assert bad.error.line_number == 2
+        assert bad.raw == line
+        assert tail.edge == Edge(2, 3, 1.0)  # index not burned by the bad line
+
+    def test_skip_mode_preserves_index_timestamps(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\nbroken\n2 3\n4 5\n")
+        edges = read_edge_list(path, on_error="skip")
+        assert [e.timestamp for e in edges] == [0.0, 1.0, 2.0]
+
+    def test_scan_skips_dropped_self_loops_silently(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 0\n1 2\n")
+        diagnostics = list(scan_edge_list(path))
+        assert len(diagnostics) == 1
+        assert diagnostics[0].edge == Edge(1, 2, 0.0)
+
+    def test_unknown_on_error_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ConfigurationError):
+            read_edge_list(path, on_error="ignore")
+
+    def test_relabeler_makes_labels_wellformed(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\n")
+        diagnostics = list(scan_edge_list(path, relabeler=VertexRelabeler()))
+        assert diagnostics[0].edge == Edge(0, 1, 0.0)
 
 
 class TestWriting:

@@ -1,0 +1,143 @@
+"""Sources: offset addressing, retry policy, and retry-exact delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.stream import (
+    FaultInjector,
+    FileEdgeSource,
+    IteratorEdgeSource,
+    RetryingSource,
+    RetryPolicy,
+    SyntheticEdgeSource,
+)
+
+
+class TestFileEdgeSource:
+    def test_offsets_skip_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n% alt comment\n2 3\n\n4 5\n")
+        records = list(FileEdgeSource(path).records())
+        assert [(r.offset, r.value, r.line_number) for r in records] == [
+            (0, "0 1", 3),
+            (1, "2 3", 5),
+            (2, "4 5", 7),
+        ]
+
+    def test_start_offset_resumes_mid_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n2 3\n4 5\n6 7\n")
+        records = list(FileEdgeSource(path).records(start_offset=2))
+        assert [(r.offset, r.value) for r in records] == [(2, "4 5"), (3, "6 7")]
+
+    def test_malformed_lines_are_transported_not_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\nutter garbage here\n2 3\n")
+        values = [r.value for r in FileEdgeSource(path).records()]
+        assert values == ["0 1", "utter garbage here", "2 3"]
+
+
+class TestIteratorEdgeSource:
+    def test_sequence_replay_is_offset_exact(self):
+        source = IteratorEdgeSource([(0, 1), (2, 3), (4, 5)])
+        assert [r.offset for r in source.records()] == [0, 1, 2]
+        assert [r.value for r in source.records(start_offset=1)] == [(2, 3), (4, 5)]
+        # replay gives identical records
+        assert list(source.records()) == list(source.records())
+
+    def test_factory_replay(self):
+        source = IteratorEdgeSource(lambda: iter([(0, 1), (2, 3)]))
+        assert [r.value for r in source.records(1)] == [(2, 3)]
+        assert [r.value for r in source.records(1)] == [(2, 3)]
+
+    def test_one_shot_iterator_rejected(self):
+        with pytest.raises(ConfigurationError, match="replay"):
+            IteratorEdgeSource(iter([(0, 1)]))
+
+    def test_synthetic_source_is_deterministic(self):
+        a = list(SyntheticEdgeSource("synth-facebook", seed=3).records())
+        b = list(SyntheticEdgeSource("synth-facebook", seed=3).records())
+        assert a == b and len(a) > 0
+
+
+class TestRetryPolicy:
+    def test_schedule_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert policy.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_band(self):
+        import random
+
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(0)
+        for attempt in range(50):
+            delay = policy.delay(attempt % 4, rng)
+            assert 0.75 <= delay <= 1.25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestRetryingSource:
+    @staticmethod
+    def _policy(sleeps, attempts=4):
+        return RetryPolicy(
+            max_attempts=attempts,
+            base_delay=0.01,
+            jitter=0.0,
+            sleep=sleeps.append,
+        )
+
+    def test_transient_failures_recover_gaplessly(self):
+        base = IteratorEdgeSource([(i, i + 1) for i in range(20)])
+        flaky = FaultInjector(seed=7, io_error_rate=0.4, max_failures_per_offset=2).flaky(base)
+        sleeps: list = []
+        retrying = RetryingSource(flaky, self._policy(sleeps))
+        records = list(retrying.records())
+        assert [r.offset for r in records] == list(range(20))  # no gap, no dup
+        assert flaky.failures_injected > 0
+        assert len(sleeps) == flaky.failures_injected == retrying.retries
+
+    def test_exhaustion_raises_typed_error(self):
+        base = IteratorEdgeSource([(0, 1), (1, 2)])
+        # offset 1 fails more times than the policy tolerates
+        injector = FaultInjector(seed=1, io_error_rate=1.0, max_failures_per_offset=50)
+        sleeps: list = []
+        retrying = RetryingSource(injector.flaky(base), self._policy(sleeps, attempts=3))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            list(retrying.records())
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, IOError)
+        assert len(sleeps) == 2  # attempts - 1 backoffs before giving up
+
+    def test_success_resets_attempt_budget(self):
+        # Every offset fails twice; with max_attempts=3 each offset
+        # individually recovers, because delivery resets the counter.
+        base = IteratorEdgeSource([(i, i + 1) for i in range(6)])
+        injector = FaultInjector(seed=2, io_error_rate=1.0, max_failures_per_offset=2)
+        sleeps: list = []
+        retrying = RetryingSource(injector.flaky(base), self._policy(sleeps, attempts=3))
+        records = list(retrying.records())
+        assert [r.offset for r in records] == list(range(6))
+
+    def test_backoff_delays_follow_policy(self):
+        base = IteratorEdgeSource([(0, 1)])
+        injector = FaultInjector(seed=3, io_error_rate=1.0, max_failures_per_offset=2)
+        sleeps: list = []
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0,
+            jitter=0.0, sleep=sleeps.append,
+        )
+        list(RetryingSource(injector.flaky(base), policy).records())
+        failures = injector.failures_for_offset(0)
+        assert failures >= 1
+        assert sleeps == [0.1 * 2.0**i for i in range(failures)]
