@@ -36,6 +36,7 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.exact import ExactOracle
 from repro.interface import LinkPredictor
+from repro.serve import QueryEngine
 
 __version__ = "1.0.0"
 
@@ -45,6 +46,7 @@ __all__ = [
     "LinkPredictor",
     "MinHashLinkPredictor",
     "PairEstimate",
+    "QueryEngine",
     "ReproError",
     "SketchConfig",
     "build_predictor",

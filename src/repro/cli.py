@@ -21,6 +21,10 @@ code:
   ingestion runtime: checkpointed, resumable consumption with retries
   and a dead-letter channel (``--checkpoint-every N --resume``); see
   ``docs/OPERATIONS.md``.
+* ``repro-linkpred query <file-or-dataset>`` — the batch query engine:
+  score a whole pair file (``--pairs-file``) or serve a top-k query
+  (``--vertex``) through the vectorized ``repro.serve`` kernel, from a
+  fresh ingest or a saved checkpoint, as a table, CSV or JSON.
 
 Input may be a registry dataset name or a path to a SNAP-format edge
 list (``u v [timestamp]`` rows, ``#`` comments).
@@ -250,13 +254,22 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             f"{args.source!r} is neither a registry dataset ({known}) nor a file path"
         )
     retrying = RetryingSource(source, RetryPolicy(max_attempts=args.max_retries))
+    if args.resume:
+        # Resume preconditions are checked *before* CheckpointManager
+        # runs (its constructor creates missing directories, which would
+        # turn an operator typo into a silent fresh start).
+        if not args.checkpoint_dir:
+            raise ReproError("--resume needs --checkpoint-dir")
+        if not os.path.isdir(args.checkpoint_dir):
+            raise ReproError(
+                f"--resume: checkpoint directory {args.checkpoint_dir!r} does not "
+                "exist (check the path, or run once without --resume to create it)"
+            )
     manager = (
         CheckpointManager(args.checkpoint_dir, keep=args.keep)
         if args.checkpoint_dir
         else None
     )
-    if args.resume and manager is None:
-        raise ReproError("--resume needs --checkpoint-dir")
     sink = FileDeadLetters(args.dead_letter) if args.dead_letter else MemoryDeadLetters()
     runner = StreamRunner(
         retrying,
@@ -268,17 +281,101 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         self_loops=args.self_loops,
     )
     if args.resume:
-        resumed = runner.resume()
-        print(
-            f"resumed from generation {runner.resumed_from} at offset {runner.offset}"
-            if resumed
-            else "no checkpoint found; starting fresh"
-        )
+        if not runner.resume():
+            raise ReproError(
+                f"--resume: no checkpoints found in {args.checkpoint_dir!r} "
+                "(run once without --resume to create the first generation)"
+            )
+        print(f"resumed from generation {runner.resumed_from} at offset {runner.offset}")
     stats = runner.run(max_records=args.max_records)
     reasons = stats.pop("dead_letter_reasons")
     rows = [[key, value] for key, value in stats.items()]
     rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
     print(format_table(["metric", "value"], rows, title=f"Ingest: {args.source}"))
+    return 0
+
+
+def _query_rows(args: argparse.Namespace, engine) -> list:
+    """Resolve the query mode (pair file vs top-k) into result rows."""
+    if bool(args.pairs_file) == (args.vertex is not None):
+        raise ReproError("query needs exactly one of --pairs-file or --vertex")
+    if args.pairs_file:
+        if not os.path.exists(args.pairs_file):
+            raise ReproError(f"pair file {args.pairs_file!r} does not exist")
+        pairs = [
+            (edge.u, edge.v)
+            for edge in read_edge_list(args.pairs_file, allow_self_loops=True)
+        ]
+        scores = engine.score_many(pairs, args.measure)
+        return [[u, v, float(score)] for (u, v), score in zip(pairs, scores)]
+    ranked = engine.top_k(
+        args.vertex,
+        args.measure,
+        k=args.top,
+        prune=False if args.no_prune else None,  # None: engine's per-measure default
+    )
+    return [[args.vertex, v, score] for v, score in ranked]
+
+
+def _emit_query_results(args: argparse.Namespace, rows: list, stats: dict) -> None:
+    import json as json_module
+
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        if args.format == "csv":
+            out.write(f"u,v,{args.measure}\n")
+            for u, v, score in rows:
+                out.write(f"{u},{v},{score!r}\n")
+        elif args.format == "json":
+            json_module.dump(
+                {
+                    "measure": args.measure,
+                    "results": [
+                        {"u": u, "v": v, "score": score} for u, v, score in rows
+                    ],
+                    "stats": stats,
+                },
+                out,
+                indent=2,
+            )
+            out.write("\n")
+        else:
+            print(
+                format_table(
+                    ["u", "v", args.measure],
+                    rows,
+                    title=f"Batch scores ({len(rows)} results)",
+                    precision=4,
+                ),
+                file=out,
+            )
+            stat_rows = [[key, value] for key, value in stats.items()]
+            print(
+                format_table(["stat", "value"], stat_rows, title="Engine stats"),
+                file=out,
+            )
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.persistence import load_predictor
+    from repro.serve import QueryEngine
+
+    if args.load_checkpoint:
+        predictor = load_predictor(args.load_checkpoint)
+    elif args.source:
+        predictor = build_predictor(
+            "minhash", _config_from_args(args), expected_vertices=None
+        )
+        for edge in _load_edges(args.source, args.seed):
+            predictor.update(edge.u, edge.v)
+    else:
+        raise ReproError("query needs a source (dataset/edge list) or --load-checkpoint")
+    engine = QueryEngine(predictor)
+    rows = _query_rows(args, engine)
+    _emit_query_results(args, rows, engine.stats())
     return 0
 
 
@@ -397,6 +494,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-records", type=int, default=None, help="stop after N records (drills)"
     )
     ingest.set_defaults(run=_cmd_ingest)
+
+    query = commands.add_parser(
+        "query", help="batch-score a pair file or serve a top-k query"
+    )
+    query.add_argument(
+        "source",
+        nargs="?",
+        default="",
+        help="dataset name or edge-list path to ingest (omit with --load-checkpoint)",
+    )
+    query.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+    query.add_argument(
+        "--load-checkpoint",
+        default="",
+        metavar="NPZ",
+        help="serve from a saved checkpoint instead of ingesting a stream",
+    )
+    query.add_argument(
+        "--pairs-file",
+        default="",
+        metavar="FILE",
+        help="score every 'u v' pair in this file (comments/# allowed)",
+    )
+    query.add_argument(
+        "--vertex",
+        type=int,
+        default=None,
+        metavar="U",
+        help="top-k mode: find the best partners of this vertex",
+    )
+    query.add_argument("--top", type=int, default=10, help="top-k result size")
+    query.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="top-k mode: score all vertices instead of LSH candidates",
+    )
+    query.add_argument("--measure", default="jaccard")
+    query.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "json"],
+        help="output shape (table includes the engine stats block)",
+    )
+    query.add_argument(
+        "--output", default="", metavar="FILE", help="write results here instead of stdout"
+    )
+    query.set_defaults(run=_cmd_query)
 
     evaluate = commands.add_parser("evaluate", help="accuracy vs the exact oracle")
     add_method_arguments(evaluate)

@@ -61,11 +61,21 @@ __all__ = [
 
 
 def union_size_from_jaccard(jaccard: float, degree_u: int, degree_v: int) -> float:
-    """Plug-in estimate of ``|N(u) ∪ N(v)| = (d(u)+d(v)) / (1+J)``."""
+    """Plug-in estimate of ``|N(u) ∪ N(v)| = (d(u)+d(v)) / (1+J)``.
+
+    Edge cases are explicit so empty-overlap pairs can never divide by
+    zero or return ``inf``: at ``jaccard == 0`` the union is exactly
+    ``d(u) + d(v)`` (disjoint neighborhoods), and two zero-degree
+    endpoints have an empty union.  The result is always finite and
+    non-negative — the witness-sum estimators multiply by it, so an
+    ``inf`` here would poison every downstream measure.
+    """
     _check_jaccard(jaccard)
     total = degree_u + degree_v
-    if total == 0:
+    if total <= 0:
         return 0.0
+    if jaccard == 0.0:
+        return float(total)
     return total / (1.0 + jaccard)
 
 
@@ -105,8 +115,21 @@ def witness_sum_from_matches(
 
 
 def clamp_intersection(value: float, degree_u: int, degree_v: int) -> float:
-    """Clamp an intersection-size estimate into ``[0, min(du, dv)]``."""
-    return max(0.0, min(float(min(degree_u, degree_v)), value))
+    """Clamp an intersection-size estimate into ``[0, min(du, dv)]``.
+
+    ``du``/``dv`` are the degrees *as reported by the caller's tracker*.
+    Under :class:`~repro.core.degrees.CountMinDegrees` an over-estimated
+    degree raises the clamp ceiling above the true degree — the clamp
+    still guarantees the estimate is feasible with respect to the
+    degrees the estimator actually used (``[0, min(du, dv)]``), which is
+    the invariant the property suite pins; it cannot recover exactness
+    the tracker already gave up.  Non-positive reported degrees clamp
+    everything to 0.0.
+    """
+    ceiling = float(min(degree_u, degree_v))
+    if ceiling <= 0.0:
+        return 0.0
+    return max(0.0, min(ceiling, value))
 
 
 def jaccard_std_error(jaccard: float, k: int) -> float:

@@ -202,6 +202,34 @@ class LshCandidateIndex(object):
                     if estimate >= min_jaccard:
                         yield CandidatePair(pair[0], pair[1], estimate)
 
+    def candidates_of(self, vertex: int) -> Set[int]:
+        """All indexed vertices co-bucketed with ``vertex`` in any band.
+
+        The single-vertex query the batch engine's ``top_k`` prunes
+        through: the returned set contains every indexed vertex whose
+        sketch agrees with ``vertex``'s on at least one full band —
+        for a ``rows=1`` index that is *exactly* the set of vertices
+        with ``Ĵ > 0``, so pruning loses nothing.  The vertex's band
+        signatures are computed from its own sketch, so the query works
+        even when ``vertex`` itself fell under ``min_degree`` and was
+        not indexed.  Unlike :meth:`candidate_pairs`, overfull buckets
+        are **not** skipped: a single-vertex probe costs ``O(bucket)``,
+        not ``O(bucket²)``, so the blow-up guard is unnecessary and
+        skipping would silently lose true candidates.
+
+        Returns the empty set for vertices with no sketch (the
+        unseen-vertex policy: nothing to recommend).
+        """
+        sketch = self.predictor._sketches.get(vertex)
+        if sketch is None:
+            return set()
+        found: Set[int] = set()
+        for band in range(self.bands):
+            signature = self._band_signature(sketch.values, band)
+            found.update(self._buckets.get((band, signature), ()))
+        found.discard(vertex)
+        return found
+
     def top_pairs(
         self, limit: int, measure_name: str = "jaccard", min_jaccard: float = 0.0
     ) -> List[Tuple[CandidatePair, float]]:

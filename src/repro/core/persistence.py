@@ -143,36 +143,26 @@ def save_predictor(
             "only exact-degree predictors are checkpointable; "
             f"got degree_mode={predictor.config.degree_mode!r}"
         )
-    vertex_ids = np.array(sorted(predictor._sketches), dtype=np.int64)
-    k = predictor.config.k
-    values = np.empty((len(vertex_ids), k), dtype=np.uint64)
+    exported = predictor.export_arrays()
     track = predictor.config.track_witnesses
-    witnesses = np.empty((len(vertex_ids), k), dtype=np.int64) if track else np.empty((0, 0), dtype=np.int64)
-    update_counts = np.empty(len(vertex_ids), dtype=np.int64)
-    degrees = np.empty(len(vertex_ids), dtype=np.int64)
-    for row, vertex in enumerate(vertex_ids.tolist()):
-        sketch = predictor._sketches[vertex]
-        values[row] = sketch.values
-        if track:
-            witnesses[row] = sketch.witnesses
-        update_counts[row] = sketch.update_count
-        degrees[row] = predictor.degree(vertex)
     fields: Dict[str, np.ndarray] = {
         "format_version": np.int64(FORMAT_VERSION),
-        "k": np.int64(k),
+        "k": np.int64(predictor.config.k),
         "seed": np.uint64(predictor.config.seed),
         "track_witnesses": np.bool_(track),
-        "vertex_ids": vertex_ids,
-        "values": values,
-        "witnesses": witnesses,
-        "update_counts": update_counts,
-        "degrees": degrees,
+        "vertex_ids": exported.vertex_ids,
+        "values": exported.values,
+        "witnesses": (
+            exported.witnesses if track else np.empty((0, 0), dtype=np.int64)
+        ),
+        "update_counts": exported.update_counts,
+        "degrees": exported.degrees,
     }
     for key, value in (metadata or {}).items():
         fields[_META_PREFIX + key] = np.int64(value)
     fields["sha256"] = np.frombuffer(bytes.fromhex(_payload_checksum(fields)), dtype=np.uint8)
     _savez_atomic(path, fields)
-    return len(vertex_ids)
+    return len(exported.vertex_ids)
 
 
 def load_predictor(path: Union[PathLike, IO[bytes]]) -> MinHashLinkPredictor:
@@ -244,12 +234,12 @@ def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
     degrees = fields["degrees"]
     degree_table: ExactDegrees = predictor._degrees  # type: ignore[assignment]
     for row, vertex in enumerate(vertex_ids.tolist()):
-        sketch = KMinHash(predictor.bank, track_witnesses=config.track_witnesses)
-        sketch.values = values[row].copy()
-        if config.track_witnesses:
-            sketch.witnesses = witnesses[row].copy()
-        sketch.update_count = int(update_counts[row])
-        predictor._sketches[vertex] = sketch
+        predictor._sketches[vertex] = KMinHash.from_arrays(
+            predictor.bank,
+            values[row],
+            witnesses[row] if config.track_witnesses else None,
+            update_count=int(update_counts[row]),
+        )
         if degrees[row]:
             degree_table._counts[vertex] = int(degrees[row])
     metadata = {

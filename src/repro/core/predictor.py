@@ -34,7 +34,9 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
+
+import numpy as np
 
 from repro.core.config import SketchConfig
 from repro.core.degrees import CountMinDegrees, DegreeTracker, ExactDegrees
@@ -51,7 +53,29 @@ from repro.hashing import HashBank
 from repro.interface import LinkPredictor
 from repro.sketches.minhash import KMinHash
 
-__all__ = ["MinHashLinkPredictor", "PairEstimate"]
+__all__ = ["MinHashLinkPredictor", "PairEstimate", "SketchArrays"]
+
+
+class SketchArrays(NamedTuple):
+    """A predictor's entire per-vertex state as contiguous arrays.
+
+    Returned by :meth:`MinHashLinkPredictor.export_arrays`; consumed by
+    checkpointing (:mod:`repro.core.persistence`) and the batch query
+    engine (:mod:`repro.serve`).  Row ``i`` of every matrix belongs to
+    ``vertex_ids[i]``; ``vertex_ids`` is sorted ascending so row lookup
+    is a binary search.
+    """
+
+    #: Sorted vertex ids, ``int64 (n,)``.
+    vertex_ids: np.ndarray
+    #: Slot minima, ``uint64 (n, k)``.
+    values: np.ndarray
+    #: Slot witnesses, ``int64 (n, k)``; ``None`` without witness tracking.
+    witnesses: Optional[np.ndarray]
+    #: Per-sketch update counters, ``int64 (n,)``.
+    update_counts: np.ndarray
+    #: Degrees as currently believed by the tracker, ``int64 (n,)``.
+    degrees: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -154,18 +178,34 @@ class MinHashLinkPredictor(LinkPredictor):
 
     def score(self, u: int, v: int, measure_name: str) -> float:
         """Estimate any registered measure for the pair (see module
-        docstring for the estimator derivations)."""
+        docstring for the estimator derivations).
+
+        Unseen-vertex policy (pinned by the regression suite, and
+        mirrored exactly by :class:`repro.serve.QueryEngine`): if either
+        endpoint has never appeared in the stream, **every** measure
+        scores 0.0 — including ``preferential_attachment``, whose
+        Count-Min degree estimate for an unseen vertex can otherwise be
+        a spurious positive.  Queries never raise ``KeyError``.
+        Self-pairs ``(u, u)`` are answered as a pair of identical
+        neighborhoods (``Ĵ = 1``, common neighbors clamp to the
+        degree); zero-degree endpoints score 0.0.
+        """
         measure = measure_by_name(measure_name)
         return self._score(u, v, measure)
 
     def _score(self, u: int, v: int, measure: Measure) -> float:
+        # Policy: unseen vertex => 0.0 for every measure, checked before
+        # any degree lookup so approximate degree tables cannot invent a
+        # score for a vertex that was never sketched.
+        su = self._sketches.get(u)
+        sv = self._sketches.get(v)
+        if su is None or sv is None:
+            return 0.0
         du = self.degree(u)
         dv = self.degree(v)
         if measure.kind == "degree_product":
             return float(du * dv)
-        su = self._sketches.get(u)
-        sv = self._sketches.get(v)
-        if su is None or sv is None or du == 0 or dv == 0:
+        if du == 0 or dv == 0:
             return 0.0
         j = su.jaccard(sv)
         if measure.name == "jaccard":
@@ -213,6 +253,40 @@ class MinHashLinkPredictor(LinkPredictor):
             degree_v=dv,
             jaccard_std_error=jaccard_std_error(j, self.config.k),
         )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def export_arrays(self) -> SketchArrays:
+        """Snapshot all per-vertex state as contiguous arrays.
+
+        One ``(n, k)`` matrix per sketch component plus the degree
+        vector, rows sorted by vertex id.  This is the export surface
+        shared by checkpointing and the batch query engine: both need
+        the same matrices, and building them in one place keeps the
+        row-order convention (sorted ids) impossible to get wrong.
+
+        The arrays are fresh copies — mutating them never touches the
+        live predictor, and further stream updates never invalidate an
+        earlier export.
+        """
+        vertex_ids = np.array(sorted(self._sketches), dtype=np.int64)
+        n = len(vertex_ids)
+        k = self.config.k
+        track = self.config.track_witnesses
+        values = np.empty((n, k), dtype=np.uint64)
+        witnesses = np.empty((n, k), dtype=np.int64) if track else None
+        update_counts = np.empty(n, dtype=np.int64)
+        degrees = np.empty(n, dtype=np.int64)
+        for row, vertex in enumerate(vertex_ids.tolist()):
+            sketch = self._sketches[vertex]
+            values[row] = sketch.values
+            if witnesses is not None:
+                witnesses[row] = sketch.witnesses
+            update_counts[row] = sketch.update_count
+            degrees[row] = self.degree(vertex)
+        return SketchArrays(vertex_ids, values, witnesses, update_counts, degrees)
 
     # ------------------------------------------------------------------
     # Distribution

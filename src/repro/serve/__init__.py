@@ -1,0 +1,30 @@
+"""Batch query serving over warm sketch stores.
+
+PR 1 hardened the *write* path (fault-tolerant, resumable ingestion);
+this package is the *read* path: serving many measure queries per
+second from a :class:`~repro.core.predictor.MinHashLinkPredictor`
+without paying a Python-level loop per pair.
+
+* :class:`~repro.serve.packed.PackedSketches` — every vertex sketch
+  packed into one contiguous ``(n, k)`` matrix plus a degree vector,
+  with binary-search row lookup.
+* :mod:`repro.serve.kernels` — the vectorized scoring kernel: slot
+  collisions via broadcast equality, then the estimator algebra of
+  :mod:`repro.core.estimators` evaluated as array expressions for every
+  registered measure.
+* :class:`~repro.serve.engine.QueryEngine` — the serving facade:
+  ``score_many(pairs, measure)`` and ``top_k(u, measure, k)`` (with
+  LSH-pruned candidate generation), plus a flat ``stats()`` health
+  surface mirroring :meth:`repro.stream.runner.StreamRunner.stats`.
+
+The engine answers every query exactly as the per-pair
+:meth:`~repro.core.predictor.MinHashLinkPredictor.score` path would —
+same estimators, same clamps, same unseen-vertex policy (0.0, never a
+``KeyError``) — it just answers thousands of them per NumPy dispatch.
+"""
+
+from repro.serve.engine import QueryEngine
+from repro.serve.kernels import score_pairs_packed
+from repro.serve.packed import PackedSketches
+
+__all__ = ["PackedSketches", "QueryEngine", "score_pairs_packed"]

@@ -1,0 +1,191 @@
+"""Contiguous sketch matrices: the data layout of the batch kernel.
+
+A live :class:`~repro.core.predictor.MinHashLinkPredictor` keeps one
+small sketch object per vertex — ideal for constant-time stream
+updates, hostile to batch queries, which would touch thousands of
+scattered Python objects.  :class:`PackedSketches` snapshots that state
+into the layout the vectorized kernel wants:
+
+* ``values`` — ``uint64 (n, k)``: row ``i`` is vertex
+  ``vertex_ids[i]``'s slot minima,
+* ``witnesses`` — ``int64 (n, k)`` (or ``None`` without witness
+  tracking),
+* ``degrees`` — ``int64 (n,)``, as believed by the predictor's tracker
+  at pack time,
+* ``vertex_ids`` — sorted ``int64 (n,)``, so vertex→row resolution is
+  one :func:`numpy.searchsorted` for a whole batch.
+
+The pack is a *frozen snapshot*: stream updates applied to the
+predictor after packing are not reflected until
+:meth:`QueryEngine.refresh <repro.serve.engine.QueryEngine.refresh>`
+re-packs.  That is the intended serving discipline — the write path
+and the read path share nothing mutable, so neither can stall the
+other.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.predictor import MinHashLinkPredictor
+from repro.errors import SketchStateError
+
+__all__ = ["PackedSketches"]
+
+VertexBatch = Union[Sequence[int], np.ndarray]
+
+
+class PackedSketches(object):
+    """A predictor's sketches as one contiguous matrix per component.
+
+    Build with :meth:`from_predictor`; all arrays are copies owned by
+    this object (the predictor may keep streaming).
+    """
+
+    __slots__ = (
+        "vertex_ids",
+        "values",
+        "witnesses",
+        "degrees",
+        "update_counts",
+        "k",
+        "seed",
+        "pack_seconds",
+        "_witness_degrees",
+        "_weight_cache",
+    )
+
+    def __init__(
+        self,
+        vertex_ids: np.ndarray,
+        values: np.ndarray,
+        witnesses: Optional[np.ndarray],
+        degrees: np.ndarray,
+        update_counts: np.ndarray,
+        *,
+        k: int,
+        seed: int,
+        pack_seconds: float = 0.0,
+    ) -> None:
+        if values.shape != (len(vertex_ids), k):
+            raise SketchStateError(
+                f"values matrix has shape {values.shape}, "
+                f"expected ({len(vertex_ids)}, {k})"
+            )
+        if witnesses is not None and witnesses.shape != values.shape:
+            raise SketchStateError(
+                f"witnesses matrix has shape {witnesses.shape}, "
+                f"expected {values.shape}"
+            )
+        self.vertex_ids = vertex_ids
+        self.values = values
+        self.witnesses = witnesses
+        self.degrees = degrees
+        self.update_counts = update_counts
+        self.k = k
+        self.seed = seed
+        self.pack_seconds = pack_seconds
+        self._witness_degrees: Optional[np.ndarray] = None
+        self._weight_cache: dict = {}
+
+    @classmethod
+    def from_predictor(cls, predictor: MinHashLinkPredictor) -> "PackedSketches":
+        """Snapshot a predictor into packed form (timed; see
+        :attr:`pack_seconds`)."""
+        started = time.perf_counter()
+        exported = predictor.export_arrays()
+        return cls(
+            exported.vertex_ids,
+            exported.values,
+            exported.witnesses,
+            exported.degrees,
+            exported.update_counts,
+            k=predictor.config.k,
+            seed=predictor.config.seed,
+            pack_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertex_ids)
+
+    def rows_of(self, vertices: VertexBatch) -> np.ndarray:
+        """Rows of a batch of vertex ids; ``-1`` marks unseen vertices.
+
+        The ``-1`` sentinel is how the unseen-vertex policy flows
+        through the kernel: unseen rows are masked out and score 0.0
+        for every measure, mirroring the per-pair path.
+        """
+        ids = np.atleast_1d(np.asarray(vertices, dtype=np.int64))
+        if self.n_vertices == 0:
+            return np.full(ids.shape, -1, dtype=np.int64)
+        positions = np.searchsorted(self.vertex_ids, ids)
+        positions = np.minimum(positions, self.n_vertices - 1)
+        found = self.vertex_ids[positions] == ids
+        return np.where(found, positions, np.int64(-1))
+
+    def row_of(self, vertex: int) -> int:
+        """Row of one vertex id, or ``-1`` if unseen."""
+        return int(self.rows_of(np.array([vertex], dtype=np.int64))[0])
+
+    def degrees_of(self, vertices: VertexBatch) -> np.ndarray:
+        """Degrees for a batch of vertex ids (0 for unseen vertices).
+
+        Used by the witness-sum kernel to resolve witness degrees: a
+        witness is always a vertex that appeared as a stream endpoint,
+        but the 0-default keeps the kernel total even when a slot holds
+        the ``NO_WITNESS`` sentinel (masked out downstream anyway).
+        """
+        rows = self.rows_of(vertices)
+        if self.n_vertices == 0:
+            return np.zeros(rows.shape, dtype=np.int64)
+        return np.where(rows >= 0, self.degrees[np.maximum(rows, 0)], np.int64(0))
+
+    def witness_degree_matrix(self) -> np.ndarray:
+        """Degree of each witness slot, ``int64 (n, k)``.
+
+        Resolving witness ids to degrees is a searchsorted over ``n·k``
+        ids — identical for every query against a frozen pack, so it
+        runs once on first use and is cached (this is the dominant cost
+        of the witness-sum kernel when done per query).
+        """
+        if self.witnesses is None:
+            raise SketchStateError(
+                "store has no witnesses; construct the predictor with "
+                "SketchConfig(track_witnesses=True)"
+            )
+        if self._witness_degrees is None:
+            self._witness_degrees = self.degrees_of(
+                self.witnesses.ravel()
+            ).reshape(self.witnesses.shape)
+        return self._witness_degrees
+
+    def witness_weight_matrix(self, name, weight_fn) -> np.ndarray:
+        """``weight_fn`` applied to :meth:`witness_degree_matrix`,
+        cached per measure name (weights are pure functions of the
+        frozen degrees)."""
+        cached = self._weight_cache.get(name)
+        if cached is None:
+            cached = weight_fn(self.witness_degree_matrix())
+            self._weight_cache[name] = cached
+        return cached
+
+    def nominal_bytes(self) -> int:
+        """Packed size of the matrices (the serving-tier memory cost)."""
+        total = self.values.nbytes + self.degrees.nbytes + self.vertex_ids.nbytes
+        if self.witnesses is not None:
+            total += self.witnesses.nbytes
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedSketches(vertices={self.n_vertices}, k={self.k}, "
+            f"witnesses={self.witnesses is not None})"
+        )

@@ -130,6 +130,43 @@ class KMinHash(MergeableSummary):
         for key in keys:
             self.update(key)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        bank: HashBank,
+        values: np.ndarray,
+        witnesses: Optional[np.ndarray] = None,
+        update_count: int = 0,
+    ) -> "KMinHash":
+        """Rebuild a sketch from exported slot arrays.
+
+        The inverse of reading :attr:`values`/:attr:`witnesses`
+        directly: checkpoint restore and the batch query engine's
+        packed matrices both round-trip sketches through flat arrays,
+        and this is the single validated entry point back.  Arrays are
+        copied; ``witnesses=None`` builds a non-tracking sketch.
+
+        Raises :class:`SketchStateError` when an array's length does
+        not match the bank's slot count.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (bank.size,):
+            raise SketchStateError(
+                f"values array has shape {values.shape}, expected ({bank.size},)"
+            )
+        sketch = cls(bank, track_witnesses=witnesses is not None)
+        sketch.values = values.copy()
+        if witnesses is not None:
+            witnesses = np.asarray(witnesses, dtype=np.int64)
+            if witnesses.shape != (bank.size,):
+                raise SketchStateError(
+                    f"witnesses array has shape {witnesses.shape}, "
+                    f"expected ({bank.size},)"
+                )
+            sketch.witnesses = witnesses.copy()
+        sketch.update_count = int(update_count)
+        return sketch
+
     def nominal_bytes(self) -> int:
         per_slot = 8 if self.witnesses is None else 16
         return self.bank.size * per_slot

@@ -1,0 +1,88 @@
+"""Subprocess-level tests for ``ingest --resume`` preconditions.
+
+These run the real console entry point (``python -m repro.cli``) in a
+child process: the operator-facing contract is the *process* exit code
+and stderr text, which in-process ``main([...])`` calls cannot fully
+pin down (a stray ``sys.exit`` or traceback would slip through).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(path, erdos_renyi(25, 60, seed=7))
+    return path
+
+
+class TestResumePreconditions:
+    def test_resume_without_checkpoint_dir(self, graph_file):
+        proc = run_cli("ingest", str(graph_file), "--resume")
+        assert proc.returncode == 2
+        assert "--checkpoint-dir" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_resume_with_missing_dir(self, graph_file, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir"
+        proc = run_cli(
+            "ingest", str(graph_file),
+            "--checkpoint-dir", str(missing), "--resume",
+        )
+        assert proc.returncode == 2
+        assert "does not exist" in proc.stderr
+        assert "Traceback" not in proc.stderr
+        # The precondition fires before the manager mkdirs: a typo'd
+        # path must not be silently created and "resumed" fresh.
+        assert not missing.exists()
+
+    def test_resume_with_empty_dir(self, graph_file, tmp_path):
+        empty = tmp_path / "ckpt"
+        empty.mkdir()
+        proc = run_cli(
+            "ingest", str(graph_file),
+            "--checkpoint-dir", str(empty), "--resume",
+        )
+        assert proc.returncode == 2
+        assert "no checkpoints found" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_happy_path_resume_exits_zero(self, graph_file, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = run_cli(
+            "ingest", str(graph_file), "--k", "16",
+            "--checkpoint-dir", str(ckpt), "--checkpoint-every", "20",
+            "--max-records", "40",
+        )
+        assert first.returncode == 0
+        second = run_cli(
+            "ingest", str(graph_file), "--k", "16",
+            "--checkpoint-dir", str(ckpt), "--checkpoint-every", "20",
+            "--resume",
+        )
+        assert second.returncode == 0
+        assert "resumed from generation" in second.stdout

@@ -51,6 +51,62 @@ class TestEstimatorAlgebra:
         once = clamp_intersection(value, du, dv)
         assert clamp_intersection(once, du, dv) == once
 
+    @given(degree, degree)
+    def test_union_at_jaccard_zero_is_degree_sum(self, du, dv):
+        # Ĵ == 0 means no observed overlap: the estimated union is the
+        # whole degree sum, finite, no division surprises.
+        assert union_size_from_jaccard(0.0, du, dv) == float(du + dv)
+
+    @given(unit)
+    def test_union_of_empty_pair_is_zero(self, j):
+        assert union_size_from_jaccard(j, 0, 0) == 0.0
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False), degree, degree)
+    def test_clamp_output_always_feasible(self, value, du, dv):
+        clamped = clamp_intersection(value, du, dv)
+        assert 0.0 <= clamped <= min(du, dv)
+
+    @given(st.floats(0, 1e6, allow_nan=False), degree, st.integers(1, 1000))
+    def test_clamp_under_countmin_overestimates(self, value, true_degree, slack):
+        # Count-Min never under-estimates: the tracker may report
+        # degree + slack.  An inflated ceiling must widen (or keep) the
+        # clamp window, never invert it below the true-feasible value.
+        honest = clamp_intersection(value, true_degree, true_degree)
+        inflated = clamp_intersection(
+            value, true_degree + slack, true_degree + slack
+        )
+        assert inflated >= honest
+        assert inflated <= true_degree + slack
+
+
+class TestCountMinFeasibility:
+    """End-to-end feasibility under approximate degrees: with a tiny
+    (collision-heavy) Count-Min table the tracked degrees over-estimate,
+    yet every overlap estimate must stay inside the feasible interval
+    ``[0, min(du, dv)]`` of the *tracked* degrees."""
+
+    @given(edge_lists, st.integers(2, 64))
+    def test_cn_estimates_feasible_under_countmin(self, pairs, width):
+        from repro.core import MinHashLinkPredictor, SketchConfig
+
+        predictor = MinHashLinkPredictor(
+            SketchConfig(
+                k=16, seed=1, degree_mode="countmin",
+                countmin_width=width, countmin_depth=2,
+            )
+        )
+        for u, v in pairs:
+            predictor.update(u, v)
+        vertices = sorted({x for pair in pairs for x in pair})[:8]
+        for u in vertices:
+            for v in vertices:
+                if u == v:
+                    continue
+                ceiling = min(predictor.degree(u), predictor.degree(v))
+                cn = predictor.score(u, v, "common_neighbors")
+                assert 0.0 <= cn <= ceiling
+                assert predictor.score(u, v, "jaccard") <= 1.0
+
 
 class TestGraphLaws:
     @given(edge_lists)
