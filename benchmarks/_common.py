@@ -12,9 +12,13 @@ bigger grid — figures in EXPERIMENTS.md note which scale produced them).
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import platform
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.eval.candidates import sample_two_hop_pairs
 from repro.exact import ExactOracle
@@ -33,6 +37,54 @@ def emit(experiment: str, text: str) -> None:
     print(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(
+    experiment: str,
+    record: Dict[str, object],
+    path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Persist a machine-readable result record; returns its path.
+
+    The human tables in ``results/<experiment>.txt`` are unparseable by
+    trend tooling, so every benchmark also writes a
+    ``results/BENCH_<experiment>.json`` record (or ``path``, the
+    standalone runners' ``--json`` flag) of the shape::
+
+        {"experiment": ..., "scale": ..., "unix_time": ...,
+         "python": ..., "results": {...}}
+
+    One record per file, overwritten per run — the perf *trajectory*
+    lives in version control / CI artifacts, not in an append log.
+    """
+    target = Path(path) if path else RESULTS_DIR / f"BENCH_{experiment}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "scale": SCALE,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "results": record,
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def bench_arg_parser(description: str) -> argparse.ArgumentParser:
+    """Shared CLI for the standalone (non-pytest) benchmark runners:
+    ``--smoke`` (CI scale), ``--json PATH`` (machine-readable record)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI scale: fewer records, same checks"
+    )
+    parser.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the BENCH_*.json result record here "
+        "(default: benchmarks/results/BENCH_<experiment>.json)",
+    )
+    return parser
 
 
 _ORACLES: Dict[Tuple[str, int], ExactOracle] = {}

@@ -24,7 +24,7 @@ import time
 
 import numpy as np
 
-from _common import SCALE, emit, stream_of
+from _common import SCALE, bench_arg_parser, emit, emit_json, stream_of
 from repro.core import MinHashLinkPredictor, SketchConfig
 from repro.eval.reporting import format_table
 from repro.serve import QueryEngine
@@ -129,6 +129,18 @@ def test_e15_report_and_shape(benchmark):
         ),
     )
     speedup = _RESULTS["loop_seconds"] / _RESULTS["batch_seconds"]
+    emit_json(
+        "e15_batch_query",
+        {
+            "dataset": DATASET,
+            "pairs": N_PAIRS,
+            "loop_pairs_per_second": N_PAIRS / _RESULTS["loop_seconds"],
+            "batch_pairs_per_second": N_PAIRS / _RESULTS["batch_seconds"],
+            "speedup": speedup,
+            "topk_candidates_brute": _RESULTS["brute_candidates"],
+            "topk_candidates_pruned": _RESULTS["pruned_candidates"],
+        },
+    )
     assert speedup >= SPEEDUP_BAR, f"score_many only {speedup:.1f}x the loop"
     assert 0 < _RESULTS["pruned_candidates"] < _RESULTS["brute_candidates"]
 
@@ -147,8 +159,8 @@ def _report_rows():
 
 def main(argv=None):
     """Standalone entry point for the CI smoke step (no pytest)."""
-    argv = sys.argv[1:] if argv is None else argv
-    smoke = "--smoke" in argv
+    args = bench_arg_parser("E15 batch query throughput smoke").parse_args(argv)
+    smoke = args.smoke
     n_pairs = 20_000 if smoke else N_PAIRS
     predictor, engine, pairs = _build(n_pairs=n_pairs)
 
@@ -177,6 +189,19 @@ def main(argv=None):
         f"loop={n_pairs / loop_seconds:,.0f}/s "
         f"batch={n_pairs / batch_seconds:,.0f}/s speedup={speedup:.1f}x "
         f"topk candidates {brute_scored} -> {pruned_scored}"
+    )
+    emit_json(
+        "e15_batch_query_smoke" if smoke else "e15_batch_query",
+        {
+            "dataset": DATASET,
+            "pairs": n_pairs,
+            "loop_pairs_per_second": n_pairs / loop_seconds,
+            "batch_pairs_per_second": n_pairs / batch_seconds,
+            "speedup": speedup,
+            "topk_candidates_brute": brute_scored,
+            "topk_candidates_pruned": pruned_scored,
+        },
+        path=args.json or None,
     )
     if pruned_lists != brute_lists:
         print("FAIL: pruned top-k disagrees with brute force", file=sys.stderr)

@@ -1,7 +1,9 @@
 """Command-line interface: ``repro-linkpred``.
 
-Four subcommands cover the everyday uses of the library without writing
-code:
+Nine subcommands cover the everyday uses of the library without
+writing code — exploration (``datasets``, ``stats``), prediction and
+evaluation (``predict``, ``evaluate``, ``discover``, ``triangles``),
+and the production runtime (``ingest``, ``query``, ``monitor``):
 
 * ``repro-linkpred datasets`` — the registry of synthetic SNAP
   stand-ins with their measured statistics (table E1).
@@ -25,6 +27,13 @@ code:
   score a whole pair file (``--pairs-file``) or serve a top-k query
   (``--vertex``) through the vectorized ``repro.serve`` kernel, from a
   fresh ingest or a saved checkpoint, as a table, CSV or JSON.
+* ``repro-linkpred monitor <metrics-file>`` — render a metrics
+  snapshot (a ``--metrics-out`` JSON-lines flight record or a saved
+  snapshot) as human-readable tables; see ``docs/OBSERVABILITY.md``.
+
+``ingest`` and ``query`` take ``--metrics-out FILE`` (and
+``--metrics-every N``) to sample their metrics registry as JSON lines
+that ``monitor`` and any Prometheus bridge can consume.
 
 Input may be a registry dataset name or a path to a SNAP-format edge
 list (``u v [timestamp]`` rows, ``#`` comments).
@@ -230,7 +239,37 @@ def _cmd_triangles(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_reporter(args: argparse.Namespace, registry):
+    """The --metrics-out/--metrics-every flight recorder (or None)."""
+    from repro.obs import PeriodicReporter
+
+    if not args.metrics_out:
+        if args.metrics_every:
+            raise ReproError("--metrics-every needs --metrics-out")
+        return None
+    return PeriodicReporter(
+        registry, args.metrics_out, every_records=args.metrics_every
+    )
+
+
+def _add_metrics_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="FILE",
+        help="append JSON-lines metrics samples here (see 'monitor')",
+    )
+    sub.add_argument(
+        "--metrics-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample cadence in consumed records (0: one final sample)",
+    )
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
     from repro.stream import (
         CheckpointManager,
         FileDeadLetters,
@@ -265,8 +304,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 f"--resume: checkpoint directory {args.checkpoint_dir!r} does not "
                 "exist (check the path, or run once without --resume to create it)"
             )
+    registry = MetricsRegistry()
+    reporter = _metrics_reporter(args, registry)
     manager = (
-        CheckpointManager(args.checkpoint_dir, keep=args.keep)
+        CheckpointManager(args.checkpoint_dir, keep=args.keep, metrics=registry)
         if args.checkpoint_dir
         else None
     )
@@ -279,6 +320,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         dead_letters=sink,
         policy=args.policy,
         self_loops=args.self_loops,
+        metrics=registry,
+        reporter=reporter,
     )
     if args.resume:
         if not runner.resume():
@@ -287,15 +330,21 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 "(run once without --resume to create the first generation)"
             )
         print(f"resumed from generation {runner.resumed_from} at offset {runner.offset}")
-    stats = runner.run(max_records=args.max_records)
+    try:
+        stats = runner.run(max_records=args.max_records)
+    finally:
+        if reporter is not None:
+            reporter.close()  # writes the final sample
     reasons = stats.pop("dead_letter_reasons")
     rows = [[key, value] for key, value in stats.items()]
     rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
     print(format_table(["metric", "value"], rows, title=f"Ingest: {args.source}"))
+    if args.metrics_out:
+        print(f"metrics: {reporter.samples_written} samples -> {args.metrics_out}")
     return 0
 
 
-def _query_rows(args: argparse.Namespace, engine) -> list:
+def _query_rows(args: argparse.Namespace, engine, reporter=None) -> list:
     """Resolve the query mode (pair file vs top-k) into result rows."""
     if bool(args.pairs_file) == (args.vertex is not None):
         raise ReproError("query needs exactly one of --pairs-file or --vertex")
@@ -306,14 +355,25 @@ def _query_rows(args: argparse.Namespace, engine) -> list:
             (edge.u, edge.v)
             for edge in read_edge_list(args.pairs_file, allow_self_loops=True)
         ]
-        scores = engine.score_many(pairs, args.measure)
-        return [[u, v, float(score)] for (u, v), score in zip(pairs, scores)]
+        # Score in --metrics-every sized slices so the reporter samples
+        # mid-flight; one slice (= one kernel dispatch loop) otherwise.
+        step = args.metrics_every if args.metrics_every else len(pairs) or 1
+        rows = []
+        for lo in range(0, len(pairs), step):
+            chunk = pairs[lo : lo + step]
+            scores = engine.score_many(chunk, args.measure)
+            rows += [[u, v, float(score)] for (u, v), score in zip(chunk, scores)]
+            if reporter is not None:
+                reporter.tick(len(chunk))
+        return rows
     ranked = engine.top_k(
         args.vertex,
         args.measure,
         k=args.top,
         prune=False if args.no_prune else None,  # None: engine's per-measure default
     )
+    if reporter is not None:
+        reporter.tick()
     return [[args.vertex, v, score] for v, score in ranked]
 
 
@@ -361,21 +421,117 @@ def _emit_query_results(args: argparse.Namespace, rows: list, stats: dict) -> No
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.persistence import load_predictor
+    from repro.obs import MetricsRegistry, Tracer, render_trace
     from repro.serve import QueryEngine
 
-    if args.load_checkpoint:
-        predictor = load_predictor(args.load_checkpoint)
-    elif args.source:
-        predictor = build_predictor(
-            "minhash", _config_from_args(args), expected_vertices=None
-        )
-        for edge in _load_edges(args.source, args.seed):
-            predictor.update(edge.u, edge.v)
-    else:
-        raise ReproError("query needs a source (dataset/edge list) or --load-checkpoint")
-    engine = QueryEngine(predictor)
-    rows = _query_rows(args, engine)
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    with tracer.span("query"):
+        with tracer.span("warm"):
+            if args.load_checkpoint:
+                predictor = load_predictor(args.load_checkpoint)
+            elif args.source:
+                predictor = build_predictor(
+                    "minhash", _config_from_args(args), expected_vertices=None
+                )
+                for edge in _load_edges(args.source, args.seed):
+                    predictor.update(edge.u, edge.v)
+            else:
+                raise ReproError(
+                    "query needs a source (dataset/edge list) or --load-checkpoint"
+                )
+        with tracer.span("pack"):
+            engine = QueryEngine(predictor, metrics=registry)
+        reporter = _metrics_reporter(args, registry)
+        try:
+            with tracer.span("score"):
+                rows = _query_rows(args, engine, reporter)
+        finally:
+            if reporter is not None:
+                reporter.close()  # writes the final sample
     _emit_query_results(args, rows, engine.stats())
+    if args.format == "table":
+        print(render_trace(tracer.traces[-1]))
+    return 0
+
+
+def _load_snapshot(path: str) -> dict:
+    """Read a metrics snapshot: one JSON document, or the last line of
+    a ``--metrics-out`` JSON-lines flight record."""
+    import json as json_module
+
+    if not os.path.exists(path):
+        raise ReproError(f"metrics file {path!r} does not exist")
+    text = open(path, "r", encoding="utf-8").read()
+    try:
+        loaded = json_module.loads(text)
+    except ValueError:
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ReproError(f"metrics file {path!r} is empty") from None
+        try:
+            loaded = json_module.loads(lines[-1])
+        except ValueError as error:
+            raise ReproError(f"metrics file {path!r} is not JSON: {error}") from None
+    if not isinstance(loaded, dict) or "instruments" not in loaded:
+        raise ReproError(
+            f"metrics file {path!r} is not a repro.obs snapshot "
+            "(expected an object with an 'instruments' list)"
+        )
+    return loaded
+
+
+def _format_series_labels(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import datetime
+
+    loaded = _load_snapshot(args.metrics_file)
+    when = datetime.datetime.fromtimestamp(loaded.get("ts", 0)).isoformat(sep=" ")
+    scalar_rows = []
+    histogram_rows = []
+    for instrument in loaded.get("instruments", []):
+        name = instrument.get("name", "?")
+        for series in instrument.get("series", []):
+            label = _format_series_labels(name, series.get("labels", {}))
+            if instrument.get("type") == "histogram":
+                histogram_rows.append(
+                    [
+                        label,
+                        series.get("count", 0),
+                        series.get("sum", 0.0),
+                        series.get("p50", 0.0),
+                        series.get("p95", 0.0),
+                        series.get("p99", 0.0),
+                    ]
+                )
+            else:
+                scalar_rows.append([label, instrument.get("type", "?"), series.get("value")])
+    if scalar_rows:
+        print(
+            format_table(
+                ["instrument", "type", "value"],
+                scalar_rows,
+                title=f"Metrics snapshot @ {when} ({args.metrics_file})",
+                precision=4,
+            )
+        )
+    if histogram_rows:
+        print(
+            format_table(
+                ["histogram", "count", "sum s", "p50 s", "p95 s", "p99 s"],
+                histogram_rows,
+                title="Latency distributions (quantiles estimated from buckets)",
+                precision=6,
+            )
+        )
+    if not scalar_rows and not histogram_rows:
+        print(f"(snapshot at {when} holds no instruments)")
     return 0
 
 
@@ -493,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument(
         "--max-records", type=int, default=None, help="stop after N records (drills)"
     )
+    _add_metrics_arguments(ingest)
     ingest.set_defaults(run=_cmd_ingest)
 
     query = commands.add_parser(
@@ -540,7 +697,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--output", default="", metavar="FILE", help="write results here instead of stdout"
     )
+    _add_metrics_arguments(query)
     query.set_defaults(run=_cmd_query)
+
+    monitor = commands.add_parser(
+        "monitor", help="render a metrics snapshot as human-readable tables"
+    )
+    monitor.add_argument(
+        "metrics_file",
+        help="a --metrics-out JSON-lines file (last sample wins) or a saved snapshot",
+    )
+    monitor.set_defaults(run=_cmd_monitor)
 
     evaluate = commands.add_parser("evaluate", help="accuracy vs the exact oracle")
     add_method_arguments(evaluate)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 import zipfile
 import zlib
 from pathlib import Path
@@ -48,6 +49,7 @@ from repro.core.config import SketchConfig
 from repro.core.degrees import ExactDegrees
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import CheckpointCorruptError, ConfigurationError, ReproError, SketchStateError
+from repro.obs.registry import MetricsRegistry
 from repro.sketches.minhash import KMinHash
 
 __all__ = [
@@ -127,6 +129,7 @@ def save_predictor(
     path: Union[PathLike, IO[bytes]],
     *,
     metadata: Optional[Mapping[str, int]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> int:
     """Write a checkpoint; returns the number of vertices saved.
 
@@ -135,9 +138,15 @@ def save_predictor(
     checksummed with it, and returned verbatim by
     :func:`load_predictor_with_metadata`.
 
+    ``metrics`` (optional) records the save into the ``persist_*``
+    instruments: ``persist_save_seconds`` (latency histogram) and
+    ``persist_bytes_written_total`` (compressed archive bytes; file
+    objects report a position delta when they are seekable).
+
     Raises :class:`SketchStateError` for configurations whose state is
     not fully capturable (Count-Min degrees).
     """
+    started = time.perf_counter()
     if predictor.config.degree_mode != "exact":
         raise SketchStateError(
             "only exact-degree predictors are checkpointable; "
@@ -161,8 +170,44 @@ def save_predictor(
     for key, value in (metadata or {}).items():
         fields[_META_PREFIX + key] = np.int64(value)
     fields["sha256"] = np.frombuffer(bytes.fromhex(_payload_checksum(fields)), dtype=np.uint8)
+    before = _position_of(path)
     _savez_atomic(path, fields)
+    if metrics is not None and metrics.enabled:
+        metrics.histogram(
+            "persist_save_seconds", "Wall seconds per checkpoint save"
+        ).observe(time.perf_counter() - started)
+        written = _archive_bytes(path, before)
+        if written is not None:
+            metrics.counter(
+                "persist_bytes_written_total", "Compressed checkpoint bytes written"
+            ).inc(written)
     return len(exported.vertex_ids)
+
+
+def _position_of(path: Union[PathLike, IO[bytes]]) -> Optional[int]:
+    """Stream position for seekable file objects, else ``None``."""
+    if hasattr(path, "write"):
+        try:
+            return path.tell()  # type: ignore[union-attr]
+        except (OSError, ValueError):
+            return None
+    return None
+
+
+def _archive_bytes(path: Union[PathLike, IO[bytes]], before: Optional[int]) -> Optional[int]:
+    """Bytes the finished archive occupies (``None`` when unknowable)."""
+    if hasattr(path, "write"):
+        after = _position_of(path)
+        if before is not None and after is not None:
+            return after - before
+        return None
+    resolved = Path(path)
+    if resolved.suffix != ".npz":  # mirror np.savez's suffix quirk
+        resolved = resolved.with_name(resolved.name + ".npz")
+    try:
+        return resolved.stat().st_size
+    except OSError:
+        return None
 
 
 def load_predictor(path: Union[PathLike, IO[bytes]]) -> MinHashLinkPredictor:
@@ -180,12 +225,19 @@ def load_predictor(path: Union[PathLike, IO[bytes]]) -> MinHashLinkPredictor:
 
 def load_predictor_with_metadata(
     path: Union[PathLike, IO[bytes]],
+    *,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
     """Like :func:`load_predictor`, also returning the metadata mapping
-    stored at save time (empty dict if none was supplied)."""
+    stored at save time (empty dict if none was supplied).
+
+    ``metrics`` (optional) records successful loads into
+    ``persist_load_seconds``.
+    """
+    started = time.perf_counter()
     try:
         with np.load(path) as archive:
-            return _restore(archive, describe(path))
+            restored = _restore(archive, describe(path))
     except ReproError:
         raise
     except FileNotFoundError:
@@ -194,6 +246,11 @@ def load_predictor_with_metadata(
         raise CheckpointCorruptError(
             f"checkpoint {describe(path)} is truncated or corrupt: {error}"
         ) from error
+    if metrics is not None and metrics.enabled:
+        metrics.histogram(
+            "persist_load_seconds", "Wall seconds per checkpoint load"
+        ).observe(time.perf_counter() - started)
+    return restored
 
 
 def describe(path: Union[PathLike, IO[bytes]]) -> str:

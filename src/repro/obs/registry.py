@@ -1,0 +1,480 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Design constraints, in order:
+
+1. **Hot paths pay near zero.**  An instrument handle is resolved
+   *once* (at construction time — ``runner._m_ok = counter.labels(...)``)
+   and the per-event call is a single attribute add.  A *disabled*
+   registry hands out one shared no-op instrument whose methods do
+   nothing and allocate nothing, so instrumented code needs no
+   ``if metrics:`` guards.
+2. **Stdlib only.**  No prometheus_client; the exposition formats live
+   in :mod:`repro.obs.export` and are generated from this registry's
+   state.
+3. **The legacy ``stats()`` dicts read from here.**  Counters therefore
+   preserve Python numeric types (an int-only counter stays ``int``)
+   and expose :meth:`Counter.reset` for the engine's
+   snapshot-scoped lifecycle (``QueryEngine.refresh`` zeroes its
+   instruments, exactly as the pre-registry attributes did).
+
+Instruments are named per Prometheus conventions
+(``ingest_records_total``, ``query_batch_seconds``); labeled
+instruments fan out into per-label-value *series* created lazily by
+:meth:`~_Instrument.labels`.  Registration is idempotent: asking for an
+existing name with the same kind and label names returns the existing
+instrument, while a conflicting redefinition raises
+:class:`~repro.errors.ConfigurationError`.
+
+Quantiles are *estimates* from bucket counts (linear interpolation
+inside the bucket holding the target rank), the same scheme a
+Prometheus ``histogram_quantile`` applies server-side.  Resolution is
+set by the bucket grid — :data:`DEFAULT_BUCKETS` spans 100µs..10s,
+tuned for the latencies this library actually exhibits.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds): 100µs to 10s, one
+#: implicit +Inf bucket above.  Chosen to resolve both a single sketch
+#: update (~10µs–1ms in pure Python) and a full checkpoint write.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+class _NoopInstrument:
+    """The shared do-nothing instrument a disabled registry hands out.
+
+    Every mutator is a no-op, every reader returns a zero, and
+    ``labels(...)`` returns the same singleton — so instrumented code
+    is branch-free and a disabled registry adds no allocations to the
+    hot path (pinned by the overhead test).
+    """
+
+    __slots__ = ()
+
+    kind = "noop"
+    name = "noop"
+
+    def labels(self, *values: object, **kwargs: object) -> "_NoopInstrument":
+        return self
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def dec(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], Number]) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], "_NoopInstrument"]]:
+        return iter(())
+
+    def total(self) -> int:
+        return 0
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> int:
+        return 0
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+NOOP = _NoopInstrument()
+
+
+class _Instrument:
+    """Base for the three real instrument kinds.
+
+    An instrument owns its per-label-value series.  An *unlabeled*
+    instrument is its own single series (key ``()``) and forwards the
+    series API directly, so ``registry.counter("x").inc()`` works
+    without a ``labels()`` hop.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.fullmatch(label):
+                raise ConfigurationError(f"invalid label name {label!r} on {name!r}")
+        self._series: Dict[Tuple[str, ...], "_Instrument"] = {}
+        if not self.labelnames:
+            self._series[()] = self
+
+    def labels(self, *values: object, **kwargs: object) -> "_Instrument":
+        """The series for one label-value combination (created lazily).
+
+        Accepts positional values in ``labelnames`` order or keyword
+        values; the returned handle is stable — resolve it once outside
+        the hot loop.
+        """
+        if kwargs:
+            if values:
+                raise ConfigurationError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as missing:
+                raise ConfigurationError(
+                    f"{self.name!r} has labels {self.labelnames}, missing {missing}"
+                ) from None
+            if len(kwargs) != len(self.labelnames):
+                extra = set(kwargs) - set(self.labelnames)
+                raise ConfigurationError(f"unknown labels {sorted(extra)} for {self.name!r}")
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ConfigurationError(
+                f"{self.name!r} needs {len(self.labelnames)} label values, got {len(key)}"
+            )
+        series = self._series.get(key)
+        if series is None:
+            series = self._new_series()
+            self._series[key] = series
+        return series
+
+    def _new_series(self) -> "_Instrument":
+        raise NotImplementedError
+
+    def series(self) -> Iterator[Tuple[Dict[str, str], "_Instrument"]]:
+        """Yield ``(labels_dict, series)`` in creation order."""
+        for key, series in self._series.items():
+            yield dict(zip(self.labelnames, key)), series
+
+    def reset(self) -> None:
+        """Zero every series (snapshot-scoped lifecycles only)."""
+        for _, series in list(self.series()):
+            series._reset_series()
+
+    def _reset_series(self) -> None:
+        raise NotImplementedError
+
+    def _check_unlabeled(self) -> None:
+        if self.labelnames:
+            raise ConfigurationError(
+                f"{self.name!r} is labeled by {self.labelnames}; call .labels(...) first"
+            )
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (events, records, seconds).
+
+    ``value`` preserves the numeric type fed to :meth:`inc`: integer
+    increments keep an ``int`` (the legacy ``stats()`` contract), float
+    increments (accumulated durations) promote to ``float`` in the same
+    left-to-right order the old ``+=`` attributes used — so sums are
+    bit-identical, not merely close.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value: Number = 0
+
+    def _new_series(self) -> "Counter":
+        child = Counter.__new__(Counter)
+        child.name = self.name
+        child.help = self.help
+        child.labelnames = ()
+        child._series = {(): child}
+        child._value = 0
+        return child
+
+    def inc(self, amount: Number = 1) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> Number:
+        if self.labelnames:
+            self._check_unlabeled()
+        return self._value
+
+    def total(self) -> Number:
+        """Sum over every series (equals ``value`` when unlabeled)."""
+        result: Number = 0
+        for _, series in self.series():
+            result += series._value  # type: ignore[attr-defined]
+        return result
+
+    def _reset_series(self) -> None:
+        # Preserve int-vs-float: a counter that held durations resets
+        # to 0.0, one that held event counts resets to 0.
+        self._value = type(self._value)(0)
+
+
+class Gauge(_Instrument):
+    """A value that can go up, down, or be computed on read.
+
+    :meth:`set_function` binds a zero-argument callable evaluated at
+    read time — the cheapest way to expose state the owner already
+    tracks (a committed offset, a vertex count) with no hot-path cost.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value: Number = 0
+        self._fn: Optional[Callable[[], Number]] = None
+
+    def _new_series(self) -> "Gauge":
+        child = Gauge.__new__(Gauge)
+        child.name = self.name
+        child.help = self.help
+        child.labelnames = ()
+        child._series = {(): child}
+        child._value = 0
+        child._fn = None
+        return child
+
+    def set(self, value: Number) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], Number]) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        self._fn = fn
+
+    @property
+    def value(self) -> Number:
+        if self.labelnames:
+            self._check_unlabeled()
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def _reset_series(self) -> None:
+        if self._fn is None:
+            self._value = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution of observed values (latencies, sizes).
+
+    Cumulative bucket counts, total count and sum are exact;
+    :meth:`quantile` is a bucket-resolution estimate.  Buckets are
+    frozen at construction — one :func:`bisect.bisect_left` and two
+    adds per observation.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be non-empty, sorted, unique: {buckets!r}"
+            )
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+        self._counts: List[int] = [0] * (len(bounds) + 1)
+        self._sum: float = 0.0
+        self._count: int = 0
+
+    def _new_series(self) -> "Histogram":
+        child = Histogram.__new__(Histogram)
+        child.name = self.name
+        child.help = self.help
+        child.labelnames = ()
+        child.buckets = self.buckets
+        child._series = {(): child}
+        child._counts = [0] * (len(self.buckets) + 1)
+        child._sum = 0.0
+        child._count = 0
+        return child
+
+    def observe(self, value: Number) -> None:
+        if self.labelnames:
+            self._check_unlabeled()
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        if self.labelnames:
+            self._check_unlabeled()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        if self.labelnames:
+            self._check_unlabeled()
+        return self._sum
+
+    def cumulative_counts(self) -> List[int]:
+        """Counts per ``le`` bound, cumulative, ending at ``count``
+        (the +Inf bucket) — the Prometheus ``_bucket`` series."""
+        if self.labelnames:
+            self._check_unlabeled()
+        running = 0
+        out = []
+        for c in self._counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the target bucket; observations in
+        the overflow (+Inf) bucket clamp to the largest finite bound.
+        Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.labelnames:
+            self._check_unlabeled()
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        running = 0
+        for i, c in enumerate(self._counts):
+            if c == 0:
+                continue
+            if running + c >= rank:
+                if i == len(self.buckets):  # overflow bucket
+                    return self.buckets[-1]
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                upper = self.buckets[i]
+                fraction = (rank - running) / c
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            running += c
+        return self.buckets[-1]
+
+    def _reset_series(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricsRegistry:
+    """The per-process (or per-component) instrument namespace.
+
+    ``enabled=False`` turns every factory into a source of the shared
+    no-op instrument: nothing registers, nothing records, nothing
+    allocates.  Components accept an optional registry and default to a
+    fresh enabled one, so their ``stats()`` surfaces always have real
+    numbers behind them; pass an explicitly disabled registry to opt
+    out of bookkeeping entirely.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- factories ------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames, buckets=buckets)  # type: ignore[return-value]
+
+    def _register(self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs):
+        if not self.enabled:
+            return NOOP
+        if not _NAME_RE.fullmatch(name):
+            raise ConfigurationError(f"invalid instrument name {name!r}")
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"instrument {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        instrument = cls(name, help, labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- introspection --------------------------------------------------
+
+    def instruments(self) -> List[_Instrument]:
+        """Registered instruments in registration order."""
+        return list(self._instruments.values())
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument (tests and snapshot-scoped owners)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({state}, instruments={len(self._instruments)})"

@@ -1,0 +1,172 @@
+"""Spans: wall-time histograms that nest into a lightweight trace tree.
+
+A :class:`Tracer` answers the question "where did this ingest run /
+query batch spend its time?" without a profiler.  ``tracer.span(name)``
+is both a context manager and a decorator; entering one
+
+* starts a wall clock (injectable, ``time.perf_counter`` by default),
+* pushes onto a per-thread stack so spans opened inside it become its
+  children, and
+* on exit records the elapsed seconds into the registry histogram
+  ``span_seconds{span="<name>"}`` (when the tracer has a registry).
+
+Completed *root* spans accumulate in :attr:`Tracer.traces` (a bounded
+deque — a long-lived process cannot leak trace trees), each a
+:class:`Span` whose children reproduce the nesting::
+
+    tracer = Tracer(registry)
+    with tracer.span("query"):
+        with tracer.span("pack"):
+            ...
+        with tracer.span("score"):
+            ...
+    print(render_trace(tracer.traces[-1]))
+
+    query                 12.40ms
+      pack                 8.10ms
+      score                4.01ms
+
+The histogram gives the *aggregate* view (p95 span latency across many
+runs); the trace tree gives the *anatomical* view of one run.  Both
+come from the same clock readings.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "render_trace"]
+
+
+class Span:
+    """One timed region: name, elapsed seconds, child spans."""
+
+    __slots__ = ("name", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds: float = 0.0
+        self.children: List["Span"] = []
+
+    def total_descendants(self) -> int:
+        return len(self.children) + sum(c.total_descendants() for c in self.children)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.seconds * 1e3:.2f}ms, children={len(self.children)})"
+
+
+class _SpanContext:
+    """The object ``tracer.span(name)`` returns: with-block or decorator."""
+
+    __slots__ = ("_tracer", "_name", "_span", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._span: Optional[Span] = None
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._push(self._name)
+        self._started = self._tracer.clock()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = self._tracer.clock() - self._started
+        assert self._span is not None
+        self._span.seconds = elapsed
+        self._tracer._pop(self._span)
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapped(*args: object, **kwargs: object) -> object:
+            # A fresh context per call: the decorator object itself is
+            # shared, so it must not carry per-invocation state.
+            with self._tracer.span(self._name):
+                return fn(*args, **kwargs)
+
+        return wrapped
+
+
+class Tracer:
+    """Per-component span factory with a per-thread nesting stack.
+
+    Parameters
+    ----------
+    registry:
+        Destination for the ``span_seconds`` histogram; ``None`` keeps
+        trace trees only (no aggregate metrics).
+    clock:
+        Injectable monotonic clock (tests).
+    max_traces:
+        Completed root spans retained, oldest evicted first.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        max_traces: int = 64,
+    ) -> None:
+        self.clock = clock
+        self.traces: Deque[Span] = deque(maxlen=max_traces)
+        self._hist = (
+            registry.histogram(
+                "span_seconds", "Wall seconds spent in each named span", labelnames=("span",)
+            )
+            if registry is not None
+            else None
+        )
+        self._local = threading.local()
+
+    def span(self, name: str) -> _SpanContext:
+        """A context manager / decorator timing the named region."""
+        return _SpanContext(self, name)
+
+    # -- stack discipline ----------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, name: str) -> Span:
+        span = Span(name)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate exceptions unwinding through several spans at once:
+        # pop until we find ours (children above it were abandoned).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:
+            self.traces.append(span)
+        if self._hist is not None:
+            self._hist.labels(span=span.name).observe(span.seconds)
+
+    def __repr__(self) -> str:
+        return f"Tracer(traces={len(self.traces)})"
+
+
+def render_trace(span: Span, *, indent: int = 0) -> str:
+    """ASCII rendering of one trace tree, milliseconds right-aligned."""
+    pad = "  " * indent
+    lines = [f"{pad}{span.name:<{max(1, 28 - len(pad))}} {span.seconds * 1e3:10.2f}ms"]
+    for child in span.children:
+        lines.append(render_trace(child, indent=indent + 1))
+    return "\n".join(lines)

@@ -37,6 +37,7 @@ from repro.core.lshindex import LshCandidateIndex
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import ConfigurationError
 from repro.exact.measures import Measure, measure_by_name
+from repro.obs.registry import MetricsRegistry
 from repro.serve.kernels import score_pairs_packed
 from repro.serve.packed import PackedSketches
 
@@ -69,6 +70,12 @@ class QueryEngine(object):
         memory at roughly ``batch_size * k * 9`` bytes, and the default
         keeps that scratch cache-resident — one huge chunk measures
         ~3x slower than 4096-pair chunks on the witness-sum measures.
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding the
+        engine's instruments (the ``query_*`` family); default a fresh
+        enabled registry.  :meth:`stats` reads these instruments, so
+        the legacy dict and any Prometheus/JSON export of
+        :attr:`metrics` always agree.
     clock:
         Injectable monotonic clock (tests).
     """
@@ -81,6 +88,7 @@ class QueryEngine(object):
         rows: Optional[int] = None,
         min_degree: int = 1,
         batch_size: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if (bands is None) != (rows is None):
@@ -98,13 +106,48 @@ class QueryEngine(object):
         self.store = PackedSketches.from_predictor(predictor)
         self._index: Optional[LshCandidateIndex] = None
         self._index_seconds = 0.0
-        # Counters (lifetime of this engine, reset by refresh()).
-        self._batches = 0
-        self._pairs_scored = 0
-        self._topk_queries = 0
-        self._candidates_scored = 0
-        self._candidates_pruned = 0
-        self._scoring_seconds = 0.0
+        #: The instrument namespace behind stats() and the exporters.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Counters (lifetime of one served snapshot, reset by refresh()).
+        self._m_batches = self.metrics.counter(
+            "query_batches_total", "score_many() calls served"
+        )
+        self._m_pairs = self.metrics.counter(
+            "query_pairs_scored_total", "Pairs scored through the packed kernel"
+        )
+        self._m_topk = self.metrics.counter(
+            "query_topk_total", "top_k() queries served"
+        )
+        self._m_candidates = self.metrics.counter(
+            "query_candidates_total",
+            "top_k candidates, by whether LSH pruning kept or pruned them",
+            labelnames=("disposition",),
+        )
+        self._m_candidates_scored = self._m_candidates.labels("scored")
+        self._m_candidates_pruned = self._m_candidates.labels("pruned")
+        self._m_scoring_seconds = self.metrics.counter(
+            "query_scoring_seconds_total", "Wall seconds inside the scoring kernel"
+        )
+        self._m_scoring_seconds.inc(0.0)  # stats() reports a float even when idle
+        self._m_batch_seconds = self.metrics.histogram(
+            "query_batch_seconds", "Wall seconds per score_many() call"
+        )
+        # Read-time gauges over the packed snapshot and the LSH index.
+        self.metrics.gauge(
+            "query_store_vertices", "Vertices in the packed snapshot"
+        ).set_function(lambda: self.store.n_vertices)
+        self.metrics.gauge(
+            "query_store_bytes", "Nominal bytes of the packed matrices"
+        ).set_function(lambda: self.store.nominal_bytes())
+        self.metrics.gauge(
+            "query_pack_seconds", "Wall seconds the last pack took"
+        ).set_function(lambda: self.store.pack_seconds)
+        self.metrics.gauge(
+            "query_index_build_seconds", "Wall seconds the last LSH index build took"
+        ).set_function(lambda: self._index_seconds)
+        self.metrics.gauge(
+            "query_index_buckets", "Buckets in the LSH candidate index (0 until built)"
+        ).set_function(lambda: self._index.bucket_count() if self._index else 0)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,12 +160,15 @@ class QueryEngine(object):
         self.store = PackedSketches.from_predictor(self.predictor)
         self._index = None
         self._index_seconds = 0.0
-        self._batches = 0
-        self._pairs_scored = 0
-        self._topk_queries = 0
-        self._candidates_scored = 0
-        self._candidates_pruned = 0
-        self._scoring_seconds = 0.0
+        for instrument in (
+            self._m_batches,
+            self._m_pairs,
+            self._m_topk,
+            self._m_candidates,
+            self._m_scoring_seconds,
+            self._m_batch_seconds,
+        ):
+            instrument.reset()
 
     def _ensure_index(self) -> LshCandidateIndex:
         if self._index is None:
@@ -165,9 +211,11 @@ class QueryEngine(object):
             out[lo : lo + len(chunk)] = score_pairs_packed(
                 self.store, chunk[:, 0], chunk[:, 1], measure
             )
-        self._scoring_seconds += self.clock() - started
-        self._batches += 1
-        self._pairs_scored += len(array)
+        elapsed = self.clock() - started
+        self._m_scoring_seconds.inc(elapsed)
+        self._m_batch_seconds.observe(elapsed)
+        self._m_batches.inc()
+        self._m_pairs.inc(len(array))
         return out
 
     def score(self, u: int, v: int, measure_name: str = "jaccard") -> float:
@@ -209,7 +257,7 @@ class QueryEngine(object):
                 f"measure {measure.name!r} scores pairs with no sketch overlap; "
                 "LSH pruning would drop true candidates — call with prune=False"
             )
-        self._topk_queries += 1
+        self._m_topk.inc()
         if self.store.row_of(u) < 0:
             return []
         brute_pool = self.store.n_vertices - 1  # everyone but u itself
@@ -219,8 +267,8 @@ class QueryEngine(object):
             candidates.sort()
         else:
             candidates = self.store.vertex_ids[self.store.vertex_ids != u]
-        self._candidates_scored += len(candidates)
-        self._candidates_pruned += brute_pool - len(candidates)
+        self._m_candidates_scored.inc(len(candidates))
+        self._m_candidates_pruned.inc(brute_pool - len(candidates))
         if len(candidates) == 0:
             return []
         scores = self.score_many(
@@ -238,8 +286,14 @@ class QueryEngine(object):
     def stats(self) -> Dict[str, object]:
         """Engine health as a flat dict (the serving-side monitoring
         surface, mirroring ``StreamRunner.stats()`` on the write side).
+
+        Every counter is a *read* of the shared
+        :class:`~repro.obs.registry.MetricsRegistry`, so this dict and
+        any Prometheus/JSON export of :attr:`metrics` always agree.
+        The returned dict is a defensive snapshot — mutate it freely.
         """
-        seconds = self._scoring_seconds
+        seconds = self._m_scoring_seconds.value
+        pairs = int(self._m_pairs.value)
         return {
             "vertices": self.store.n_vertices,
             "k": self.store.k,
@@ -250,13 +304,13 @@ class QueryEngine(object):
             "index_built": self._index is not None,
             "index_build_seconds": self._index_seconds,
             "index_buckets": self._index.bucket_count() if self._index else 0,
-            "batches": self._batches,
-            "pairs_scored": self._pairs_scored,
-            "topk_queries": self._topk_queries,
-            "candidates_scored": self._candidates_scored,
-            "candidates_pruned": self._candidates_pruned,
+            "batches": int(self._m_batches.value),
+            "pairs_scored": pairs,
+            "topk_queries": int(self._m_topk.value),
+            "candidates_scored": int(self._m_candidates_scored.value),
+            "candidates_pruned": int(self._m_candidates_pruned.value),
             "scoring_seconds": seconds,
-            "scores_per_second": (self._pairs_scored / seconds) if seconds > 0 else 0.0,
+            "scores_per_second": (pairs / seconds) if seconds > 0 else 0.0,
         }
 
     def __repr__(self) -> str:

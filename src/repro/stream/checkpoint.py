@@ -28,6 +28,7 @@ from typing import List, NamedTuple, Optional, Tuple, Union
 from repro.core.persistence import load_predictor_with_metadata, save_predictor
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import CheckpointCorruptError, ConfigurationError
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CheckpointManager", "Checkpoint"]
 
@@ -56,9 +57,22 @@ class CheckpointManager:
     basename:
         File-name stem, useful when drills and production share a
         scratch directory.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; saves
+        and loads record into the ``persist_*`` instruments (bytes
+        written, save/load latency) and corrupt generations skipped by
+        :meth:`load_latest` count into
+        ``checkpoint_corrupt_generations_total``.
     """
 
-    def __init__(self, directory: PathLike, *, keep: int = 3, basename: str = "checkpoint") -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        keep: int = 3,
+        basename: str = "checkpoint",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if keep < 1:
             raise ConfigurationError(f"keep must be >= 1, got {keep}")
         if not re.fullmatch(r"[A-Za-z0-9_.-]+", basename):
@@ -67,6 +81,15 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self.basename = basename
+        self.metrics = metrics
+        self._m_corrupt = (
+            metrics.counter(
+                "checkpoint_corrupt_generations_total",
+                "Corrupt checkpoint generations skipped during resume",
+            )
+            if metrics is not None
+            else None
+        )
         self._pattern = re.compile(rf"{re.escape(basename)}-(\d+)\.npz$")
 
     # ------------------------------------------------------------------
@@ -87,6 +110,7 @@ class CheckpointManager:
             predictor,
             path,
             metadata={"stream_offset": offset, "generation": generation},
+            metrics=self.metrics,
         )
         self._sweep()
         return path
@@ -123,8 +147,10 @@ class CheckpointManager:
         for generation in self.generations():
             path = self._path_for(generation)
             try:
-                predictor, metadata = load_predictor_with_metadata(path)
+                predictor, metadata = load_predictor_with_metadata(path, metrics=self.metrics)
             except CheckpointCorruptError as error:
+                if self._m_corrupt is not None:
+                    self._m_corrupt.inc()
                 if first_error is None:
                     first_error = error
                 continue

@@ -48,8 +48,10 @@ from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import ConfigurationError, DeadLetterError, StreamFormatError
 from repro.graph.io import parse_edge_line
 from repro.graph.stream import Edge
+from repro.obs.export import PeriodicReporter
+from repro.obs.registry import MetricsRegistry
 from repro.stream.checkpoint import CheckpointManager
-from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters
+from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters, REASONS
 from repro.stream.sources import EdgeSource, RetryingSource, SourceRecord
 
 __all__ = ["StreamRunner"]
@@ -88,6 +90,17 @@ class StreamRunner:
     self_loops:
         ``"quarantine"`` (visible in counters) or ``"drop"`` (silent,
         matching the eager file readers).
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` holding this
+        runner's instruments (the ``ingest_*`` family); default a fresh
+        enabled registry.  :meth:`stats` *reads* these instruments, so
+        an explicitly disabled registry also blanks the legacy counters
+        — pass one only when bookkeeping itself must cost nothing.
+    reporter:
+        Optional :class:`~repro.obs.export.PeriodicReporter` ticked
+        once per consumed record (the ``--metrics-out``/
+        ``--metrics-every`` flight recorder).  The runner never closes
+        it — the owner decides when the final sample lands.
     clock:
         Injectable monotonic clock for checkpoint-age reporting.
     """
@@ -103,6 +116,8 @@ class StreamRunner:
         dead_letters: Optional[DeadLetterSink] = None,
         policy: str = "quarantine",
         self_loops: str = "quarantine",
+        metrics: Optional[MetricsRegistry] = None,
+        reporter: Optional[PeriodicReporter] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if policy not in ("quarantine", "strict"):
@@ -121,17 +136,89 @@ class StreamRunner:
         self.policy = policy
         self.self_loops = self_loops
         self.clock = clock
+        self.reporter = reporter
         #: Committed offset: every record below it is reflected in state.
         self.offset = 0
-        self.records_in = 0
-        self.records_ok = 0
-        self.dropped = 0
-        self.checkpoints_written = 0
         self.resumed_from: Optional[int] = None  # generation, if resumed
         self.source_exhausted = False
         self._last_checkpoint_offset: Optional[int] = None
         self._last_checkpoint_time: Optional[float] = None
         self._since_checkpoint = 0
+        #: The instrument namespace behind stats() and the exporters.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        records = self.metrics.counter(
+            "ingest_records_total",
+            "Records consumed from the source, by outcome",
+            labelnames=("outcome",),
+        )
+        # Hot-path handles resolved once: _consume() pays one bound
+        # attribute add per record, nothing else.
+        self._m_ok = records.labels(outcome="ok")
+        self._m_dead = records.labels(outcome="dead_letter")
+        self._m_dropped = records.labels(outcome="dropped")
+        self._m_strict_error = records.labels(outcome="strict_error")
+        self._m_dead_reasons = self.metrics.counter(
+            "ingest_dead_letters_total",
+            "Quarantined records by contract-violation reason",
+            labelnames=("reason",),
+        )
+        self._m_checkpoints = self.metrics.counter(
+            "ingest_checkpoints_written_total", "Checkpoint generations written"
+        )
+        self._m_checkpoint_seconds = self.metrics.histogram(
+            "ingest_checkpoint_write_seconds", "Wall seconds per checkpoint save"
+        )
+        self._m_run_seconds = self.metrics.counter(
+            "ingest_run_seconds_total", "Wall seconds spent inside run()"
+        )
+        self._m_rate = self.metrics.gauge(
+            "ingest_records_per_second", "Consumption rate of the most recent run() call"
+        )
+        # Read-time gauges: zero hot-path cost, always-current values.
+        self.metrics.gauge(
+            "ingest_offset", "Committed resume offset"
+        ).set_function(lambda: self.offset)
+        self.metrics.gauge(
+            "ingest_checkpoint_age_seconds",
+            "Seconds since the last checkpoint (-1 before the first)",
+        ).set_function(
+            lambda: -1.0
+            if self._last_checkpoint_time is None
+            else self.clock() - self._last_checkpoint_time
+        )
+        self.metrics.gauge(
+            "ingest_vertices", "Vertices sketched by the predictor"
+        ).set_function(lambda: self.predictor.vertex_count)
+        self.metrics.gauge(
+            "ingest_source_retries", "Transient-failure retries by the source"
+        ).set_function(self._source_retries)
+
+    def _source_retries(self) -> int:
+        return self.source.retries if isinstance(self.source, RetryingSource) else 0
+
+    # -- legacy counter attributes, now views of the registry ----------
+
+    @property
+    def records_in(self) -> int:
+        """Records consumed, every outcome included."""
+        return int(
+            self._m_ok.value
+            + self._m_dead.value
+            + self._m_dropped.value
+            + self._m_strict_error.value
+        )
+
+    @property
+    def records_ok(self) -> int:
+        return int(self._m_ok.value)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._m_dropped.value)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return int(self._m_checkpoints.value)
 
     # ------------------------------------------------------------------
     # Resume
@@ -172,6 +259,7 @@ class StreamRunner:
         writes none — exactly what a crash looks like, which the
         kill-and-resume tests exploit.
         """
+        started = self.clock()
         consumed_this_call = 0
         for record in self.source.records(self.offset):
             if max_records is not None and consumed_this_call >= max_records:
@@ -184,24 +272,31 @@ class StreamRunner:
             self.source_exhausted = True
             if self.checkpoints is not None and self._since_checkpoint:
                 self.checkpoint()
+        elapsed = self.clock() - started
+        self._m_run_seconds.inc(elapsed)
+        if elapsed > 0:
+            self._m_rate.set(consumed_this_call / elapsed)
         return self.stats()
 
     def _consume(self, record: SourceRecord) -> None:
-        self.records_in += 1
         try:
             edge = self._coerce(record)
         except _ContractViolation as violation:
             self._reject(record, violation)
+            self._m_dead.inc()
+            self._m_dead_reasons.labels(violation.reason).inc()
         else:
             if edge is None:
-                self.dropped += 1  # silently dropped self-loop
+                self._m_dropped.inc()  # silently dropped self-loop
             else:
                 self.predictor.update(edge.u, edge.v)
-                self.records_ok += 1
+                self._m_ok.inc()
         # Dead-lettered and dropped records still commit the offset:
         # quarantining must never desynchronise resume.
         self.offset = record.offset + 1
         self._since_checkpoint += 1
+        if self.reporter is not None:
+            self.reporter.tick()
 
     def _coerce(self, record: SourceRecord) -> Optional[Edge]:
         """Validate one raw record; ``None`` means "drop silently"."""
@@ -244,6 +339,7 @@ class StreamRunner:
     def _reject(self, record: SourceRecord, violation: _ContractViolation) -> None:
         raw = record.value if isinstance(record.value, str) else repr(record.value)
         if self.policy == "strict":
+            self._m_strict_error.inc()
             raise DeadLetterError(
                 f"offset {record.offset}"
                 + (f" (line {record.line_number})" if record.line_number else "")
@@ -269,33 +365,54 @@ class StreamRunner:
         """Snapshot ``(predictor, committed offset)`` atomically now."""
         if self.checkpoints is None:
             raise ConfigurationError("no checkpoint_manager configured")
+        started = self.clock()
         self.checkpoints.save(self.predictor, self.offset)
-        self.checkpoints_written += 1
+        finished = self.clock()
+        self._m_checkpoint_seconds.observe(finished - started)
+        self._m_checkpoints.inc()
         self._last_checkpoint_offset = self.offset
-        self._last_checkpoint_time = self.clock()
+        self._last_checkpoint_time = finished
         self._since_checkpoint = 0
+
+    def dead_letter_reasons(self) -> Dict[str, int]:
+        """Per-reason quarantine counts from the registry, stably
+        ordered by the reason vocabulary (a fresh dict every call — a
+        caller mutating it cannot corrupt runner state)."""
+        by_reason = {
+            labels.get("reason", ""): int(series.value)
+            for labels, series in self._m_dead_reasons.series()
+        }
+        ordered = {reason: by_reason[reason] for reason in REASONS if by_reason.get(reason)}
+        for reason, count in by_reason.items():
+            if count and reason not in ordered:
+                ordered[reason] = count
+        return ordered
 
     def stats(self) -> Dict[str, object]:
         """Runner health as a flat dict (the monitoring surface).
 
-        Counters cover this runner's lifetime; ``offset`` is the resume
-        position a crash right now would restart from (after replaying
-        back to the last checkpoint).
+        Every counter is a *read* of the shared
+        :class:`~repro.obs.registry.MetricsRegistry` — the Prometheus /
+        JSON exposition of :attr:`metrics` and this dict can never
+        drift.  Counters cover this runner's lifetime; ``offset`` is
+        the resume position a crash right now would restart from (after
+        replaying back to the last checkpoint).  The dict and its
+        nested ``dead_letter_reasons`` are defensive snapshots: mutate
+        them freely.
         """
         age: Optional[float] = None
         if self._last_checkpoint_time is not None:
             age = self.clock() - self._last_checkpoint_time
-        retries = self.source.retries if isinstance(self.source, RetryingSource) else 0
         return {
             "source": self.source.name,
             "policy": self.policy,
             "offset": self.offset,
             "records_in": self.records_in,
             "records_ok": self.records_ok,
-            "dead_lettered": self.dead_letters.total,
-            "dead_letter_reasons": self.dead_letters.summary(),
+            "dead_lettered": int(self._m_dead.value),
+            "dead_letter_reasons": self.dead_letter_reasons(),
             "dropped": self.dropped,
-            "retries": retries,
+            "retries": self._source_retries(),
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint_offset": self._last_checkpoint_offset,
             "last_checkpoint_age_seconds": age,

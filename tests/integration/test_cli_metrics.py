@@ -1,0 +1,144 @@
+"""The CLI's observability surface: ``--metrics-out``, ``--metrics-every``
+and the ``monitor`` subcommand, end to end through ``main()``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.graph import write_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.obs import MetricsRegistry, snapshot
+from repro.obs.export import SNAPSHOT_SCHEMA
+
+
+def write_stream(path, n_vertices=30, n_edges=80, seed=3):
+    write_edge_list(path, erdos_renyi(n_vertices, n_edges, seed=seed))
+
+
+class TestParser:
+    def test_metrics_flags_on_ingest_and_query(self):
+        args = build_parser().parse_args(
+            ["ingest", "synth-grqc", "--metrics-out", "m.jsonl", "--metrics-every", "5"]
+        )
+        assert args.metrics_out == "m.jsonl"
+        assert args.metrics_every == 5
+        args = build_parser().parse_args(
+            ["query", "synth-grqc", "--vertex", "0", "--metrics-out", "m.jsonl"]
+        )
+        assert args.metrics_out == "m.jsonl"
+
+    def test_monitor_takes_a_metrics_file(self):
+        args = build_parser().parse_args(["monitor", "m.jsonl"])
+        assert args.metrics_file == "m.jsonl"
+
+
+class TestIngestMetrics:
+    def test_metrics_out_writes_samples(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_stream(path)
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "ingest",
+                str(path),
+                "--k",
+                "16",
+                "--metrics-out",
+                str(metrics),
+                "--metrics-every",
+                "20",
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in metrics.read_text().splitlines()]
+        assert len(lines) >= 2  # periodic samples plus the final one
+        assert all(line["schema"] == SNAPSHOT_SCHEMA for line in lines)
+        final = {i["name"]: i for i in lines[-1]["instruments"]}
+        records = {
+            tuple(s["labels"].items()): s["value"]
+            for s in final["ingest_records_total"]["series"]
+        }
+        assert records[(("outcome", "ok"),)] == 80
+        assert "metrics:" in capsys.readouterr().out
+
+    def test_metrics_every_requires_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_stream(path)
+        assert main(["ingest", str(path), "--metrics-every", "5"]) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+
+class TestQueryMetrics:
+    def test_query_metrics_round_trip_through_monitor(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_stream(path)
+        metrics = tmp_path / "metrics.jsonl"
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n1 2\n2 3\n")
+        code = main(
+            [
+                "query",
+                str(path),
+                "--pairs-file",
+                str(pairs),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["monitor", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshot" in out
+        assert "query_pairs_scored_total" in out
+
+    def test_query_table_prints_trace_tree(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_stream(path)
+        assert main(["query", str(path), "--vertex", "0", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "score" in out
+
+
+class TestMonitor:
+    def test_renders_scalar_and_histogram_tables(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events").inc(3)
+        registry.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0)).observe(0.05)
+        snap_path = tmp_path / "snap.json"
+        snap_path.write_text(json.dumps(snapshot(registry, timestamp=0.0)))
+        assert main(["monitor", str(snap_path)]) == 0
+        out = capsys.readouterr().out
+        assert "events_total" in out
+        assert "latency_seconds" in out
+        assert "p95" in out
+
+    def test_reads_last_line_of_jsonl(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        lines = []
+        for total in (1, 5):
+            counter.inc(total - counter.value)
+            lines.append(json.dumps(snapshot(registry, timestamp=0.0)))
+        path = tmp_path / "m.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["monitor", str(path)]) == 0
+        assert "5" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path / "absent.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_non_snapshot_json_errors(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text('{"not": "a snapshot"}')
+        assert main(["monitor", str(path)]) == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_non_json_errors(self, tmp_path, capsys):
+        path = tmp_path / "junk.txt"
+        path.write_text("definitely not json\n")
+        assert main(["monitor", str(path)]) == 2
+        assert "not JSON" in capsys.readouterr().err

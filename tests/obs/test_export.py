@@ -1,0 +1,174 @@
+"""Exposition formats: Prometheus text, JSON snapshots, periodic samples."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, PeriodicReporter, render_prometheus, snapshot
+from repro.obs.export import SNAPSHOT_SCHEMA
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    records = registry.counter("records_total", "Records by outcome", labelnames=("outcome",))
+    records.labels("ok").inc(5)
+    records.labels("dead").inc(2)
+    registry.gauge("offset", "Committed offset").set(7)
+    hist = registry.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0))
+    for value in (0.0625, 0.5, 4.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheusFormat:
+    def test_one_type_line_per_instrument(self):
+        text = render_prometheus(populated_registry())
+        type_lines = [line for line in text.splitlines() if line.startswith("# TYPE ")]
+        assert type_lines == [
+            "# TYPE records_total counter",
+            "# TYPE offset gauge",
+            "# TYPE latency_seconds histogram",
+        ]
+
+    def test_help_lines_precede_type_lines(self):
+        lines = render_prometheus(populated_registry()).splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert lines[i - 1] == f"# HELP {name} " + {
+                    "records_total": "Records by outcome",
+                    "offset": "Committed offset",
+                    "latency_seconds": "Latency",
+                }[name]
+
+    def test_labeled_series_render(self):
+        text = render_prometheus(populated_registry())
+        assert 'records_total{outcome="ok"} 5' in text
+        assert 'records_total{outcome="dead"} 2' in text
+        assert "offset 7" in text.splitlines()
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_prometheus(populated_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 4.5625" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", labelnames=("source",))
+        counter.labels('a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'events_total{source="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_every_sample_line_parses(self):
+        # name{labels} value — the shape a scraper's parser expects.
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"
+        )
+        for line in render_prometheus(populated_registry()).splitlines():
+            if line.startswith("#"):
+                continue
+            assert sample.fullmatch(line), f"unparseable sample line: {line!r}"
+
+    def test_disabled_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry(enabled=False)) == ""
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(populated_registry()).endswith("\n")
+
+
+class TestSnapshot:
+    def test_schema_and_structure(self):
+        snap = snapshot(populated_registry(), timestamp=123.0)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["ts"] == 123.0
+        names = [i["name"] for i in snap["instruments"]]
+        assert names == ["records_total", "offset", "latency_seconds"]
+
+    def test_round_trips_through_json(self):
+        snap = snapshot(populated_registry(), timestamp=123.0)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_histogram_entry_carries_quantiles(self):
+        snap = snapshot(populated_registry(), timestamp=0.0)
+        hist = next(i for i in snap["instruments"] if i["name"] == "latency_seconds")
+        (series,) = hist["series"]
+        assert series["count"] == 3
+        assert series["sum"] == 4.5625
+        assert series["buckets"][-1][0] == "+Inf"
+        assert series["buckets"][-1][1] == 3
+        assert {"p50", "p95", "p99"} <= set(series)
+
+    def test_nonfinite_gauge_values_stringified(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird").set(math.inf)
+        snap = snapshot(registry, timestamp=0.0)
+        value = snap["instruments"][0]["series"][0]["value"]
+        assert value == "+Inf"
+        json.dumps(snap)  # remains serialisable
+
+
+class TestPeriodicReporter:
+    def test_record_cadence(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        path = tmp_path / "metrics.jsonl"
+        reporter = PeriodicReporter(registry, path, every_records=3)
+        for _ in range(7):
+            reporter.tick()
+        reporter.close(final_sample=False)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # after records 3 and 6
+        assert all(json.loads(line)["schema"] == SNAPSHOT_SCHEMA for line in lines)
+        assert reporter.samples_written == 2
+
+    def test_time_cadence_with_fake_clock(self, tmp_path):
+        clock = iter(float(t) for t in range(100))
+        registry = MetricsRegistry()
+        reporter = PeriodicReporter(
+            registry,
+            tmp_path / "metrics.jsonl",
+            every_seconds=5.0,
+            clock=lambda: next(clock),
+        )
+        written = sum(reporter.tick() for _ in range(12))
+        reporter.close(final_sample=False)
+        assert written >= 2
+
+    def test_close_writes_final_sample(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reporter = PeriodicReporter(MetricsRegistry(), path)
+        reporter.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_append_mode_extends_flight_record(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        for _ in range(2):
+            PeriodicReporter(MetricsRegistry(), path).close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_write_after_close_raises(self, tmp_path):
+        reporter = PeriodicReporter(MetricsRegistry(), tmp_path / "m.jsonl")
+        reporter.close()
+        with pytest.raises(ConfigurationError):
+            reporter.write()
+
+    def test_negative_cadences_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PeriodicReporter(MetricsRegistry(), tmp_path / "m.jsonl", every_records=-1)
+        with pytest.raises(ConfigurationError):
+            PeriodicReporter(MetricsRegistry(), tmp_path / "m.jsonl", every_seconds=-0.5)
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with PeriodicReporter(MetricsRegistry(), path) as reporter:
+            reporter.tick()
+        assert path.exists()
+        assert reporter.samples_written == 1

@@ -1,0 +1,219 @@
+"""MetricsRegistry and the three instrument kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import NOOP
+
+
+class TestCounter:
+    def test_starts_at_int_zero(self):
+        counter = MetricsRegistry().counter("c_total")
+        assert counter.value == 0
+        assert type(counter.value) is int
+
+    def test_inc_default_and_amount(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_raises(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_float_increments_promote_to_float(self):
+        counter = MetricsRegistry().counter("seconds_total")
+        counter.inc(0.25)
+        counter.inc(0.5)
+        assert counter.value == 0.75
+        assert type(counter.value) is float
+
+    def test_reset_preserves_numeric_type(self):
+        registry = MetricsRegistry()
+        ints = registry.counter("events_total")
+        floats = registry.counter("seconds_total")
+        ints.inc(3)
+        floats.inc(1.5)
+        registry.reset()
+        assert ints.value == 0 and type(ints.value) is int
+        assert floats.value == 0.0 and type(floats.value) is float
+
+    def test_labeled_series_are_independent(self):
+        counter = MetricsRegistry().counter("records_total", labelnames=("outcome",))
+        counter.labels("ok").inc(3)
+        counter.labels(outcome="dead").inc()
+        assert counter.labels("ok").value == 3
+        assert counter.labels("dead").value == 1
+        assert counter.total() == 4
+
+    def test_labeled_parent_rejects_direct_inc(self):
+        counter = MetricsRegistry().counter("records_total", labelnames=("outcome",))
+        with pytest.raises(ConfigurationError):
+            counter.inc()
+        with pytest.raises(ConfigurationError):
+            counter.value
+
+    def test_label_handles_are_stable(self):
+        counter = MetricsRegistry().counter("records_total", labelnames=("outcome",))
+        assert counter.labels("ok") is counter.labels("ok")
+        assert counter.labels("ok") is counter.labels(outcome="ok")
+
+    def test_label_arity_and_name_errors(self):
+        counter = MetricsRegistry().counter("records_total", labelnames=("outcome",))
+        with pytest.raises(ConfigurationError):
+            counter.labels("a", "b")
+        with pytest.raises(ConfigurationError):
+            counter.labels(nope="a")
+        with pytest.raises(ConfigurationError):
+            counter.labels("a", outcome="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+    def test_set_function_evaluated_at_read(self):
+        gauge = MetricsRegistry().gauge("offset")
+        state = {"offset": 0}
+        gauge.set_function(lambda: state["offset"])
+        state["offset"] = 42
+        assert gauge.value == 42
+
+    def test_reset_keeps_bound_function(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("offset")
+        gauge.set_function(lambda: 7)
+        registry.reset()
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_count_sum_exact(self):
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 5.0
+
+    def test_cumulative_counts_end_at_total(self):
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 0.6, 1.5, 99.0):
+            hist.observe(value)
+        # (≤1.0, ≤2.0, +Inf) cumulative
+        assert hist.cumulative_counts() == [2, 3, 4]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are inclusive upper bounds: observe(1.0)
+        # counts in le="1.0".
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.cumulative_counts() == [1, 1, 1]
+
+    def test_quantile_interpolates_within_bucket(self):
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all ten in the (1.0, 2.0] bucket
+        # Median rank 5 of 10 → halfway through the bucket's count.
+        assert 1.0 <= hist.quantile(0.5) <= 2.0
+
+    def test_quantile_overflow_clamps_to_largest_bound(self):
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_empty_is_zero(self):
+        hist = MetricsRegistry().histogram("h_seconds")
+        assert hist.quantile(0.5) == 0.0
+
+    def test_quantile_domain_checked(self):
+        hist = MetricsRegistry().histogram("h_seconds")
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h2", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h3", buckets=(1.0, 1.0))
+
+    def test_default_buckets_sorted_unique(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        again = registry.counter("x_total")
+        assert first is again
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x_total")
+
+    def test_labelnames_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad-name")
+        with pytest.raises(ConfigurationError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_instruments_in_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        registry.gauge("b")
+        registry.histogram("c_seconds")
+        assert [i.name for i in registry.instruments()] == ["a_total", "b", "c_seconds"]
+        assert isinstance(registry.get("a_total"), Counter)
+        assert isinstance(registry.get("b"), Gauge)
+        assert isinstance(registry.get("c_seconds"), Histogram)
+        assert registry.get("missing") is None
+
+
+class TestDisabledRegistry:
+    def test_factories_return_the_shared_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a_total") is NOOP
+        assert registry.gauge("b") is NOOP
+        assert registry.histogram("c_seconds") is NOOP
+        assert NOOP.labels("anything") is NOOP
+
+    def test_noop_absorbs_the_full_instrument_api(self):
+        noop = MetricsRegistry(enabled=False).counter("a_total")
+        noop.inc()
+        noop.dec()
+        noop.set(5)
+        noop.set_function(lambda: 1)
+        noop.observe(0.1)
+        noop.reset()
+        assert noop.value == 0
+        assert noop.count == 0
+        assert noop.sum == 0
+        assert noop.total() == 0
+        assert noop.quantile(0.5) == 0.0
+        assert list(noop.series()) == []
+
+    def test_nothing_registers_when_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a_total")
+        assert registry.instruments() == []

@@ -1,0 +1,123 @@
+"""Tracer spans: nesting, decorator form, histogram recording."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.obs import MetricsRegistry, Tracer, render_trace
+
+
+def ticking_clock(step=1.0):
+    """A deterministic clock advancing ``step`` per reading."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        root = tracer.traces[-1]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.total_descendants() == 2
+
+    def test_only_roots_reach_the_trace_deque(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.traces] == ["root"]
+
+    def test_seconds_from_injected_clock(self):
+        # Each clock reading advances 1s; the child consumes two
+        # readings, so it spans exactly 1s.
+        tracer = Tracer(clock=ticking_clock(1.0))
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        root = tracer.traces[-1]
+        assert root.children[0].seconds == 1.0
+        assert root.seconds == 3.0
+
+    def test_exception_unwinds_cleanly(self):
+        tracer = Tracer(clock=ticking_clock())
+        try:
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.traces] == ["root"]
+        # The stack is clean: a new root is a root, not a child.
+        with tracer.span("next"):
+            pass
+        assert tracer.traces[-1].name == "next"
+
+    def test_trace_deque_is_bounded(self):
+        tracer = Tracer(clock=ticking_clock(), max_traces=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.traces] == ["s2", "s3", "s4"]
+
+
+class TestDecorator:
+    def test_decorated_function_records_spans(self):
+        tracer = Tracer(clock=ticking_clock())
+
+        @tracer.span("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work(1) == 2
+        assert [s.name for s in tracer.traces] == ["work", "work"]
+
+    def test_decorator_nests_inside_open_spans(self):
+        tracer = Tracer(clock=ticking_clock())
+
+        @tracer.span("inner")
+        def inner():
+            pass
+
+        with tracer.span("outer"):
+            inner()
+        assert [c.name for c in tracer.traces[-1].children] == ["inner"]
+
+
+class TestHistogramIntegration:
+    def test_spans_feed_span_seconds_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, clock=ticking_clock())
+        with tracer.span("query"):
+            with tracer.span("pack"):
+                pass
+        hist = registry.get("span_seconds")
+        assert hist is not None
+        by_span = {labels["span"]: series for labels, series in hist.series()}
+        assert by_span["query"].count == 1
+        assert by_span["pack"].count == 1
+
+    def test_no_registry_keeps_traces_only(self):
+        tracer = Tracer(None, clock=ticking_clock())
+        with tracer.span("root"):
+            pass
+        assert len(tracer.traces) == 1
+
+
+class TestRenderTrace:
+    def test_renders_nested_tree(self):
+        tracer = Tracer(clock=ticking_clock(0.001))
+        with tracer.span("query"):
+            with tracer.span("pack"):
+                pass
+        text = render_trace(tracer.traces[-1])
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert lines[1].startswith("  pack")
+        assert all(line.endswith("ms") for line in lines)
