@@ -8,41 +8,48 @@ variant, exact and sampling baselines, synthetic SNAP-profile datasets,
 and a full evaluation harness.  (See DESIGN.md for why the requested
 "Dark Data" panel title resolves to this paper.)
 
-Quick start::
+Quick start — the :mod:`repro.api` facade covers the whole pipeline in
+four verbs::
 
-    from repro import MinHashLinkPredictor, SketchConfig
-    from repro.graph import datasets
+    from repro import SketchConfig, ingest, open_engine, evaluate
 
-    predictor = MinHashLinkPredictor(SketchConfig(k=128, seed=42))
-    predictor.process(datasets.load("synth-facebook"))
-    estimate = predictor.estimate(10, 42)
-    print(estimate.adamic_adar, "+/-", estimate.jaccard_std_error)
+    report = ingest("synth-facebook", config=SketchConfig(k=128, seed=42),
+                    workers=4)                  # sharded, bit-identical
+    engine = open_engine(report.predictor)
+    scores = engine.score_many([(10, 42), (7, 99)], "adamic_adar")
+    errors = evaluate("synth-facebook", config=SketchConfig(k=128))
 
 The subpackages, bottom-up: :mod:`repro.hashing` (seeded hash
 families), :mod:`repro.sketches` (MinHash / bottom-k / weighted MinHash
 / HLL / Count-Min / reservoir / Bloom), :mod:`repro.graph` (streams,
 generators, datasets, I/O), :mod:`repro.exact` (ground truth and
-baselines), :mod:`repro.core` (the paper's predictors), and
-:mod:`repro.eval` (splits, metrics, experiment machinery).
+baselines), :mod:`repro.core` (the paper's predictors),
+:mod:`repro.eval` (splits, metrics, experiment machinery),
+:mod:`repro.stream` (fault-tolerant ingestion), :mod:`repro.parallel`
+(sharded parallel ingestion), :mod:`repro.serve` (the batch query
+engine) and :mod:`repro.obs` (metrics and tracing).  All stay public —
+the facade composes them and ``repro.api.__all__`` is the documented
+stable surface.
 """
 
+from repro.api import IngestReport, build_predictor, evaluate, ingest, open_engine
 from repro.core import (
     BiasedMinHashLinkPredictor,
     MinHashLinkPredictor,
     PairEstimate,
     SketchConfig,
-    build_predictor,
 )
 from repro.errors import ReproError
 from repro.exact import ExactOracle
 from repro.interface import LinkPredictor
 from repro.serve import QueryEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BiasedMinHashLinkPredictor",
     "ExactOracle",
+    "IngestReport",
     "LinkPredictor",
     "MinHashLinkPredictor",
     "PairEstimate",
@@ -50,5 +57,8 @@ __all__ = [
     "ReproError",
     "SketchConfig",
     "build_predictor",
+    "evaluate",
+    "ingest",
+    "open_engine",
     "__version__",
 ]

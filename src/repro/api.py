@@ -1,0 +1,301 @@
+"""The unified high-level API: four verbs covering the whole pipeline.
+
+This module is the *recommended* entry point for programmatic use —
+everything an application needs to reproduce the paper's pipeline fits
+in four functions:
+
+* :func:`build_predictor` — construct a sketch predictor (or a
+  baseline, by method name);
+* :func:`ingest` — consume an edge stream into a predictor, serially
+  or sharded across ``workers`` processes, with optional resumable
+  checkpoints;
+* :func:`open_engine` — wrap a warm predictor, a saved ``.npz``
+  snapshot, or a checkpoint directory (serial *or* sharded layout) in
+  the batch :class:`~repro.serve.engine.QueryEngine`;
+* :func:`evaluate` — measure estimation accuracy against the exact
+  oracle on sampled two-hop pairs.
+
+The deeper modules (:mod:`repro.core`, :mod:`repro.stream`,
+:mod:`repro.parallel`, :mod:`repro.serve`, :mod:`repro.eval`) stay
+public for power users — this facade only composes them, it hides
+nothing.  ``repro.api.__all__`` is the documented stable surface,
+pinned by the test suite; everything here is importable straight off
+the package root (``from repro import ingest``).
+
+Sources are polymorphic throughout: a registry dataset name, a path to
+a SNAP-format edge list, an :class:`~repro.stream.sources.EdgeSource`,
+or any iterable of edges / ``(u, v[, timestamp])`` tuples.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor, merge_shards
+from repro.core.registry import build_predictor as _registry_build
+from repro.errors import ConfigurationError, ReproError
+from repro.interface import LinkPredictor
+from repro.obs.registry import MetricsRegistry
+from repro.serve.engine import QueryEngine
+
+__all__ = [
+    "IngestReport",
+    "build_predictor",
+    "evaluate",
+    "ingest",
+    "open_engine",
+]
+
+SourceLike = Union[str, Path, Iterable]
+
+
+def build_predictor(
+    config: Union[SketchConfig, str, None] = None,
+    *args,
+    method: str = "minhash",
+    expected_vertices: Optional[int] = None,
+) -> LinkPredictor:
+    """Construct a predictor from a :class:`SketchConfig`.
+
+    The facade spelling is config-first::
+
+        predictor = build_predictor(SketchConfig(k=128, seed=42))
+        baseline = build_predictor(config, method="neighbor_reservoir")
+
+    The pre-facade registry spelling ``build_predictor("minhash",
+    config, expected_vertices)`` (method name first) is still accepted,
+    so existing callers of ``repro.build_predictor`` are unaffected.
+    """
+    if isinstance(config, str):
+        # Legacy positional form: (method, config?, expected_vertices?).
+        return _registry_build(config, *args, expected_vertices=expected_vertices)
+    if args:
+        raise ConfigurationError(
+            "build_predictor(config) takes keyword arguments only "
+            "(method=..., expected_vertices=...)"
+        )
+    return _registry_build(method, config, expected_vertices=expected_vertices)
+
+
+@dataclass
+class IngestReport:
+    """What :func:`ingest` hands back: the warm predictor plus health.
+
+    ``runner`` is the underlying :class:`~repro.stream.runner.StreamRunner`
+    or :class:`~repro.parallel.ShardedRunner` for callers that want the
+    metrics registry, the dead-letter sink, or another ``run()`` leg.
+    """
+
+    predictor: MinHashLinkPredictor
+    stats: Dict[str, object]
+    runner: object
+
+    @property
+    def records_ok(self) -> int:
+        return int(self.stats.get("records_ok", 0))
+
+
+def _resolve_source(source: SourceLike, seed: int, *, max_retries: int = 0):
+    """Turn any source-like value into an :class:`EdgeSource`."""
+    from repro.graph import datasets
+    from repro.stream.sources import (
+        FileEdgeSource,
+        IteratorEdgeSource,
+        RetryingSource,
+        RetryPolicy,
+    )
+
+    if hasattr(source, "records"):  # already an EdgeSource
+        resolved = source
+    elif isinstance(source, (str, Path)):
+        name = str(source)
+        if os.path.exists(name):
+            resolved = FileEdgeSource(name)
+        elif name in datasets.DATASETS:
+            resolved = IteratorEdgeSource(
+                datasets.load(name, seed=seed), name=f"dataset:{name}"
+            )
+        else:
+            known = ", ".join(datasets.dataset_names())
+            raise ReproError(
+                f"{name!r} is neither a registry dataset ({known}) nor a file path"
+            )
+    else:
+        resolved = IteratorEdgeSource(source)
+    if max_retries:
+        resolved = RetryingSource(resolved, RetryPolicy(max_attempts=max_retries))
+    return resolved
+
+
+def ingest(
+    source: SourceLike,
+    *,
+    config: Optional[SketchConfig] = None,
+    workers: int = 1,
+    checkpoint_dir: Union[str, Path, None] = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    keep: int = 3,
+    policy: str = "quarantine",
+    self_loops: str = "quarantine",
+    max_records: Optional[int] = None,
+    max_retries: int = 0,
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> IngestReport:
+    """Consume an edge stream into a predictor; serial or sharded.
+
+    ``workers=1`` runs the serial
+    :class:`~repro.stream.runner.StreamRunner`; ``workers>1`` runs the
+    sharded :class:`~repro.parallel.ShardedRunner` (which requires a
+    mergeable config, i.e. ``degree_mode="exact"``) and returns the
+    merged predictor — bit-identical to the serial result on the same
+    stream.  ``checkpoint_dir`` + ``checkpoint_every`` arm resumable
+    checkpoints (per-shard subdirectories when sharded); ``resume=True``
+    restores from them first.  ``seed`` only seeds registry *dataset*
+    generation — sketch randomness lives in ``config.seed``.
+    """
+    from repro.parallel import ShardedRunner
+    from repro.stream.checkpoint import CheckpointManager
+    from repro.stream.runner import StreamRunner
+
+    resolved = _resolve_source(source, seed, max_retries=max_retries)
+    if workers > 1:
+        runner = ShardedRunner(
+            resolved,
+            workers=workers,
+            config=config,
+            checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+            checkpoint_every=checkpoint_every,
+            keep=keep,
+            policy=policy,
+            self_loops=self_loops,
+            metrics=metrics,
+        )
+        if resume:
+            runner.resume()
+        stats = runner.run(max_records=max_records)
+    else:
+        manager = (
+            CheckpointManager(checkpoint_dir, keep=keep)
+            if checkpoint_dir
+            else None
+        )
+        runner = StreamRunner(
+            resolved,
+            config=config,
+            checkpoint_manager=manager,
+            checkpoint_every=checkpoint_every if manager else 0,
+            policy=policy,
+            self_loops=self_loops,
+            metrics=metrics,
+        )
+        if resume:
+            if manager is None:
+                raise ConfigurationError("resume=True needs a checkpoint_dir")
+            runner.resume()
+        stats = runner.run(max_records=max_records)
+    return IngestReport(predictor=runner.predictor, stats=stats, runner=runner)
+
+
+def _predictor_from_checkpoint_dir(directory: Path) -> MinHashLinkPredictor:
+    """Load a predictor from a serial *or* sharded checkpoint directory."""
+    from repro.parallel.worker import shard_directory
+    from repro.stream.checkpoint import CheckpointManager
+
+    shard_dirs = sorted(directory.glob("shard-*"))
+    if shard_dirs:
+        shards = []
+        for index, shard_dir in enumerate(shard_dirs):
+            if shard_dir != shard_directory(directory, index):
+                raise ReproError(
+                    f"sharded checkpoint layout in {directory} is not contiguous "
+                    f"(unexpected {shard_dir.name}); cannot merge a partial shard set"
+                )
+            checkpoint = CheckpointManager(shard_dir).load_latest()
+            if checkpoint is None:
+                raise ReproError(f"shard directory {shard_dir} holds no checkpoint")
+            shards.append(checkpoint.predictor)
+        return merge_shards(shards)
+    checkpoint = CheckpointManager(directory).load_latest()
+    if checkpoint is None:
+        raise ReproError(f"{directory} holds no checkpoint generations")
+    return checkpoint.predictor
+
+
+def open_engine(
+    target: Union[MinHashLinkPredictor, str, Path],
+    **engine_options,
+) -> QueryEngine:
+    """Open a batch :class:`QueryEngine` over warm or persisted state.
+
+    ``target`` may be:
+
+    * a warm :class:`MinHashLinkPredictor` (snapshotted immediately),
+    * a ``.npz`` file written by ``save_predictor`` / ``predict
+      --save-checkpoint``,
+    * a checkpoint *directory* from ``ingest`` — serial
+      (``checkpoint-<gen>.npz`` generations) or sharded
+      (``shard-NN/`` subdirectories, merged on load).
+
+    Keyword options pass through to :class:`QueryEngine` (``bands``,
+    ``rows``, ``batch_size``, ``metrics``, ...).
+    """
+    from repro.core.persistence import load_predictor
+
+    if isinstance(target, (str, Path)):
+        path = Path(target)
+        if path.is_dir():
+            predictor = _predictor_from_checkpoint_dir(path)
+        elif path.is_file():
+            predictor = load_predictor(path)
+        else:
+            raise ReproError(f"{path} is neither a predictor file nor a checkpoint directory")
+    elif isinstance(target, LinkPredictor):
+        predictor = target
+    else:
+        raise ConfigurationError(
+            f"open_engine needs a predictor or a path, got {type(target).__name__}"
+        )
+    return QueryEngine(predictor, **engine_options)
+
+
+def evaluate(
+    source: SourceLike,
+    *,
+    method: str = "minhash",
+    config: Optional[SketchConfig] = None,
+    measures: Sequence[str] = ("jaccard", "common_neighbors", "adamic_adar"),
+    pairs: int = 1000,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Estimation accuracy of ``method`` against the exact oracle.
+
+    Ingests the stream into both the chosen method and an exact oracle,
+    samples ``pairs`` two-hop candidate pairs (seeded — reruns are
+    reproducible), and returns the per-measure error summary
+    (``{"jaccard": {"mae": ..., "rmse": ..., "mre": ...}, ...}``) —
+    the programmatic twin of ``repro-linkpred evaluate``.
+    """
+    from repro.eval.candidates import sample_two_hop_pairs
+    from repro.eval.experiments import accuracy_profile
+    from repro.exact.oracle import ExactOracle
+    from repro.stream.runner import ContractViolation, coerce_record
+
+    resolved = _resolve_source(source, seed)
+    oracle = ExactOracle()
+    predictor = build_predictor(config, method=method)
+    for record in resolved.records(0):
+        try:
+            edge = coerce_record(record, self_loops="drop")
+        except ContractViolation:
+            continue  # accuracy evaluation quarantines silently
+        if edge is not None:
+            predictor.update(edge.u, edge.v)
+            oracle.update(edge.u, edge.v)
+    candidate_pairs = sample_two_hop_pairs(oracle.graph, pairs, seed=seed)
+    return accuracy_profile(predictor, oracle, candidate_pairs, list(measures))

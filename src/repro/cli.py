@@ -133,7 +133,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.save_checkpoint:
         saved = save_predictor(predictor, args.save_checkpoint)
         print(f"checkpoint: {saved} vertex sketches -> {args.save_checkpoint}")
-    candidates = sample_two_hop_pairs(oracle.graph, args.candidates, seed=args.seed)
+    candidates = sample_two_hop_pairs(oracle.graph, args.pairs, seed=args.seed)
     ranked = predictor.rank_candidates(candidates, args.measure, top=args.top)
     rows = [[u, v, score] for (u, v), score in ranked]
     print(
@@ -304,6 +304,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 f"--resume: checkpoint directory {args.checkpoint_dir!r} does not "
                 "exist (check the path, or run once without --resume to create it)"
             )
+    if args.workers > 1:
+        return _cmd_ingest_sharded(args, retrying)
     registry = MetricsRegistry()
     reporter = _metrics_reporter(args, registry)
     manager = (
@@ -339,6 +341,64 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     rows = [[key, value] for key, value in stats.items()]
     rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
     print(format_table(["metric", "value"], rows, title=f"Ingest: {args.source}"))
+    if args.metrics_out:
+        print(f"metrics: {reporter.samples_written} samples -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_ingest_sharded(args: argparse.Namespace, source) -> int:
+    """The ``--workers N`` leg of ingest: sharded parallel ingestion.
+
+    The coordinator owns validation and dead-lettering, so the sink,
+    policy and self-loop knobs behave exactly as in the serial leg;
+    checkpoints land in per-shard ``shard-NN/`` subdirectories of
+    ``--checkpoint-dir`` (what ``query --checkpoint-dir`` and
+    ``repro.api.open_engine`` load back).  ``--metrics-out`` records a
+    final snapshot of the runner's registry (per-record sampling would
+    need a per-record hook the coordinator deliberately does not pay
+    for).
+    """
+    from repro.obs import MetricsRegistry
+    from repro.parallel import ShardedRunner
+    from repro.stream import FileDeadLetters, MemoryDeadLetters
+
+    registry = MetricsRegistry()
+    reporter = _metrics_reporter(args, registry)
+    sink = FileDeadLetters(args.dead_letter) if args.dead_letter else MemoryDeadLetters()
+    runner = ShardedRunner(
+        source,
+        workers=args.workers,
+        config=_config_from_args(args),
+        checkpoint_dir=args.checkpoint_dir or None,
+        checkpoint_every=args.checkpoint_every if args.checkpoint_dir else 0,
+        keep=args.keep,
+        dead_letters=sink,
+        policy=args.policy,
+        self_loops=args.self_loops,
+        metrics=registry,
+    )
+    if args.resume:
+        if not runner.resume():
+            raise ReproError(
+                f"--resume: no shard checkpoints found in {args.checkpoint_dir!r} "
+                "(run once without --resume to create the first generations)"
+            )
+        print(f"resuming {args.workers} shards from offsets {runner.shard_offsets}")
+    try:
+        stats = runner.run(max_records=args.max_records)
+    finally:
+        if reporter is not None:
+            reporter.close()  # writes the final sample
+    reasons = stats.pop("dead_letter_reasons")
+    rows = [[key, value] for key, value in stats.items()]
+    rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Ingest: {args.source} ({args.workers} shard workers)",
+        )
+    )
     if args.metrics_out:
         print(f"metrics: {reporter.samples_written} samples -> {args.metrics_out}")
     return 0
@@ -428,8 +488,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     tracer = Tracer(registry)
     with tracer.span("query"):
         with tracer.span("warm"):
+            if args.load_checkpoint and args.checkpoint_dir:
+                raise ReproError(
+                    "query takes --load-checkpoint (one .npz) or "
+                    "--checkpoint-dir (an ingest directory), not both"
+                )
             if args.load_checkpoint:
                 predictor = load_predictor(args.load_checkpoint)
+            elif args.checkpoint_dir:
+                from pathlib import Path
+
+                from repro.api import _predictor_from_checkpoint_dir
+
+                if not os.path.isdir(args.checkpoint_dir):
+                    raise ReproError(
+                        f"--checkpoint-dir: {args.checkpoint_dir!r} is not a directory"
+                    )
+                predictor = _predictor_from_checkpoint_dir(Path(args.checkpoint_dir))
             elif args.source:
                 predictor = build_predictor(
                     "minhash", _config_from_args(args), expected_vertices=None
@@ -438,7 +513,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     predictor.update(edge.u, edge.v)
             else:
                 raise ReproError(
-                    "query needs a source (dataset/edge list) or --load-checkpoint"
+                    "query needs a source (dataset/edge list), --load-checkpoint, "
+                    "or --checkpoint-dir"
                 )
         with tracer.span("pack"):
             engine = QueryEngine(predictor, metrics=registry)
@@ -536,7 +612,22 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argparse tree (exposed separately for the CLI tests)."""
+    """The argparse tree (exposed separately for the CLI tests).
+
+    Argument conventions, normalized across every subcommand:
+
+    * ``--seed`` is accepted both globally (``repro-linkpred --seed 7
+      predict ...``, the historic spelling) and *per subcommand*
+      (``repro-linkpred predict --seed 7 ...``); the subcommand
+      position wins when both are given.
+    * ``--k`` is the sketch size everywhere it applies.
+    * Sampled-pair counts are ``--pairs`` everywhere (``predict`` keeps
+      its old ``--candidates`` spelling as a hidden alias).
+    * Checkpoint *directories* are ``--checkpoint-dir`` everywhere
+      (``ingest``, and now ``query`` for serving from one); single
+      ``.npz`` snapshot files stay ``--save-checkpoint`` /
+      ``--load-checkpoint``.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-linkpred",
         description="Sketch-based streaming link prediction (ICDE 2016 reproduction)",
@@ -544,12 +635,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("datasets", help="list registry datasets").set_defaults(
-        run=_cmd_datasets
-    )
+    def add_seed_argument(sub: argparse.ArgumentParser) -> None:
+        # SUPPRESS keeps the global --seed's parsed value when the
+        # subcommand flag is absent (a plain default would clobber it).
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=argparse.SUPPRESS,
+            help="random seed (overrides the global --seed)",
+        )
+
+    datasets_cmd = commands.add_parser("datasets", help="list registry datasets")
+    add_seed_argument(datasets_cmd)
+    datasets_cmd.set_defaults(run=_cmd_datasets)
 
     stats = commands.add_parser("stats", help="constant-memory stream statistics")
     stats.add_argument("source", help="dataset name or edge-list path")
+    add_seed_argument(stats)
     stats.set_defaults(run=_cmd_stats)
 
     def add_method_arguments(sub: argparse.ArgumentParser) -> None:
@@ -560,11 +662,24 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["minhash", "biased", "exact", "neighbor_reservoir"],
         )
         sub.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+        add_seed_argument(sub)
 
     predict = commands.add_parser("predict", help="rank likely future links")
     add_method_arguments(predict)
     predict.add_argument("--measure", default="adamic_adar")
-    predict.add_argument("--candidates", type=int, default=2000)
+    predict.add_argument(
+        "--pairs",
+        type=int,
+        default=2000,
+        help="two-hop candidate pairs to sample and rank",
+    )
+    predict.add_argument(  # pre-1.1 spelling, kept working but undocumented
+        "--candidates",
+        dest="pairs",
+        type=int,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
     predict.add_argument("--top", type=int, default=20)
     predict.add_argument(
         "--save-checkpoint", default="", help="write sketch state to this .npz"
@@ -587,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     discover.add_argument("--top", type=int, default=20)
     discover.add_argument("--min-degree", type=int, default=3)
+    add_seed_argument(discover)
     discover.set_defaults(run=_cmd_discover)
 
     triangles = commands.add_parser(
@@ -597,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     triangles.add_argument(
         "--exact", action="store_true", help="also compute the exact count"
     )
+    add_seed_argument(triangles)
     triangles.set_defaults(run=_cmd_triangles)
 
     ingest = commands.add_parser(
@@ -604,6 +721,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("source", help="dataset name or edge-list path")
     ingest.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+    add_seed_argument(ingest)
+    ingest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard worker processes (1: serial in-process ingest; >1 "
+        "partitions the stream and merges to a bit-identical predictor)",
+    )
     ingest.add_argument(
         "--checkpoint-dir", default="", help="directory for rotated checkpoint generations"
     )
@@ -662,11 +788,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset name or edge-list path to ingest (omit with --load-checkpoint)",
     )
     query.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+    add_seed_argument(query)
     query.add_argument(
         "--load-checkpoint",
         default="",
         metavar="NPZ",
         help="serve from a saved checkpoint instead of ingesting a stream",
+    )
+    query.add_argument(
+        "--checkpoint-dir",
+        default="",
+        metavar="DIR",
+        help="serve from an ingest checkpoint directory (serial or "
+        "sharded shard-NN layout; newest intact generation wins)",
     )
     query.add_argument(
         "--pairs-file",
@@ -707,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics_file",
         help="a --metrics-out JSON-lines file (last sample wins) or a saved snapshot",
     )
+    add_seed_argument(monitor)
     monitor.set_defaults(run=_cmd_monitor)
 
     evaluate = commands.add_parser("evaluate", help="accuracy vs the exact oracle")

@@ -26,7 +26,7 @@ from repro.core.directed import DirectedExactOracle, DirectedMinHashPredictor
 from repro.core.lshindex import LshCandidateIndex, bands_for_threshold, lsh_threshold
 from repro.core.memory import MemoryReport, memory_report
 from repro.core.persistence import load_predictor, save_predictor
-from repro.core.predictor import MinHashLinkPredictor, PairEstimate
+from repro.core.predictor import MinHashLinkPredictor, PairEstimate, merge_shards
 from repro.core.registry import METHODS, build_predictor, equal_space_parameters
 from repro.core.windowed import WindowedMinHashPredictor
 
@@ -52,6 +52,7 @@ __all__ = [
     "hoeffding_failure_probability",
     "load_predictor",
     "memory_report",
+    "merge_shards",
     "required_k",
     "save_predictor",
 ]

@@ -118,6 +118,24 @@ class SketchConfig:
                 f"refresh_buffer must be positive, got {self.refresh_buffer}"
             )
 
+    def require_mergeable(self) -> None:
+        """Validate that predictors built from this configuration can be
+        merged (the shard-reduce step of parallel ingestion).
+
+        MinHash sketches merge exactly for any configuration, so the
+        only obstruction is the degree tracker: conservative Count-Min
+        tables are not linear (the row minima of two halves do not
+        reconstruct the whole), hence ``degree_mode="countmin"`` refuses.
+        Raises :class:`~repro.errors.ConfigurationError`; returns
+        ``None`` when sharding is safe.
+        """
+        if self.degree_mode != "exact":
+            raise ConfigurationError(
+                "sharded/merged ingestion requires degree_mode='exact'; "
+                "conservative Count-Min degree tables are not mergeable "
+                f"(got degree_mode={self.degree_mode!r})"
+            )
+
     @classmethod
     def for_accuracy(cls, epsilon: float, delta: float = 0.05, **overrides) -> "SketchConfig":
         """Configuration sized from an accuracy target.

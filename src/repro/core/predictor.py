@@ -53,7 +53,7 @@ from repro.hashing import HashBank
 from repro.interface import LinkPredictor
 from repro.sketches.minhash import KMinHash
 
-__all__ = ["MinHashLinkPredictor", "PairEstimate", "SketchArrays"]
+__all__ = ["MinHashLinkPredictor", "PairEstimate", "SketchArrays", "merge_shards"]
 
 
 class SketchArrays(NamedTuple):
@@ -315,11 +315,7 @@ class MinHashLinkPredictor(LinkPredictor):
                 "can only merge predictors with identical configurations "
                 f"(got {self.config} vs {other.config})"
             )
-        if self.config.degree_mode != "exact":
-            raise ConfigurationError(
-                "merging requires exact degrees; conservative Count-Min "
-                "degree tables are not mergeable"
-            )
+        self.config.require_mergeable()
         merged = MinHashLinkPredictor(self.config)
         for vertex, sketch in self._sketches.items():
             other_sketch = other._sketches.get(vertex)
@@ -329,10 +325,8 @@ class MinHashLinkPredictor(LinkPredictor):
         for vertex, sketch in other._sketches.items():
             if vertex not in self._sketches:
                 merged._sketches[vertex] = sketch.copy()
-        counts = merged._degrees._counts  # type: ignore[attr-defined]
-        for source in (self._degrees, other._degrees):
-            for vertex, degree in source._counts.items():  # type: ignore[attr-defined]
-                counts[vertex] = counts.get(vertex, 0) + degree
+        merged._degrees.merge_from(self._degrees)
+        merged._degrees.merge_from(other._degrees)
         return merged
 
     # ------------------------------------------------------------------
@@ -355,3 +349,23 @@ class MinHashLinkPredictor(LinkPredictor):
             f"vertices={len(self._sketches)}, "
             f"witnesses={self.config.track_witnesses})"
         )
+
+
+def merge_shards(shards: "list[MinHashLinkPredictor]") -> MinHashLinkPredictor:
+    """Reduce shard predictors into one (the parallel-ingest join step).
+
+    Folds left-to-right through :meth:`MinHashLinkPredictor.merge`, so
+    slot ties (two shards holding the same minimum) resolve in shard
+    order — the same witness a serial pass would have kept, since a
+    serial stream presents the lower-offset arrival first only when
+    hash values genuinely tie, which `merge` breaks identically for any
+    association order.  Raises :class:`~repro.errors.ConfigurationError`
+    on an empty shard list or a non-mergeable configuration, and
+    :class:`~repro.errors.SketchStateError` on mismatched shard configs.
+    """
+    if not shards:
+        raise ConfigurationError("merge_shards needs at least one shard predictor")
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged = merged.merge(shard)
+    return merged

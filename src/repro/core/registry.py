@@ -92,6 +92,11 @@ def build_predictor(
 ) -> LinkPredictor:
     """Construct a predictor by method name.
 
+    Internal plumbing behind the facade — application code should
+    prefer :func:`repro.api.build_predictor`, which accepts a config
+    first and delegates here.  This spelling stays stable for the
+    experiment harnesses that sweep method names.
+
     ``expected_vertices`` is needed only by the global-budget
     ``edge_reservoir`` baseline (to size its equal-space capacity).
     """

@@ -64,6 +64,9 @@ class _WindowDegrees(DegreeTracker):
     def increment(self, vertex: int) -> None:  # pragma: no cover - guard
         raise ConfigurationError("window degree views are read-only")
 
+    def merge_from(self, other: DegreeTracker) -> None:  # pragma: no cover - guard
+        raise ConfigurationError("window degree views are read-only")
+
     def get(self, vertex: int) -> int:
         return self._window.degree(vertex)
 

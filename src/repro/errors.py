@@ -22,6 +22,7 @@ __all__ = [
     "RetryExhaustedError",
     "CheckpointCorruptError",
     "DeadLetterError",
+    "WorkerCrashError",
 ]
 
 
@@ -128,3 +129,29 @@ class DeadLetterError(ReproError, ValueError):
         super().__init__(message)
         self.reason = reason
         self.offset = offset
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A shard worker process of the parallel ingestion pipeline died.
+
+    Raised by :class:`repro.parallel.ShardedRunner` when a worker exits
+    abnormally (killed, OOMed, or an unhandled exception) before its
+    shard was finished.  The run is aborted — the surviving workers'
+    periodic checkpoints stand, so a new runner constructed over the
+    same checkpoint directory can ``resume()`` and complete the stream
+    with a bit-identical merged predictor.  Carries the ``shard`` index
+    and, when the worker reported one, the remote ``traceback`` text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        exitcode: int | None = None,
+        traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.exitcode = exitcode
+        self.traceback = traceback

@@ -21,6 +21,7 @@ online recommender cannot crash because a cold vertex was queried.
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Sequence, Tuple
 
@@ -83,10 +84,15 @@ class LinkPredictor(ABC):
         """Rank candidate pairs by descending estimated score.
 
         Ties break on the pair itself (deterministic output).  ``top``
-        truncates the result; None returns the full ranking.
+        truncates the result; None returns the full ranking.  A
+        truncated request runs the O(n log top) selection instead of a
+        full sort — ``heapq.nsmallest`` under the same key is defined
+        to equal ``sorted(...)[:top]``, so the ranking (ties included)
+        is unchanged.
         """
-        ranked = sorted(
-            ((pair, self.score(pair[0], pair[1], measure_name)) for pair in candidates),
-            key=lambda item: (-item[1], item[0]),
-        )
-        return ranked if top is None else ranked[:top]
+        scored = ((pair, self.score(pair[0], pair[1], measure_name)) for pair in candidates)
+        def sort_key(item):
+            return (-item[1], item[0])
+        if top is None:
+            return sorted(scored, key=sort_key)
+        return heapq.nsmallest(top, scored, key=sort_key)

@@ -1,0 +1,535 @@
+"""The sharded parallel ingestion coordinator.
+
+:class:`ShardedRunner` is the scale-out counterpart of the serial
+:class:`~repro.stream.runner.StreamRunner`: it partitions one edge
+stream across ``workers`` processes (hash-partitioned by edge — see
+:mod:`repro.parallel.partition`), drives them through bounded
+``multiprocessing`` queues with backpressure, and reduces the shard
+predictors through the exact ``merge()`` algebra into a single
+predictor that is **bit-identical** to serial ingestion of the same
+stream.
+
+Division of labour:
+
+* the **coordinator** (this class, in the calling process) reads the
+  source, validates records through the *same*
+  :func:`~repro.stream.runner.coerce_record` contract as the serial
+  runner (dead-lettering centrally, so quarantine counters live in one
+  registry), assigns each valid edge to its shard, and routes chunks
+  into per-shard bounded queues;
+* each **worker** (:func:`~repro.parallel.worker.shard_worker_main`)
+  owns a full-config predictor shard plus its own
+  :class:`~repro.stream.checkpoint.CheckpointManager` subdirectory, and
+  checkpoints every ``checkpoint_every`` of *its* records with the
+  global offset it is committed through.
+
+The crash-recovery contract extends PR-1's: kill any worker at any
+point (the coordinator raises :class:`~repro.errors.WorkerCrashError`),
+construct a new runner over the same checkpoint directory, ``resume()``
+and ``run()`` — each shard replays only its own uncommitted suffix,
+and the merged result is still bit-identical to an uninterrupted serial
+pass.  ``run(max_records=N)`` stops all workers *without* final
+checkpoints (the on-disk state of a crash), which the drill suite uses.
+
+Observability: the registry carries
+``ingest_records_total{outcome=...,shard=...}`` (per-shard routing
+counters), the shared dead-letter reason counters, a
+``shard_merge_seconds`` histogram for the reduce step, and worker
+checkpoint totals folded in after the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor, merge_shards
+from repro.errors import ConfigurationError, DeadLetterError, WorkerCrashError
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.partition import shard_of
+from repro.parallel.worker import shard_directory, shard_worker_main
+from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters, REASONS
+from repro.stream.runner import ContractViolation, coerce_record
+from repro.stream.sources import EdgeSource, SourceRecord
+
+__all__ = ["ShardedRunner"]
+
+#: How long one queue operation waits before re-checking worker health.
+_POLL_SECONDS = 0.1
+
+
+class ShardedRunner:
+    """Partition a stream across worker processes; reduce to one predictor.
+
+    Parameters
+    ----------
+    source:
+        Any :class:`~repro.stream.sources.EdgeSource`.  The coordinator
+        is the only reader — workers never touch the source, so flaky
+        sources keep their retry semantics by wrapping in
+        :class:`~repro.stream.sources.RetryingSource` exactly as for
+        the serial runner.
+    workers:
+        Shard count (>= 1).  Each worker is one OS process owning one
+        predictor shard.
+    config:
+        The shared :class:`SketchConfig`.  Must be mergeable
+        (``degree_mode="exact"``) — validated eagerly at construction,
+        before any process is spawned or stream record consumed.
+    checkpoint_dir / checkpoint_every / keep:
+        Per-shard resumable checkpoints: shard *i* writes rotated
+        generations under ``<checkpoint_dir>/shard-0i/`` every
+        ``checkpoint_every`` of its own records.
+    dead_letters / policy / self_loops:
+        The PR-1 quarantine contract, enforced coordinator-side by the
+        same validation code path as the serial runner.
+    metrics:
+        A :class:`MetricsRegistry` for the ``ingest_*`` instruments.
+        Use a dedicated registry per runner: the sharded
+        ``ingest_records_total`` carries a ``shard`` label the serial
+        runner's does not.
+    chunk_records / queue_depth:
+        Routing granularity: edges travel in chunks of
+        ``chunk_records`` through queues bounded at ``queue_depth``
+        chunks, which is the backpressure window — a stalled worker
+        blocks the coordinator after ``queue_depth`` undelivered
+        chunks instead of buffering the stream unboundedly.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``/``"spawn"``);
+        default is the platform default.  Workers are spawn-safe.
+    """
+
+    def __init__(
+        self,
+        source: EdgeSource,
+        *,
+        workers: int,
+        config: Optional[SketchConfig] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        keep: int = 3,
+        dead_letters: Optional[DeadLetterSink] = None,
+        policy: str = "quarantine",
+        self_loops: str = "quarantine",
+        metrics: Optional[MetricsRegistry] = None,
+        chunk_records: int = 2048,
+        queue_depth: int = 8,
+        mp_context: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if policy not in ("quarantine", "strict"):
+            raise ConfigurationError(f'policy must be "quarantine" or "strict", got {policy!r}')
+        if self_loops not in ("quarantine", "drop"):
+            raise ConfigurationError(f'self_loops must be "quarantine" or "drop", got {self_loops!r}')
+        if checkpoint_every < 0:
+            raise ConfigurationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every and not checkpoint_dir:
+            raise ConfigurationError("checkpoint_every needs a checkpoint_dir")
+        if chunk_records < 1:
+            raise ConfigurationError(f"chunk_records must be positive, got {chunk_records}")
+        if queue_depth < 1:
+            raise ConfigurationError(f"queue_depth must be positive, got {queue_depth}")
+        self.source = source
+        self.workers = workers
+        self.config = config or SketchConfig()
+        self.config.require_mergeable()
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.keep = keep
+        self.dead_letters = dead_letters or MemoryDeadLetters()
+        self.policy = policy
+        self.self_loops = self_loops
+        self.chunk_records = chunk_records
+        self.queue_depth = queue_depth
+        self.mp_context = mp_context
+        self.clock = clock
+        #: Merged predictor; populated by :meth:`run`.
+        self.predictor: Optional[MinHashLinkPredictor] = None
+        #: Global offset of the last record consumed from the source + 1.
+        self.offset = 0
+        self.source_exhausted = False
+        self._resume_requested = False
+        self._ran = False
+        self.shard_offsets: List[int] = [0] * workers
+        self.shard_records: List[int] = [0] * workers
+        self.resumed_generations: List[Optional[int]] = [None] * workers
+        self.merge_seconds = 0.0
+        #: Live worker process handles during run() (the kill drills
+        #: reach in here to murder one mid-flight).
+        self.processes: List[multiprocessing.Process] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        records = self.metrics.counter(
+            "ingest_records_total",
+            "Records consumed from the source, by outcome and owning shard",
+            labelnames=("outcome", "shard"),
+        )
+        self._m_ok = [
+            records.labels(outcome="ok", shard=str(shard)) for shard in range(workers)
+        ]
+        self._m_dead = records.labels(outcome="dead_letter", shard="-")
+        self._m_dropped = records.labels(outcome="dropped", shard="-")
+        self._m_replayed = records.labels(outcome="replayed", shard="-")
+        self._m_strict_error = records.labels(outcome="strict_error", shard="-")
+        self._m_dead_reasons = self.metrics.counter(
+            "ingest_dead_letters_total",
+            "Quarantined records by contract-violation reason",
+            labelnames=("reason",),
+        )
+        self._m_checkpoints = self.metrics.counter(
+            "ingest_checkpoints_written_total",
+            "Checkpoint generations written across all shards",
+        )
+        self._m_merge_seconds = self.metrics.histogram(
+            "shard_merge_seconds", "Wall seconds reducing shard predictors via merge()"
+        )
+        self._m_run_seconds = self.metrics.counter(
+            "ingest_run_seconds_total", "Wall seconds spent inside run()"
+        )
+        self._m_rate = self.metrics.gauge(
+            "ingest_records_per_second", "Consumption rate of the most recent run() call"
+        )
+        self.metrics.gauge(
+            "ingest_workers", "Shard worker processes of this runner"
+        ).set_function(lambda: self.workers)
+        self.metrics.gauge(
+            "ingest_offset", "Global offset of the last consumed record + 1"
+        ).set_function(lambda: self.offset)
+        self.metrics.gauge(
+            "ingest_vertices", "Vertices sketched by the merged predictor"
+        ).set_function(lambda: self.predictor.vertex_count if self.predictor else 0)
+
+    # -- legacy counter views (parity with StreamRunner) ----------------
+
+    @property
+    def records_ok(self) -> int:
+        return int(sum(handle.value for handle in self._m_ok))
+
+    @property
+    def dead_lettered(self) -> int:
+        return int(self._m_dead.value)
+
+    @property
+    def dropped(self) -> int:
+        return int(self._m_dropped.value)
+
+    @property
+    def replayed(self) -> int:
+        return int(self._m_replayed.value)
+
+    @property
+    def records_in(self) -> int:
+        """Records consumed this runner's lifetime, every outcome included."""
+        return (
+            self.records_ok
+            + self.dead_lettered
+            + self.dropped
+            + self.replayed
+            + int(self._m_strict_error.value)
+        )
+
+    @property
+    def checkpoints_written(self) -> int:
+        return int(self._m_checkpoints.value)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+
+    def resume(self) -> bool:
+        """Arm per-shard resume; returns whether any shard checkpoint exists.
+
+        The actual state restore happens inside each worker (it owns
+        its shard directory); this call only verifies the directory and
+        flags the next :meth:`run` to start workers in resume mode.
+        Must be called before anything has been consumed.
+        """
+        if self.checkpoint_dir is None:
+            raise ConfigurationError("resume() needs a checkpoint_dir")
+        if self._ran or self.records_in:
+            raise ConfigurationError("resume() after records were consumed would double-count")
+        self._resume_requested = True
+        return any(
+            next(iter(shard_directory(self.checkpoint_dir, shard).glob("checkpoint-*.npz")), None)
+            is not None
+            for shard in range(self.workers)
+        )
+
+    # ------------------------------------------------------------------
+    # The coordinator loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_records: Optional[int] = None) -> Dict[str, object]:
+        """Spawn workers, route the stream, reduce; returns :meth:`stats`.
+
+        ``max_records`` bounds the records consumed by this call and
+        makes every worker stop *without* a final checkpoint — the
+        kill-and-resume drills' crash double.  ``None`` runs to source
+        exhaustion, after which each shard writes a final checkpoint
+        (if configured) and the merged predictor is exposed as
+        :attr:`predictor`.
+        """
+        if self._ran:
+            raise ConfigurationError(
+                "ShardedRunner.run() is single-shot; construct a new runner "
+                "(workers have exited and shard queues are closed)"
+            )
+        self._ran = True
+        started = self.clock()
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context
+            else multiprocessing.get_context()
+        )
+        self._task_queues = [
+            context.Queue(maxsize=self.queue_depth) for _ in range(self.workers)
+        ]
+        self._result_queue = context.Queue()
+        self._done: Dict[int, dict] = {}
+        self._ready: Dict[int, int] = {}
+        self.processes = [
+            context.Process(
+                target=shard_worker_main,
+                args=(
+                    shard,
+                    self._task_queues[shard],
+                    self._result_queue,
+                    self.config,
+                    self.checkpoint_dir,
+                    self.checkpoint_every,
+                    self.keep,
+                    self._resume_requested,
+                ),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            for shard in range(self.workers)
+        ]
+        for process in self.processes:
+            process.start()
+        consumed = 0
+        try:
+            self._collect_ready()
+            start_offset = min(self.shard_offsets)
+            self.offset = start_offset
+            buffers: List[list] = [[] for _ in range(self.workers)]
+            exhausted = True
+            for record in self.source.records(start_offset):
+                if max_records is not None and consumed >= max_records:
+                    exhausted = False
+                    break
+                self._consume(record, buffers)
+                consumed += 1
+            for shard, buffer in enumerate(buffers):
+                if buffer:
+                    self._put(shard, ("edges", buffer))
+            sentinel = ("finish",) if exhausted else ("halt",)
+            for shard in range(self.workers):
+                self._put(shard, sentinel)
+            self.source_exhausted = exhausted
+            self._collect_done()
+        except BaseException:
+            self._abort()
+            raise
+        finally:
+            for process in self.processes:
+                process.join(timeout=5.0)
+        self._fold_results()
+        elapsed = self.clock() - started
+        self._m_run_seconds.inc(elapsed)
+        if elapsed > 0:
+            self._m_rate.set(consumed / elapsed)
+        return self.stats()
+
+    def _consume(self, record: SourceRecord, buffers: List[list]) -> None:
+        try:
+            edge = coerce_record(record, self.self_loops)
+        except ContractViolation as violation:
+            self._reject(record, violation)
+            self._m_dead.inc()
+            self._m_dead_reasons.labels(violation.reason).inc()
+        else:
+            if edge is None:
+                self._m_dropped.inc()  # silently dropped self-loop
+            else:
+                shard = shard_of(edge.u, edge.v, self.workers, self.config.seed)
+                if record.offset < self.shard_offsets[shard]:
+                    # Already reflected in that shard's checkpoint: a
+                    # resume replays from min(shard offsets) and skips
+                    # per shard, never double-counting.
+                    self._m_replayed.inc()
+                else:
+                    buffer = buffers[shard]
+                    buffer.append((record.offset, edge.u, edge.v))
+                    self._m_ok[shard].inc()
+                    if len(buffer) >= self.chunk_records:
+                        self._put(shard, ("edges", buffer))
+                        buffers[shard] = []
+        self.offset = record.offset + 1
+
+    def _reject(self, record: SourceRecord, violation: ContractViolation) -> None:
+        raw = record.value if isinstance(record.value, str) else repr(record.value)
+        if self.policy == "strict":
+            self._m_strict_error.inc()
+            raise DeadLetterError(
+                f"offset {record.offset}"
+                + (f" (line {record.line_number})" if record.line_number else "")
+                + f": {violation.detail}",
+                reason=violation.reason,
+                offset=record.offset,
+            )
+        self.dead_letters.record(
+            DeadLetter(
+                offset=record.offset,
+                reason=violation.reason,
+                raw=raw,
+                line_number=record.line_number,
+                detail=violation.detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Worker liveness and message plumbing
+    # ------------------------------------------------------------------
+
+    def _put(self, shard: int, item) -> None:
+        """Enqueue with backpressure, failing fast if the worker died."""
+        task_queue = self._task_queues[shard]
+        while True:
+            try:
+                task_queue.put(item, timeout=_POLL_SECONDS)
+                return
+            except queue_module.Full:
+                self._check_alive()
+
+    def _drain_results(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self._dispatch(message)
+
+    def _dispatch(self, message) -> None:
+        kind, shard = message[0], message[1]
+        if kind == "ready":
+            self._ready[shard] = message[2]
+            self.shard_offsets[shard] = message[2]
+            self.resumed_generations[shard] = message[3]
+        elif kind == "done":
+            self._done[shard] = message[2]
+        elif kind == "error":
+            raise WorkerCrashError(
+                f"shard {shard} worker raised:\n{message[2]}",
+                shard=shard,
+                traceback=message[2],
+            )
+
+    def _check_alive(self) -> None:
+        self._drain_results()
+        for shard, process in enumerate(self.processes):
+            if shard not in self._done and not process.is_alive():
+                self._drain_results()  # a 'done'/'error' may have raced exit
+                if shard in self._done:
+                    continue
+                raise WorkerCrashError(
+                    f"shard {shard} worker (pid {process.pid}) died with "
+                    f"exit code {process.exitcode} before finishing; resume "
+                    "from the per-shard checkpoints to recover",
+                    shard=shard,
+                    exitcode=process.exitcode,
+                )
+
+    def _collect_ready(self) -> None:
+        while len(self._ready) < self.workers:
+            try:
+                self._dispatch(self._result_queue.get(timeout=_POLL_SECONDS))
+            except queue_module.Empty:
+                self._check_alive()
+
+    def _collect_done(self) -> None:
+        while len(self._done) < self.workers:
+            try:
+                self._dispatch(self._result_queue.get(timeout=_POLL_SECONDS))
+            except queue_module.Empty:
+                self._check_alive()
+
+    def _abort(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for task_queue in getattr(self, "_task_queues", []):
+            task_queue.cancel_join_thread()
+        self._result_queue.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    # Reduce and health
+    # ------------------------------------------------------------------
+
+    def _fold_results(self) -> None:
+        for shard in range(self.workers):
+            payload = self._done[shard]
+            self.shard_offsets[shard] = payload["offset"]
+            self.shard_records[shard] = payload["records_ok"]
+            self._m_checkpoints.inc(payload["checkpoints_written"])
+        merge_started = self.clock()
+        self.predictor = merge_shards(
+            [self._done[shard]["predictor"] for shard in range(self.workers)]
+        )
+        self.merge_seconds = self.clock() - merge_started
+        self._m_merge_seconds.observe(self.merge_seconds)
+
+    def shard_predictors(self) -> List[MinHashLinkPredictor]:
+        """The per-shard predictors of the finished run, in shard order
+        (the zero-copy input to
+        :meth:`repro.serve.PackedSketches.from_shards`)."""
+        if not self._done or len(self._done) < self.workers:
+            raise ConfigurationError("shard predictors exist only after run()")
+        return [self._done[shard]["predictor"] for shard in range(self.workers)]
+
+    def dead_letter_reasons(self) -> Dict[str, int]:
+        """Per-reason quarantine counts (stably ordered, defensive copy)."""
+        by_reason = {
+            labels.get("reason", ""): int(series.value)
+            for labels, series in self._m_dead_reasons.series()
+        }
+        ordered = {reason: by_reason[reason] for reason in REASONS if by_reason.get(reason)}
+        for reason, count in by_reason.items():
+            if count and reason not in ordered:
+                ordered[reason] = count
+        return ordered
+
+    def stats(self) -> Dict[str, object]:
+        """Runner health as a flat dict, mirroring
+        :meth:`StreamRunner.stats <repro.stream.runner.StreamRunner.stats>`
+        with the sharding extras (per-shard offsets/records, merge
+        latency).  A defensive snapshot — mutate freely."""
+        return {
+            "source": self.source.name,
+            "policy": self.policy,
+            "workers": self.workers,
+            "offset": self.offset,
+            "records_in": self.records_in,
+            "records_ok": self.records_ok,
+            "dead_lettered": self.dead_lettered,
+            "dead_letter_reasons": self.dead_letter_reasons(),
+            "dropped": self.dropped,
+            "replayed": self.replayed,
+            "checkpoints_written": self.checkpoints_written,
+            "shard_offsets": list(self.shard_offsets),
+            "shard_records": list(self.shard_records),
+            "resumed_generations": list(self.resumed_generations),
+            "merge_seconds": self.merge_seconds,
+            "source_exhausted": self.source_exhausted,
+            "vertices": self.predictor.vertex_count if self.predictor else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRunner(workers={self.workers}, k={self.config.k}, "
+            f"checkpoint_dir={self.checkpoint_dir!r})"
+        )

@@ -1,0 +1,123 @@
+"""The shard worker: one process, one predictor shard, one checkpoint dir.
+
+Each worker owns a *full-configuration*
+:class:`~repro.core.predictor.MinHashLinkPredictor` (same ``k``, same
+seed, same hash bank as every sibling — mergeability requires equal
+configs) and consumes only the edges the coordinator routes to its
+shard.  The protocol over the bounded task queue:
+
+* ``("edges", [(offset, u, v), ...])`` — a chunk of validated edges
+  owned by this shard, global stream offsets ascending,
+* ``("finish",)`` — the source is exhausted: write a final checkpoint
+  (so a completed stream never replays) and report the shard state,
+* ``("halt",)`` — stop *without* a final checkpoint.  This is what a
+  coordinator-side ``max_records`` drill sends: the on-disk state then
+  looks exactly like a crash, which the recovery suite exploits.
+
+Results flow back on a shared queue: ``("ready", shard, offset,
+generation)`` after startup/resume, ``("done", shard, payload)`` on
+completion, ``("error", shard, traceback)`` on an unhandled exception.
+
+Checkpointing reuses :class:`~repro.stream.checkpoint.CheckpointManager`
+unchanged, one manager per shard in its own subdirectory
+(``<root>/shard-03/checkpoint-<gen>.npz``).  A shard checkpoint embeds
+the *global* stream offset of its last applied edge + 1; because the
+coordinator routes each shard's records in ascending offset order,
+"every record of mine below this offset is reflected" holds per shard,
+and resume is exact shard-by-shard even when workers die at different
+points.
+"""
+
+from __future__ import annotations
+
+import traceback
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor
+from repro.stream.checkpoint import CheckpointManager
+
+__all__ = ["shard_worker_main", "shard_directory"]
+
+
+def shard_directory(root, shard: int) -> Path:
+    """The checkpoint subdirectory owned by one shard."""
+    return Path(root) / f"shard-{shard:02d}"
+
+
+def shard_worker_main(
+    shard: int,
+    task_queue,
+    result_queue,
+    config: SketchConfig,
+    checkpoint_dir: Optional[str],
+    checkpoint_every: int,
+    keep: int,
+    resume: bool,
+) -> None:
+    """Entry point of one shard worker process (top-level: spawn-safe)."""
+    try:
+        manager = None
+        if checkpoint_dir:
+            manager = CheckpointManager(
+                shard_directory(checkpoint_dir, shard), keep=keep
+            )
+        predictor = MinHashLinkPredictor(config)
+        offset = 0  # global stream offset this shard is committed through
+        generation = None
+        if resume and manager is not None:
+            checkpoint = manager.load_latest()
+            if checkpoint is not None:
+                predictor = checkpoint.predictor
+                offset = checkpoint.offset
+                generation = checkpoint.generation
+        result_queue.put(("ready", shard, offset, generation))
+
+        update = predictor.update
+        records_ok = 0
+        checkpoints_written = 0
+        since_checkpoint = 0
+        halted = False
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == "edges":
+                for record_offset, u, v in message[1]:
+                    if record_offset < offset:
+                        continue  # replayed record already in a checkpoint
+                    update(u, v)
+                    offset = record_offset + 1
+                    records_ok += 1
+                    since_checkpoint += 1
+                    if checkpoint_every and since_checkpoint >= checkpoint_every:
+                        manager.save(predictor, offset)
+                        checkpoints_written += 1
+                        since_checkpoint = 0
+            elif kind == "finish":
+                if manager is not None and since_checkpoint:
+                    manager.save(predictor, offset)
+                    checkpoints_written += 1
+                break
+            elif kind == "halt":
+                halted = True
+                break
+            else:  # pragma: no cover - protocol misuse is a coordinator bug
+                raise RuntimeError(f"unknown worker message {message!r}")
+
+        result_queue.put(
+            (
+                "done",
+                shard,
+                {
+                    "predictor": predictor,
+                    "offset": offset,
+                    "records_ok": records_ok,
+                    "checkpoints_written": checkpoints_written,
+                    "resumed_from_generation": generation,
+                    "halted": halted,
+                },
+            )
+        )
+    except Exception:  # noqa: BLE001 - forwarded verbatim to the coordinator
+        result_queue.put(("error", shard, traceback.format_exc()))

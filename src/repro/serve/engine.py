@@ -49,6 +49,11 @@ PairBatch = Union[Sequence[Tuple[int, int]], np.ndarray]
 class QueryEngine(object):
     """Batch measure queries over a predictor's packed sketches.
 
+    Most applications reach this through the facade —
+    :func:`repro.api.open_engine` also accepts saved ``.npz`` snapshots
+    and (serial or sharded) checkpoint directories; direct construction
+    stays supported and identical for a warm predictor.
+
     Parameters
     ----------
     predictor:

@@ -31,7 +31,8 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.core.predictor import MinHashLinkPredictor
-from repro.errors import SketchStateError
+from repro.errors import ConfigurationError, SketchStateError
+from repro.sketches.minhash import EMPTY_SLOT, NO_WITNESS
 
 __all__ = ["PackedSketches"]
 
@@ -105,6 +106,75 @@ class PackedSketches(object):
             exported.update_counts,
             k=predictor.config.k,
             seed=predictor.config.seed,
+            pack_seconds=time.perf_counter() - started,
+        )
+
+    @classmethod
+    def from_shards(
+        cls, shards: Sequence[MinHashLinkPredictor]
+    ) -> "PackedSketches":
+        """Pack shard predictors straight into merged matrices.
+
+        The serving-side join of parallel ingestion: rather than
+        reducing N shard predictors into one merged predictor object
+        (N·n sketch merges plus a full per-vertex dict copy) and packing
+        *that*, this packs each shard's exported arrays directly into
+        the union layout — per-slot minima, shard-order tie-breaks, and
+        summed counters are computed as array folds, so the result is
+        **bit-identical** to
+        ``from_predictor(merge_shards(shards))`` without the
+        intermediate predictor ever existing.
+
+        All shards must share one configuration, and that configuration
+        must be mergeable (exact degrees — see
+        :meth:`repro.core.config.SketchConfig.require_mergeable`).
+        """
+        started = time.perf_counter()
+        if not shards:
+            raise ConfigurationError("from_shards needs at least one shard predictor")
+        config = shards[0].config
+        for shard in shards[1:]:
+            if shard.config != config:
+                raise SketchStateError(
+                    "can only pack shards with identical configurations "
+                    f"(got {config} vs {shard.config})"
+                )
+        config.require_mergeable()
+        exports = [shard.export_arrays() for shard in shards]
+        vertex_ids = np.unique(
+            np.concatenate([export.vertex_ids for export in exports])
+        )
+        n, k = len(vertex_ids), config.k
+        values = np.full((n, k), EMPTY_SLOT, dtype=np.uint64)
+        witnesses = (
+            np.full((n, k), NO_WITNESS, dtype=np.int64)
+            if config.track_witnesses
+            else None
+        )
+        update_counts = np.zeros(n, dtype=np.int64)
+        degrees = np.zeros(n, dtype=np.int64)
+        for export in exports:
+            rows = np.searchsorted(vertex_ids, export.vertex_ids)
+            # Strict < keeps the earlier shard's witness on value ties —
+            # exactly merge()'s tie-break, preserving bit-identity.
+            block = values[rows]
+            take = export.values < block
+            block[take] = export.values[take]
+            values[rows] = block
+            if witnesses is not None:
+                witness_block = witnesses[rows]
+                witness_block[take] = export.witnesses[take]
+                witnesses[rows] = witness_block
+            update_counts[rows] += export.update_counts
+            degrees[rows] += export.degrees
+        return cls(
+            vertex_ids,
+            values,
+            witnesses,
+            degrees,
+            update_counts,
+            k=k,
+            seed=config.seed,
             pack_seconds=time.perf_counter() - started,
         )
 

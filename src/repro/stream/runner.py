@@ -54,11 +54,17 @@ from repro.stream.checkpoint import CheckpointManager
 from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters, REASONS
 from repro.stream.sources import EdgeSource, RetryingSource, SourceRecord
 
-__all__ = ["StreamRunner"]
+__all__ = ["StreamRunner", "ContractViolation", "coerce_record"]
 
 
-class _ContractViolation(Exception):
-    """Internal: a record failed validation (reason + human detail)."""
+class ContractViolation(Exception):
+    """A record failed validation (reason + human detail).
+
+    Raised by :func:`coerce_record`; consumers (the serial
+    :class:`StreamRunner` and the sharded coordinator in
+    :mod:`repro.parallel`) translate it into a dead-letter entry or a
+    :class:`~repro.errors.DeadLetterError` per their policy.
+    """
 
     def __init__(self, reason: str, detail: str) -> None:
         super().__init__(detail)
@@ -66,8 +72,65 @@ class _ContractViolation(Exception):
         self.detail = detail
 
 
+#: Backwards-compatible private alias (pre-parallel name).
+_ContractViolation = ContractViolation
+
+
+def coerce_record(record: SourceRecord, self_loops: str = "quarantine") -> Optional[Edge]:
+    """Validate one raw record into an :class:`Edge` (or ``None``).
+
+    The single record-contract implementation shared by the serial
+    runner and the sharded coordinator — both paths must accept and
+    reject *exactly* the same records or parallel ingestion could not
+    be bit-identical to serial.  ``None`` means "drop silently" (a
+    self-loop under ``self_loops="drop"``); contract violations raise
+    :class:`ContractViolation`.
+    """
+    value = record.value
+    if isinstance(value, str):
+        try:
+            edge = parse_edge_line(
+                value,
+                line_number=record.line_number,
+                default_timestamp=float(record.offset),
+            )
+        except StreamFormatError as error:
+            raise ContractViolation(error.reason or "bad_arity", str(error)) from None
+    elif isinstance(value, (tuple, list)):
+        if len(value) not in (2, 3):
+            raise ContractViolation("bad_arity", f"expected 2 or 3 fields, got {len(value)}")
+        u, v = value[0], value[1]
+        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
+            raise ContractViolation("non_integer_vertex", f"non-integer vertex in {value!r}")
+        if u < 0 or v < 0:
+            raise ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
+        if len(value) == 3:
+            try:
+                timestamp = float(value[2])
+            except (TypeError, ValueError):
+                raise ContractViolation("bad_timestamp", f"non-numeric timestamp {value[2]!r}") from None
+        else:
+            timestamp = float(record.offset)
+        edge = Edge(u, v, timestamp)
+    else:
+        raise ContractViolation(
+            "bad_record_type", f"record is a {type(value).__name__}, not a line or tuple"
+        )
+    if edge.u == edge.v:
+        if self_loops == "drop":
+            return None
+        raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
+    return edge
+
+
 class StreamRunner:
     """Drive a predictor from a source with checkpoints and quarantine.
+
+    Most applications reach this through the facade —
+    :func:`repro.api.ingest` constructs and runs one (or the sharded
+    :class:`~repro.parallel.ShardedRunner` when ``workers > 1``);
+    direct construction stays supported for callers that need the
+    reporter/clock knobs.
 
     Parameters
     ----------
@@ -281,7 +344,7 @@ class StreamRunner:
     def _consume(self, record: SourceRecord) -> None:
         try:
             edge = self._coerce(record)
-        except _ContractViolation as violation:
+        except ContractViolation as violation:
             self._reject(record, violation)
             self._m_dead.inc()
             self._m_dead_reasons.labels(violation.reason).inc()
@@ -300,43 +363,9 @@ class StreamRunner:
 
     def _coerce(self, record: SourceRecord) -> Optional[Edge]:
         """Validate one raw record; ``None`` means "drop silently"."""
-        value = record.value
-        if isinstance(value, str):
-            try:
-                edge = parse_edge_line(
-                    value,
-                    line_number=record.line_number,
-                    default_timestamp=float(record.offset),
-                )
-            except StreamFormatError as error:
-                raise _ContractViolation(error.reason or "bad_arity", str(error)) from None
-        elif isinstance(value, (tuple, list)):
-            if len(value) not in (2, 3):
-                raise _ContractViolation("bad_arity", f"expected 2 or 3 fields, got {len(value)}")
-            u, v = value[0], value[1]
-            if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
-                raise _ContractViolation("non_integer_vertex", f"non-integer vertex in {value!r}")
-            if u < 0 or v < 0:
-                raise _ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
-            if len(value) == 3:
-                try:
-                    timestamp = float(value[2])
-                except (TypeError, ValueError):
-                    raise _ContractViolation("bad_timestamp", f"non-numeric timestamp {value[2]!r}") from None
-            else:
-                timestamp = float(record.offset)
-            edge = Edge(u, v, timestamp)
-        else:
-            raise _ContractViolation(
-                "bad_record_type", f"record is a {type(value).__name__}, not a line or tuple"
-            )
-        if edge.u == edge.v:
-            if self.self_loops == "drop":
-                return None
-            raise _ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
-        return edge
+        return coerce_record(record, self.self_loops)
 
-    def _reject(self, record: SourceRecord, violation: _ContractViolation) -> None:
+    def _reject(self, record: SourceRecord, violation: ContractViolation) -> None:
         raw = record.value if isinstance(record.value, str) else repr(record.value)
         if self.policy == "strict":
             self._m_strict_error.inc()

@@ -1,0 +1,161 @@
+"""Tests pinning the ``repro.api`` facade as the public surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api
+from repro import IngestReport, SketchConfig, build_predictor, evaluate, ingest, open_engine
+from repro.core import BiasedMinHashLinkPredictor, MinHashLinkPredictor
+from repro.errors import ConfigurationError, ReproError
+from repro.serve import QueryEngine
+
+EDGES = [(u % 60, (u * 7 + 1) % 60) for u in range(600)] + [
+    (u % 60, (u + 1) % 60) for u in range(600)
+]
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("".join(f"{u} {v}\n" for u, v in EDGES))
+    return str(path)
+
+
+class TestSurface:
+    def test_api_all_is_the_documented_surface(self):
+        # The facade's stable contract: exactly these names, no drift.
+        assert repro.api.__all__ == [
+            "IngestReport",
+            "build_predictor",
+            "evaluate",
+            "ingest",
+            "open_engine",
+        ]
+
+    def test_facade_reexported_from_package_root(self):
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name)
+            assert name in repro.__all__
+
+    def test_import_surface_check(self):
+        # The CI smoke: importable, and __all__ members all resolve.
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name)
+
+
+class TestBuildPredictor:
+    def test_config_first_spelling(self):
+        predictor = build_predictor(SketchConfig(k=8, seed=1))
+        assert isinstance(predictor, MinHashLinkPredictor)
+        assert predictor.config.k == 8
+
+    def test_method_keyword(self):
+        predictor = build_predictor(SketchConfig(k=8), method="biased")
+        assert isinstance(predictor, BiasedMinHashLinkPredictor)
+
+    def test_legacy_method_first_spelling_still_works(self):
+        predictor = build_predictor("minhash", SketchConfig(k=8))
+        assert isinstance(predictor, MinHashLinkPredictor)
+
+    def test_defaults_to_minhash_default_config(self):
+        assert isinstance(build_predictor(), MinHashLinkPredictor)
+
+    def test_positional_config_with_extra_positionals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_predictor(SketchConfig(k=8), 100)
+
+
+class TestIngest:
+    def test_serial_ingest_from_file(self, edge_file):
+        report = ingest(edge_file, config=SketchConfig(k=8, seed=2))
+        assert isinstance(report, IngestReport)
+        assert report.records_ok == len(EDGES)
+        assert report.predictor.vertex_count == 60
+
+    def test_sharded_ingest_is_bit_identical(self, edge_file):
+        config = SketchConfig(k=8, seed=2)
+        serial = ingest(edge_file, config=config)
+        sharded = ingest(edge_file, config=config, workers=3)
+        ours = sharded.predictor.export_arrays()
+        theirs = serial.predictor.export_arrays()
+        for name in ("vertex_ids", "values", "witnesses", "update_counts", "degrees"):
+            assert np.array_equal(getattr(ours, name), getattr(theirs, name)), name
+
+    def test_ingest_from_edge_list(self):
+        report = ingest(EDGES[:100], config=SketchConfig(k=8))
+        assert report.records_ok == 100
+
+    def test_ingest_checkpointed_and_resume(self, edge_file, tmp_path):
+        config = SketchConfig(k=8, seed=2)
+        ckpt = tmp_path / "ck"
+        ingest(edge_file, config=config, checkpoint_dir=ckpt, checkpoint_every=100,
+               max_records=500)
+        resumed = ingest(edge_file, config=config, checkpoint_dir=ckpt,
+                         checkpoint_every=100, resume=True)
+        full = ingest(edge_file, config=config)
+        assert np.array_equal(
+            resumed.predictor.export_arrays().values,
+            full.predictor.export_arrays().values,
+        )
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(ReproError):
+            ingest("no-such-dataset-or-file", config=SketchConfig(k=8))
+
+
+class TestOpenEngine:
+    def test_from_warm_predictor(self, edge_file):
+        report = ingest(edge_file, config=SketchConfig(k=8, seed=2))
+        engine = open_engine(report.predictor)
+        assert isinstance(engine, QueryEngine)
+        assert engine.score_many([(0, 1)], "jaccard").shape == (1,)
+
+    def test_from_serial_checkpoint_dir(self, edge_file, tmp_path):
+        ckpt = tmp_path / "ck"
+        report = ingest(edge_file, config=SketchConfig(k=8, seed=2),
+                        checkpoint_dir=ckpt, checkpoint_every=100)
+        engine = open_engine(ckpt)
+        direct = open_engine(report.predictor)
+        assert np.array_equal(
+            engine.score_many([(0, 1), (3, 9)], "jaccard"),
+            direct.score_many([(0, 1), (3, 9)], "jaccard"),
+        )
+
+    def test_from_sharded_checkpoint_dir(self, edge_file, tmp_path):
+        ckpt = tmp_path / "ck"
+        report = ingest(edge_file, config=SketchConfig(k=8, seed=2), workers=3,
+                        checkpoint_dir=ckpt, checkpoint_every=100)
+        engine = open_engine(ckpt)
+        direct = open_engine(report.predictor)
+        assert np.array_equal(
+            engine.score_many([(0, 1), (3, 9)], "adamic_adar"),
+            direct.score_many([(0, 1), (3, 9)], "adamic_adar"),
+        )
+
+    def test_engine_options_pass_through(self, edge_file):
+        report = ingest(edge_file, config=SketchConfig(k=8, seed=2))
+        engine = open_engine(report.predictor, batch_size=16)
+        assert engine.batch_size == 16
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            open_engine(tmp_path / "nowhere")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            open_engine(tmp_path)
+
+
+class TestEvaluate:
+    def test_profile_shape(self, edge_file):
+        profile = evaluate(edge_file, config=SketchConfig(k=32), pairs=40,
+                           measures=("jaccard",))
+        assert set(profile) == {"jaccard"}
+        assert {"mae", "rmse", "mre"} <= set(profile["jaccard"])
+
+    def test_exact_method_has_zero_error(self, edge_file):
+        profile = evaluate(edge_file, method="exact", pairs=40, measures=("jaccard",))
+        assert profile["jaccard"]["mae"] == pytest.approx(0.0)
