@@ -142,6 +142,7 @@ def ingest(
     keep: int = 3,
     policy: str = "quarantine",
     self_loops: str = "quarantine",
+    policies: object = None,
     max_records: Optional[int] = None,
     max_retries: int = 0,
     seed: int = 0,
@@ -158,6 +159,12 @@ def ingest(
     checkpoints (per-shard subdirectories when sharded); ``resume=True``
     restores from them first.  ``seed`` only seeds registry *dataset*
     generation — sketch randomness lives in ``config.seed``.
+
+    ``policies`` opts into the adversarial-input casebook contract: a
+    :class:`~repro.stream.policies.PolicySet`, or its CLI string
+    spelling (``"strict"``, ``"normalize"``,
+    ``"duplicate_edge=normalize,hub_anomaly=strict"``, ...).  ``None``
+    keeps the legacy parse-level contract.  See ``docs/CASEBOOK.md``.
     """
     from repro.parallel import ShardedRunner
     from repro.stream.checkpoint import CheckpointManager
@@ -174,6 +181,7 @@ def ingest(
             keep=keep,
             policy=policy,
             self_loops=self_loops,
+            policies=policies,
             metrics=metrics,
         )
         if resume:
@@ -192,6 +200,7 @@ def ingest(
             checkpoint_every=checkpoint_every if manager else 0,
             policy=policy,
             self_loops=self_loops,
+            policies=policies,
             metrics=metrics,
         )
         if resume:

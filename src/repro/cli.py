@@ -1,9 +1,10 @@
 """Command-line interface: ``repro-linkpred``.
 
-Nine subcommands cover the everyday uses of the library without
+Ten subcommands cover the everyday uses of the library without
 writing code — exploration (``datasets``, ``stats``), prediction and
 evaluation (``predict``, ``evaluate``, ``discover``, ``triangles``),
-and the production runtime (``ingest``, ``query``, ``monitor``):
+and the production runtime (``ingest``, ``query``, ``monitor``,
+``casebook``):
 
 * ``repro-linkpred datasets`` — the registry of synthetic SNAP
   stand-ins with their measured statistics (table E1).
@@ -30,6 +31,11 @@ and the production runtime (``ingest``, ``query``, ``monitor``):
 * ``repro-linkpred monitor <metrics-file>`` — render a metrics
   snapshot (a ``--metrics-out`` JSON-lines flight record or a saved
   snapshot) as human-readable tables; see ``docs/OBSERVABILITY.md``.
+* ``repro-linkpred casebook`` — the adversarial input casebook: print
+  the case taxonomy with default policies and repairs, and (with
+  ``--check``) replay a labeled hostile corpus under all three policy
+  modes, asserting per-case dispositions and replay convergence; see
+  ``docs/CASEBOOK.md``.
 
 ``ingest`` and ``query`` take ``--metrics-out FILE`` (and
 ``--metrics-every N``) to sample their metrics registry as JSON lines
@@ -268,6 +274,40 @@ def _add_metrics_arguments(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _ingest_guard(args: argparse.Namespace):
+    """The casebook :class:`StreamGuard` for ingest, or ``None`` when
+    neither ``--case-policy`` nor ``--hub-degree-limit`` was given (the
+    legacy parse-level contract)."""
+    if not args.case_policy and args.hub_degree_limit is None:
+        return None
+    from repro.stream import PolicySet, StreamGuard
+    from repro.stream.policies import DEFAULT_HUB_DEGREE_LIMIT
+
+    policies = (
+        PolicySet.parse(args.case_policy) if args.case_policy else PolicySet()
+    )
+    return StreamGuard(
+        policies,
+        self_loops=args.self_loops,
+        hub_degree_limit=(
+            args.hub_degree_limit
+            if args.hub_degree_limit is not None
+            else DEFAULT_HUB_DEGREE_LIMIT
+        ),
+    )
+
+
+def _ingest_stat_rows(stats: dict) -> list:
+    """Flatten runner stats into table rows, expanding the per-reason
+    dead-letter and normalization breakdowns."""
+    reasons = stats.pop("dead_letter_reasons")
+    normalized = stats.pop("normalized_reasons")
+    rows = [[key, value] for key, value in stats.items()]
+    rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
+    rows += [[f"normalized[{reason}]", count] for reason, count in normalized.items()]
+    return rows
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry
     from repro.stream import (
@@ -322,6 +362,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         dead_letters=sink,
         policy=args.policy,
         self_loops=args.self_loops,
+        guard=_ingest_guard(args),
         metrics=registry,
         reporter=reporter,
     )
@@ -337,9 +378,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     finally:
         if reporter is not None:
             reporter.close()  # writes the final sample
-    reasons = stats.pop("dead_letter_reasons")
-    rows = [[key, value] for key, value in stats.items()]
-    rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
+    rows = _ingest_stat_rows(stats)
     print(format_table(["metric", "value"], rows, title=f"Ingest: {args.source}"))
     if args.metrics_out:
         print(f"metrics: {reporter.samples_written} samples -> {args.metrics_out}")
@@ -375,6 +414,7 @@ def _cmd_ingest_sharded(args: argparse.Namespace, source) -> int:
         dead_letters=sink,
         policy=args.policy,
         self_loops=args.self_loops,
+        guard=_ingest_guard(args),
         metrics=registry,
     )
     if args.resume:
@@ -389,9 +429,7 @@ def _cmd_ingest_sharded(args: argparse.Namespace, source) -> int:
     finally:
         if reporter is not None:
             reporter.close()  # writes the final sample
-    reasons = stats.pop("dead_letter_reasons")
-    rows = [[key, value] for key, value in stats.items()]
-    rows += [[f"dead_letter[{reason}]", count] for reason, count in reasons.items()]
+    rows = _ingest_stat_rows(stats)
     print(
         format_table(
             ["metric", "value"],
@@ -611,6 +649,91 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_casebook(args: argparse.Namespace) -> int:
+    from repro.stream.casebook import (
+        CASEBOOK,
+        SyntheticCorpusGenerator,
+        check_casebook,
+    )
+
+    if args.write_corpus:
+        generator = SyntheticCorpusGenerator(
+            args.seed,
+            per_case=args.per_case,
+            hub_degree_limit=args.hub_degree_limit,
+        )
+        lines = generator.hostile_lines()
+        with open(args.write_corpus, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        print(f"hostile corpus: {len(lines)} lines -> {args.write_corpus}")
+    taxonomy_rows = [
+        [
+            case.reason,
+            case.level,
+            case.default_policy,
+            "yes" if case.repairable else "no",
+            case.repair,
+        ]
+        for case in CASEBOOK
+    ]
+    print(
+        format_table(
+            ["case", "level", "default", "repairable", "normalize-mode repair"],
+            taxonomy_rows,
+            title="Adversarial input casebook (docs/CASEBOOK.md)",
+        )
+    )
+    if not args.check:
+        return 0
+    report = check_casebook(
+        seed=args.seed,
+        per_case=args.per_case,
+        hub_degree_limit=args.hub_degree_limit,
+        workers=args.check_workers,
+    )
+    disposition_rows = [
+        [row.case, row.mode, row.expected, f"{row.matched}/{row.total}"]
+        for row in report.rows
+    ]
+    print(
+        format_table(
+            ["case", "mode", "expected disposition", "matched"],
+            disposition_rows,
+            title=(
+                f"Casebook replay: {args.per_case} instances per case "
+                "under each uniform policy mode"
+            ),
+        )
+    )
+    checks = [
+        ("normalize-everything converges to clean ingest", report.normalize_converged),
+        ("quarantine + dead-letter replay converges", report.replay_converged),
+    ]
+    if report.sharded_normalize_converged is not None:
+        checks.append(
+            (
+                f"sharded (x{args.check_workers}) normalize converges",
+                report.sharded_normalize_converged,
+            )
+        )
+        checks.append(
+            (
+                f"sharded (x{args.check_workers}) quarantine + replay converges",
+                report.sharded_replay_converged,
+            )
+        )
+    for label, passed in checks:
+        print(f"{'PASS' if passed else 'FAIL'}  {label}")
+    for mismatch in report.mismatches:
+        print(f"MISMATCH  {mismatch}")
+    if not report.ok:
+        print("casebook check FAILED", file=sys.stderr)
+        return 1
+    print("casebook check OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed separately for the CLI tests).
 
@@ -767,6 +890,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-loop handling: count in the dead-letter channel, or drop silently",
     )
     ingest.add_argument(
+        "--case-policy",
+        default="",
+        metavar="SPEC",
+        help="casebook per-case policies: a uniform mode ('strict', "
+        "'normalize'), 'default', or 'case=mode,...' overrides "
+        "(e.g. 'duplicate_edge=normalize,hub_anomaly=strict'); "
+        "activates stream-level detection — see docs/CASEBOOK.md",
+    )
+    ingest.add_argument(
+        "--hub-degree-limit",
+        type=int,
+        default=None,
+        metavar="D",
+        help="degree past which a vertex is a hub anomaly (implies the "
+        "default --case-policy when given alone)",
+    )
+    ingest.add_argument(
         "--max-retries",
         type=int,
         default=5,
@@ -833,6 +973,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_arguments(query)
     query.set_defaults(run=_cmd_query)
+
+    casebook = commands.add_parser(
+        "casebook",
+        help="the adversarial input casebook: taxonomy, and --check replay",
+    )
+    add_seed_argument(casebook)
+    casebook.add_argument(
+        "--check",
+        action="store_true",
+        help="replay a labeled hostile corpus under all three policy "
+        "modes and verify dispositions + replay convergence",
+    )
+    casebook.add_argument(
+        "--per-case",
+        type=int,
+        default=2,
+        metavar="N",
+        help="hostile instances injected per case in the corpus",
+    )
+    casebook.add_argument(
+        "--hub-degree-limit",
+        type=int,
+        default=6,
+        metavar="D",
+        help="hub threshold for the synthetic corpus (small on purpose)",
+    )
+    casebook.add_argument(
+        "--check-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally prove convergence through N shard workers",
+    )
+    casebook.add_argument(
+        "--write-corpus",
+        default="",
+        metavar="FILE",
+        help="also write the hostile corpus lines to this file",
+    )
+    casebook.set_defaults(run=_cmd_casebook)
 
     monitor = commands.add_parser(
         "monitor", help="render a metrics snapshot as human-readable tables"

@@ -21,6 +21,9 @@ back.
 
 from __future__ import annotations
 
+import math
+import re
+import unicodedata
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Union
 
@@ -39,6 +42,49 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
+#: Delimiters hostile exports substitute for whitespace (CSV dumps,
+#: matrix-market variants, shell pipelines): their presence flags a
+#: ``mixed_delimiter`` line when re-splitting on them yields a record.
+_ALIEN_DELIMITERS = (",", ";", "|")
+_ALIEN_SPLIT = re.compile(r"[\s,;|]+")
+
+
+def _carries_hostile_chars(token: str) -> bool:
+    """True when the token holds control (Cc) or format (Cf) characters
+    — NUL bytes, ANSI escapes, BOMs, zero-width joiners."""
+    return any(unicodedata.category(char) in ("Cc", "Cf") for char in token)
+
+
+def _parse_vertex_token(token: str, line_number: Optional[int]) -> int:
+    """One vertex token → non-negative int, or a typed reject.
+
+    Deliberately stricter than ``int()``: Python's parser accepts
+    underscores (``1_0``), an explicit sign (``+5``), surrounding
+    whitespace, and non-ASCII decimal digits (``"١٢"``), all of which
+    indicate a mangled upstream rather than a well-formed id.  Only
+    canonical ASCII digit runs pass.
+    """
+    if token.isascii() and token.isdigit():
+        return int(token)
+    if not token.isascii() or _carries_hostile_chars(token):
+        raise StreamFormatError(
+            f"vertex token {token!r} carries non-ASCII or control characters",
+            line_number=line_number,
+            reason="bad_encoding",
+        )
+    if token.startswith("-") and token[1:].isdigit():
+        raise StreamFormatError(
+            f"negative vertex id {token!r}",
+            line_number=line_number,
+            reason="negative_vertex",
+        )
+    raise StreamFormatError(
+        f"non-integer vertex id {token!r} "
+        "(pass a VertexRelabeler for labelled data)",
+        line_number=line_number,
+        reason="non_integer_vertex",
+    )
+
 
 def parse_edge_line(
     text: str,
@@ -55,10 +101,27 @@ def parse_edge_line(
     this, so "what is a well-formed record" has exactly one definition.
     Raises :class:`StreamFormatError` whose ``reason`` attribute is a
     dead-letter vocabulary slug (``bad_arity``, ``non_integer_vertex``,
-    ``negative_vertex``, ``bad_timestamp``).  Self-loop policy is the
-    *caller's* decision — a self-loop parses fine here.
+    ``negative_vertex``, ``bad_timestamp``, ``mixed_delimiter``,
+    ``bad_encoding``, ``nonfinite_timestamp``).  Self-loop policy is
+    the *caller's* decision — a self-loop parses fine here.
+
+    Vertex tokens must be canonical ASCII digit runs — Python-int
+    lenience (``int("1_0")``, ``int("+5")``, fullwidth digits) is
+    rejected, and control/format characters (NUL, ANSI escapes, BOMs)
+    tag the line ``bad_encoding``.  Timestamps must be finite:
+    ``float()`` happily parses ``nan``/``inf``, which would poison
+    temporal ordering downstream, so those tag ``nonfinite_timestamp``.
     """
     fields = text.split()
+    if relabeler is None and any(d in text for d in _ALIEN_DELIMITERS):
+        candidate = [part for part in _ALIEN_SPLIT.split(text) if part]
+        if 2 <= len(candidate) <= 3:
+            raise StreamFormatError(
+                "fields are joined by ,/;/| delimiters instead of whitespace "
+                f"in {text!r}",
+                line_number=line_number,
+                reason="mixed_delimiter",
+            )
     if len(fields) not in (2, 3):
         raise StreamFormatError(
             f"expected 2 or 3 whitespace-separated fields, got {len(fields)}",
@@ -66,24 +129,18 @@ def parse_edge_line(
             reason="bad_arity",
         )
     if relabeler is not None:
+        for field in fields[:2]:
+            if _carries_hostile_chars(field):
+                raise StreamFormatError(
+                    f"vertex label {field!r} carries control or format characters",
+                    line_number=line_number,
+                    reason="bad_encoding",
+                )
         u = relabeler.encode(fields[0])
         v = relabeler.encode(fields[1])
     else:
-        try:
-            u, v = int(fields[0]), int(fields[1])
-        except ValueError:
-            raise StreamFormatError(
-                f"non-integer vertex id in {fields[:2]!r} "
-                "(pass a VertexRelabeler for labelled data)",
-                line_number=line_number,
-                reason="non_integer_vertex",
-            ) from None
-        if u < 0 or v < 0:
-            raise StreamFormatError(
-                f"negative vertex id in {fields[:2]!r}",
-                line_number=line_number,
-                reason="negative_vertex",
-            )
+        u = _parse_vertex_token(fields[0], line_number)
+        v = _parse_vertex_token(fields[1], line_number)
     if len(fields) == 3:
         try:
             timestamp = float(fields[2])
@@ -93,6 +150,13 @@ def parse_edge_line(
                 line_number=line_number,
                 reason="bad_timestamp",
             ) from None
+        if not math.isfinite(timestamp):
+            raise StreamFormatError(
+                f"non-finite timestamp {fields[2]!r} (nan/inf poison "
+                "temporal ordering)",
+                line_number=line_number,
+                reason="nonfinite_timestamp",
+            )
     else:
         timestamp = default_timestamp
     return Edge(u, v, timestamp)

@@ -43,7 +43,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import SketchConfig
 from repro.core.predictor import MinHashLinkPredictor, merge_shards
@@ -52,7 +52,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.parallel.partition import shard_of
 from repro.parallel.worker import shard_directory, shard_worker_main
 from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters, REASONS
-from repro.stream.runner import ContractViolation, coerce_record
+from repro.stream.policies import PolicySet, StreamGuard
 from repro.stream.sources import EdgeSource, SourceRecord
 
 __all__ = ["ShardedRunner"]
@@ -114,6 +114,8 @@ class ShardedRunner:
         dead_letters: Optional[DeadLetterSink] = None,
         policy: str = "quarantine",
         self_loops: str = "quarantine",
+        policies: Union[PolicySet, str, None] = None,
+        guard: Optional[StreamGuard] = None,
         metrics: Optional[MetricsRegistry] = None,
         chunk_records: int = 2048,
         queue_depth: int = 8,
@@ -144,6 +146,22 @@ class ShardedRunner:
         self.dead_letters = dead_letters or MemoryDeadLetters()
         self.policy = policy
         self.self_loops = self_loops
+        if guard is not None and policies is not None:
+            raise ConfigurationError("pass policies or a pre-built guard, not both")
+        if guard is not None:
+            if guard.self_loops != self_loops:
+                raise ConfigurationError(
+                    "the guard's self_loops setting must match the runner's"
+                )
+            self.guard = guard
+        else:
+            if isinstance(policies, str):
+                policies = PolicySet.parse(policies)
+            # Guard state lives coordinator-side: one process sees every
+            # record in stream order, so stream-level detection is
+            # deterministic and identical to the serial runner's.
+            self.guard = StreamGuard(policies, self_loops=self_loops)
+        self.policies = self.guard.policies
         self.chunk_records = chunk_records
         self.queue_depth = queue_depth
         self.mp_context = mp_context
@@ -175,9 +193,15 @@ class ShardedRunner:
         self._m_dropped = records.labels(outcome="dropped", shard="-")
         self._m_replayed = records.labels(outcome="replayed", shard="-")
         self._m_strict_error = records.labels(outcome="strict_error", shard="-")
+        self._m_norm_removed = records.labels(outcome="normalized", shard="-")
         self._m_dead_reasons = self.metrics.counter(
             "ingest_dead_letters_total",
             "Quarantined records by contract-violation reason",
+            labelnames=("reason",),
+        )
+        self._m_normalized = self.metrics.counter(
+            "ingest_normalized_total",
+            "Normalize-mode repairs applied, by casebook case",
             labelnames=("reason",),
         )
         self._m_checkpoints = self.metrics.counter(
@@ -229,6 +253,7 @@ class ShardedRunner:
             + self.dead_lettered
             + self.dropped
             + self.replayed
+            + int(self._m_norm_removed.value)
             + int(self._m_strict_error.value)
         )
 
@@ -346,51 +371,57 @@ class ShardedRunner:
         return self.stats()
 
     def _consume(self, record: SourceRecord, buffers: List[list]) -> None:
-        try:
-            edge = coerce_record(record, self.self_loops)
-        except ContractViolation as violation:
-            self._reject(record, violation)
-            self._m_dead.inc()
-            self._m_dead_reasons.labels(violation.reason).inc()
-        else:
-            if edge is None:
-                self._m_dropped.inc()  # silently dropped self-loop
+        verdict = self.guard.evaluate(record)
+        disposition = verdict.disposition
+        if disposition == "ok":
+            self._route(record, verdict.edge, buffers)
+        elif disposition == "normalized":
+            for case in verdict.cases:
+                self._m_normalized.labels(case).inc()
+            if verdict.edge is not None:
+                self._route(record, verdict.edge, buffers)
             else:
-                shard = shard_of(edge.u, edge.v, self.workers, self.config.seed)
-                if record.offset < self.shard_offsets[shard]:
-                    # Already reflected in that shard's checkpoint: a
-                    # resume replays from min(shard offsets) and skips
-                    # per shard, never double-counting.
-                    self._m_replayed.inc()
-                else:
-                    buffer = buffers[shard]
-                    buffer.append((record.offset, edge.u, edge.v))
-                    self._m_ok[shard].inc()
-                    if len(buffer) >= self.chunk_records:
-                        self._put(shard, ("edges", buffer))
-                        buffers[shard] = []
-        self.offset = record.offset + 1
-
-    def _reject(self, record: SourceRecord, violation: ContractViolation) -> None:
-        raw = record.value if isinstance(record.value, str) else repr(record.value)
-        if self.policy == "strict":
+                self._m_norm_removed.inc()  # the repair was removal
+        elif disposition == "drop":
+            self._m_dropped.inc()  # silently dropped self-loop
+        elif disposition == "strict" or self.policy == "strict":
             self._m_strict_error.inc()
             raise DeadLetterError(
                 f"offset {record.offset}"
                 + (f" (line {record.line_number})" if record.line_number else "")
-                + f": {violation.detail}",
-                reason=violation.reason,
+                + f": {verdict.detail}",
+                reason=verdict.reason,
                 offset=record.offset,
             )
-        self.dead_letters.record(
-            DeadLetter(
-                offset=record.offset,
-                reason=violation.reason,
-                raw=raw,
-                line_number=record.line_number,
-                detail=violation.detail,
+        else:  # quarantine
+            raw = record.value if isinstance(record.value, str) else repr(record.value)
+            self.dead_letters.record(
+                DeadLetter(
+                    offset=record.offset,
+                    reason=verdict.reason,
+                    raw=raw,
+                    line_number=record.line_number,
+                    detail=verdict.detail,
+                )
             )
-        )
+            self._m_dead.inc()
+            self._m_dead_reasons.labels(verdict.reason).inc()
+        self.offset = record.offset + 1
+
+    def _route(self, record: SourceRecord, edge, buffers: List[list]) -> None:
+        shard = shard_of(edge.u, edge.v, self.workers, self.config.seed)
+        if record.offset < self.shard_offsets[shard]:
+            # Already reflected in that shard's checkpoint: a
+            # resume replays from min(shard offsets) and skips
+            # per shard, never double-counting.
+            self._m_replayed.inc()
+        else:
+            buffer = buffers[shard]
+            buffer.append((record.offset, edge.u, edge.v))
+            self._m_ok[shard].inc()
+            if len(buffer) >= self.chunk_records:
+                self._put(shard, ("edges", buffer))
+                buffers[shard] = []
 
     # ------------------------------------------------------------------
     # Worker liveness and message plumbing
@@ -503,6 +534,19 @@ class ShardedRunner:
                 ordered[reason] = count
         return ordered
 
+    def normalized_reasons(self) -> Dict[str, int]:
+        """Per-case counts of applied normalize-mode repairs (stably
+        ordered by the reason vocabulary, defensive copy)."""
+        by_reason = {
+            labels.get("reason", ""): int(series.value)
+            for labels, series in self._m_normalized.series()
+        }
+        ordered = {reason: by_reason[reason] for reason in REASONS if by_reason.get(reason)}
+        for reason, count in by_reason.items():
+            if count and reason not in ordered:
+                ordered[reason] = count
+        return ordered
+
     def stats(self) -> Dict[str, object]:
         """Runner health as a flat dict, mirroring
         :meth:`StreamRunner.stats <repro.stream.runner.StreamRunner.stats>`
@@ -518,6 +562,8 @@ class ShardedRunner:
             "dead_lettered": self.dead_lettered,
             "dead_letter_reasons": self.dead_letter_reasons(),
             "dropped": self.dropped,
+            "normalized": int(sum(self.normalized_reasons().values())),
+            "normalized_reasons": self.normalized_reasons(),
             "replayed": self.replayed,
             "checkpoints_written": self.checkpoints_written,
             "shard_offsets": list(self.shard_offsets),

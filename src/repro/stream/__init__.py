@@ -16,17 +16,33 @@ runtime:
 * :mod:`~repro.stream.deadletter` — the quarantine channel with
   per-reason counters (:class:`MemoryDeadLetters`,
   :class:`FileDeadLetters`),
+* :mod:`~repro.stream.policies` — the per-case policy layer
+  (:class:`PolicySet`, :class:`StreamGuard`): every casebook case
+  handled as ``strict`` / ``quarantine`` / ``normalize``,
+* :mod:`~repro.stream.casebook` — the adversarial input casebook
+  itself (:data:`CASEBOOK`, :class:`SyntheticCorpusGenerator`,
+  :func:`replay_dead_letters`, :func:`check_casebook`),
 * :mod:`~repro.stream.runner` — :class:`StreamRunner`, the consumer
   loop tying it together with exact crash recovery, and
 * :mod:`~repro.stream.faults` — :class:`FaultInjector`, the seeded
   chaos harness the crash-recovery suite is built on.
 
 See ``docs/OPERATIONS.md`` for the operator's view (cadence, resume
-semantics, dead-letter triage, retry tuning).
+semantics, dead-letter triage, retry tuning) and ``docs/CASEBOOK.md``
+for the case-by-case contract.
 """
 
 from __future__ import annotations
 
+from repro.stream.casebook import (
+    CASEBOOK,
+    Case,
+    CasebookReport,
+    ReplayReport,
+    SyntheticCorpusGenerator,
+    check_casebook,
+    replay_dead_letters,
+)
 from repro.stream.checkpoint import Checkpoint, CheckpointManager
 from repro.stream.deadletter import (
     REASONS,
@@ -34,8 +50,16 @@ from repro.stream.deadletter import (
     DeadLetterSink,
     FileDeadLetters,
     MemoryDeadLetters,
+    read_dead_letters,
 )
 from repro.stream.faults import FaultInjector, FlakySource
+from repro.stream.policies import (
+    DEFAULT_POLICIES,
+    MODES,
+    GuardVerdict,
+    PolicySet,
+    StreamGuard,
+)
 from repro.stream.runner import StreamRunner
 from repro.stream.sources import (
     EdgeSource,
@@ -48,8 +72,12 @@ from repro.stream.sources import (
 )
 
 __all__ = [
+    "CASEBOOK",
+    "Case",
+    "CasebookReport",
     "Checkpoint",
     "CheckpointManager",
+    "DEFAULT_POLICIES",
     "DeadLetter",
     "DeadLetterSink",
     "EdgeSource",
@@ -57,12 +85,21 @@ __all__ = [
     "FileDeadLetters",
     "FileEdgeSource",
     "FlakySource",
+    "GuardVerdict",
     "IteratorEdgeSource",
+    "MODES",
     "MemoryDeadLetters",
+    "PolicySet",
     "REASONS",
+    "ReplayReport",
     "RetryPolicy",
     "RetryingSource",
     "SourceRecord",
+    "StreamGuard",
     "StreamRunner",
+    "SyntheticCorpusGenerator",
     "SyntheticEdgeSource",
+    "check_casebook",
+    "read_dead_letters",
+    "replay_dead_letters",
 ]

@@ -29,16 +29,31 @@ __all__ = [
     "MemoryDeadLetters",
     "FileDeadLetters",
     "REASONS",
+    "read_dead_letters",
 ]
 
 #: The closed vocabulary of dead-letter reasons the runner emits.
+#: Parse-level reasons come from :func:`repro.graph.io.parse_edge_line`
+#: and the tuple-record contract; stream-level reasons from the
+#: :class:`~repro.stream.policies.StreamGuard` casebook (only emitted
+#: when a :class:`~repro.stream.policies.PolicySet` is active).  Each
+#: case is documented with its default policy in ``docs/CASEBOOK.md``.
 REASONS = (
-    "bad_arity",           # not 2 or 3 fields / wrong tuple length
-    "non_integer_vertex",  # vertex token is not an integer
-    "negative_vertex",     # vertex id < 0
-    "bad_timestamp",       # third field is not numeric
-    "self_loop",           # u == v and self-loops are quarantined
-    "bad_record_type",     # record is neither text, tuple, nor Edge
+    # -- parse level ---------------------------------------------------
+    "bad_arity",              # not 2 or 3 fields / wrong tuple length
+    "non_integer_vertex",     # vertex token is not a canonical integer
+    "negative_vertex",        # vertex id < 0
+    "bad_timestamp",          # third field is not numeric
+    "self_loop",              # u == v and self-loops are quarantined
+    "bad_record_type",        # record is neither text, tuple, nor Edge
+    "mixed_delimiter",        # fields joined by , ; | instead of whitespace
+    "bad_encoding",           # control/format chars or non-ASCII digits
+    "nonfinite_timestamp",    # timestamp parses to nan / inf / -inf
+    # -- stream level (casebook policies) ------------------------------
+    "duplicate_edge",         # edge already accepted earlier in the stream
+    "out_of_order_timestamp", # timestamp regresses behind the high-water mark
+    "far_future_timestamp",   # timestamp beyond the configured horizon
+    "hub_anomaly",            # vertex degree exploded past the hub limit
 )
 
 PathLike = Union[str, Path]
@@ -127,3 +142,32 @@ class FileDeadLetters(DeadLetterSink):
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def read_dead_letters(path: PathLike) -> List[DeadLetter]:
+    """Parse a :class:`FileDeadLetters` JSON-lines file back into
+    :class:`DeadLetter` entries, in file (= quarantine) order.
+
+    The triage half of the replay loop: an operator (or
+    :func:`repro.stream.casebook.replay_dead_letters`) reads the
+    quarantine file, inspects reasons and raws, and re-ingests under a
+    corrected policy.  JSON round-trips every raw exactly — newlines
+    and control characters in a hostile record are escaped on write, so
+    one letter is always one file line.
+    """
+    letters: List[DeadLetter] = []
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            letters.append(
+                DeadLetter(
+                    offset=payload["offset"],
+                    reason=payload["reason"],
+                    raw=payload["raw"],
+                    line_number=payload.get("line_number"),
+                    detail=payload.get("detail", ""),
+                )
+            )
+    return letters

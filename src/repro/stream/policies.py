@@ -1,0 +1,516 @@
+"""Per-case ingest policies and the stream-level contract guard.
+
+The dead-letter channel gives every contract violation a *name*
+(:data:`~repro.stream.deadletter.REASONS`); this module gives every
+name a *policy*.  Each casebook case (see
+:mod:`repro.stream.casebook` and ``docs/CASEBOOK.md``) can be handled
+in one of three modes:
+
+``strict``
+    Raise :class:`~repro.errors.DeadLetterError` on first occurrence —
+    the CI / data-contract posture where a hostile line means the
+    upstream broke.
+``quarantine``
+    Dead-letter the record with its reason, count it, keep consuming —
+    the default unattended-consumer posture.
+``normalize``
+    Repair the record when the case admits a deterministic repair
+    (re-split mixed delimiters, strip control characters, substitute
+    the offset for a broken timestamp, clamp regressing / far-future
+    timestamps, drop the duplicate or excess hub edge) and continue;
+    every applied repair is counted per-reason in the metrics registry
+    (``ingest_normalized_total{reason=...}``).  Cases with no sound
+    repair (``bad_arity``, ``non_integer_vertex``, ``negative_vertex``,
+    ``bad_record_type``) fall back to quarantine.
+
+Two layers cooperate:
+
+* **parse level** — :func:`coerce_record` (shared verbatim by the
+  serial :class:`~repro.stream.runner.StreamRunner` and the sharded
+  coordinator in :mod:`repro.parallel`) validates one raw record via
+  :func:`repro.graph.io.parse_edge_line`;
+* **stream level** — :class:`StreamGuard` additionally tracks
+  cross-record state (seen-edge set, per-vertex degrees, the timestamp
+  high-water mark) to detect ``duplicate_edge``,
+  ``out_of_order_timestamp``, ``far_future_timestamp`` and
+  ``hub_anomaly`` — the degree-explosion case gSketch shows distorts
+  sketch estimators specifically.
+
+A guard with ``policies=None`` reproduces the legacy contract exactly
+(parse-level validation only, dead-letter on violation): stream-level
+detection costs state, so it is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import unicodedata
+from typing import Dict, Mapping, NamedTuple, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, StreamFormatError
+from repro.graph.io import parse_edge_line
+from repro.graph.stream import Edge
+from repro.stream.deadletter import REASONS
+from repro.stream.sources import SourceRecord
+
+__all__ = [
+    "MODES",
+    "DEFAULT_POLICIES",
+    "DEFAULT_HUB_DEGREE_LIMIT",
+    "DEFAULT_MAX_TIMESTAMP",
+    "PolicySet",
+    "GuardVerdict",
+    "StreamGuard",
+    "ContractViolation",
+    "coerce_record",
+]
+
+#: The three per-case handling modes, from least to most forgiving.
+MODES = ("strict", "quarantine", "normalize")
+
+#: Default mode per casebook case.  Repairable formatting damage is
+#: normalized (the repair is deterministic and information-preserving);
+#: semantic anomalies that could mask a real upstream problem are
+#: quarantined so an operator sees them.  Rationale per case lives in
+#: ``docs/CASEBOOK.md``.
+DEFAULT_POLICIES: Dict[str, str] = {
+    "bad_arity": "quarantine",
+    "non_integer_vertex": "quarantine",
+    "negative_vertex": "quarantine",
+    "bad_timestamp": "quarantine",
+    "self_loop": "quarantine",
+    "bad_record_type": "quarantine",
+    "mixed_delimiter": "normalize",
+    "bad_encoding": "normalize",
+    "nonfinite_timestamp": "quarantine",
+    "duplicate_edge": "normalize",
+    "out_of_order_timestamp": "normalize",
+    "far_future_timestamp": "quarantine",
+    "hub_anomaly": "quarantine",
+}
+
+#: Degree past which one vertex is a hub anomaly (the "ATLAS author
+#: inflation" analog): generous for real graphs, tiny in tests.
+DEFAULT_HUB_DEGREE_LIMIT = 100_000
+
+#: 2100-01-01T00:00:00Z — epoch-second timestamps beyond this are a
+#: unit error (milliseconds in a seconds column) or garbage.
+DEFAULT_MAX_TIMESTAMP = 4_102_444_800.0
+
+_ALIEN_SPLIT = re.compile(r"[\s,;|]+")
+
+
+class ContractViolation(Exception):
+    """A record failed validation (reason + human detail).
+
+    Raised by :func:`coerce_record`; consumers (the serial
+    :class:`~repro.stream.runner.StreamRunner` and the sharded
+    coordinator in :mod:`repro.parallel`) translate it into a
+    dead-letter entry or a :class:`~repro.errors.DeadLetterError` per
+    their policy.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+def coerce_record(record: SourceRecord, self_loops: str = "quarantine") -> Optional[Edge]:
+    """Validate one raw record into an :class:`Edge` (or ``None``).
+
+    The single record-contract implementation shared by the serial
+    runner and the sharded coordinator — both paths must accept and
+    reject *exactly* the same records or parallel ingestion could not
+    be bit-identical to serial.  ``None`` means "drop silently" (a
+    self-loop under ``self_loops="drop"``); contract violations raise
+    :class:`ContractViolation`.
+    """
+    value = record.value
+    if isinstance(value, str):
+        try:
+            edge = parse_edge_line(
+                value,
+                line_number=record.line_number,
+                default_timestamp=float(record.offset),
+            )
+        except StreamFormatError as error:
+            raise ContractViolation(error.reason or "bad_arity", str(error)) from None
+    elif isinstance(value, (tuple, list)):
+        if len(value) not in (2, 3):
+            raise ContractViolation("bad_arity", f"expected 2 or 3 fields, got {len(value)}")
+        u, v = value[0], value[1]
+        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
+            raise ContractViolation("non_integer_vertex", f"non-integer vertex in {value!r}")
+        if u < 0 or v < 0:
+            raise ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
+        if len(value) == 3:
+            try:
+                timestamp = float(value[2])
+            except (TypeError, ValueError):
+                raise ContractViolation("bad_timestamp", f"non-numeric timestamp {value[2]!r}") from None
+            if not math.isfinite(timestamp):
+                raise ContractViolation(
+                    "nonfinite_timestamp", f"non-finite timestamp {value[2]!r}"
+                )
+        else:
+            timestamp = float(record.offset)
+        edge = Edge(u, v, timestamp)
+    else:
+        raise ContractViolation(
+            "bad_record_type", f"record is a {type(value).__name__}, not a line or tuple"
+        )
+    if edge.u == edge.v:
+        if self_loops == "drop":
+            return None
+        raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
+    return edge
+
+
+class PolicySet:
+    """An immutable mapping: casebook case → handling mode.
+
+    Construct with per-case overrides of :data:`DEFAULT_POLICIES`, or
+    via :meth:`uniform` (one mode for every case) / :meth:`parse` (the
+    CLI spelling: ``"strict"``, ``"normalize"``, or
+    ``"duplicate_edge=normalize,hub_anomaly=strict"``).  Unknown cases
+    and unknown modes are configuration errors — the vocabulary is
+    closed on purpose.
+    """
+
+    __slots__ = ("_modes",)
+
+    def __init__(self, overrides: Optional[Mapping[str, str]] = None) -> None:
+        modes = dict(DEFAULT_POLICIES)
+        for reason, mode in (overrides or {}).items():
+            if reason not in modes:
+                raise ConfigurationError(
+                    f"unknown casebook case {reason!r} (vocabulary: "
+                    f"{', '.join(REASONS)})"
+                )
+            if mode not in MODES:
+                raise ConfigurationError(
+                    f'mode for {reason!r} must be one of {"/".join(MODES)}, got {mode!r}'
+                )
+            modes[reason] = mode
+        self._modes = modes
+
+    @classmethod
+    def uniform(cls, mode: str) -> "PolicySet":
+        """Every case handled the same way — the casebook table runs."""
+        if mode not in MODES:
+            raise ConfigurationError(
+                f'mode must be one of {"/".join(MODES)}, got {mode!r}'
+            )
+        return cls({reason: mode for reason in DEFAULT_POLICIES})
+
+    @classmethod
+    def parse(cls, spec: str) -> "PolicySet":
+        """Parse the CLI spelling into a policy set.
+
+        ``"default"``/empty → the defaults; a bare mode name → uniform;
+        otherwise a comma list of ``case=mode`` overrides.
+        """
+        spec = spec.strip()
+        if not spec or spec == "default":
+            return cls()
+        if "=" not in spec:
+            return cls.uniform(spec)
+        overrides: Dict[str, str] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            reason, sep, mode = part.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"malformed case policy {part!r} (expected case=mode)"
+                )
+            overrides[reason.strip()] = mode.strip()
+        return cls(overrides)
+
+    def mode_for(self, reason: str) -> str:
+        """The handling mode of ``reason`` (quarantine for any slug
+        outside the vocabulary — fail safe, not open)."""
+        return self._modes.get(reason, "quarantine")
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self._modes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PolicySet) and self._modes == other._modes
+
+    def __repr__(self) -> str:
+        overrides = {
+            reason: mode
+            for reason, mode in self._modes.items()
+            if DEFAULT_POLICIES[reason] != mode
+        }
+        return f"PolicySet({overrides!r})" if overrides else "PolicySet()"
+
+
+class GuardVerdict(NamedTuple):
+    """One record's disposition under the active policies.
+
+    ``disposition`` is one of:
+
+    * ``"ok"`` — clean record, ``edge`` is set;
+    * ``"normalized"`` — one or more repairs applied (``cases`` lists
+      them); ``edge`` is set when the repair preserved the record,
+      ``None`` when the repair *was* removal (duplicate, excess hub
+      edge, dropped self-loop);
+    * ``"drop"`` — silent drop outside any policy (legacy
+      ``self_loops="drop"``);
+    * ``"quarantine"`` — dead-letter with ``reason``/``detail``;
+    * ``"strict"`` — the case's mode demands failing the stream.
+    """
+
+    disposition: str
+    edge: Optional[Edge]
+    reason: Optional[str]
+    detail: str
+    cases: Tuple[str, ...]
+
+
+class StreamGuard:
+    """Stateful casebook enforcement for one logical stream.
+
+    Wraps :func:`coerce_record` with per-case policies and the
+    cross-record detectors.  One guard instance *is* the stream's
+    memory: the serial runner and the sharded coordinator each own one,
+    and a dead-letter replay must reuse the original guard so the
+    replayed records are judged against the already-ingested state
+    (otherwise a quarantined duplicate would be re-accepted).
+
+    With ``policies=None`` the guard is pass-through: parse-level
+    validation only, no state is kept, and every violation surfaces as
+    a ``"quarantine"`` verdict for the runner's legacy ``policy`` knob
+    to escalate — byte-for-byte the pre-casebook behavior.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[PolicySet] = None,
+        *,
+        self_loops: str = "quarantine",
+        hub_degree_limit: int = DEFAULT_HUB_DEGREE_LIMIT,
+        max_timestamp: float = DEFAULT_MAX_TIMESTAMP,
+    ) -> None:
+        if self_loops not in ("quarantine", "drop"):
+            raise ConfigurationError(
+                f'self_loops must be "quarantine" or "drop", got {self_loops!r}'
+            )
+        if hub_degree_limit < 1:
+            raise ConfigurationError(
+                f"hub_degree_limit must be >= 1, got {hub_degree_limit}"
+            )
+        if not math.isfinite(max_timestamp):
+            raise ConfigurationError("max_timestamp must be finite")
+        self.policies = policies
+        self.self_loops = self_loops
+        self.hub_degree_limit = hub_degree_limit
+        self.max_timestamp = float(max_timestamp)
+        self._seen: Set[Tuple[int, int]] = set()
+        self._degrees: Dict[int, int] = {}
+        self._high_water = float("-inf")
+
+    @property
+    def active(self) -> bool:
+        """Whether stream-level cases are being enforced."""
+        return self.policies is not None
+
+    def reset(self) -> None:
+        """Forget all cross-record state (a fresh logical stream)."""
+        self._seen.clear()
+        self._degrees.clear()
+        self._high_water = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, record: SourceRecord, policies: Optional[PolicySet] = None
+    ) -> GuardVerdict:
+        """Judge one record; commits detector state iff it is accepted.
+
+        ``policies`` overrides the guard's own set for this record —
+        the dead-letter replay path re-judges quarantined records under
+        a corrected policy against the *same* accumulated state.
+        """
+        active = policies if policies is not None else self.policies
+        try:
+            edge = coerce_record(record, self.self_loops)
+        except ContractViolation as violation:
+            if active is None:
+                return GuardVerdict("quarantine", None, violation.reason, violation.detail, ())
+            return self._parse_verdict(record, violation, active)
+        if edge is None:
+            return GuardVerdict("drop", None, "self_loop", "", ())
+        if active is None:
+            return GuardVerdict("ok", edge, None, "", ())
+        return self._stream_verdict(edge, [], active)
+
+    def _parse_verdict(
+        self, record: SourceRecord, violation: ContractViolation, policies: PolicySet
+    ) -> GuardVerdict:
+        mode = policies.mode_for(violation.reason)
+        if mode == "strict":
+            return GuardVerdict("strict", None, violation.reason, violation.detail, ())
+        if mode == "quarantine":
+            return GuardVerdict("quarantine", None, violation.reason, violation.detail, ())
+        try:
+            edge = self._repair(record, violation)
+        except ContractViolation as secondary:
+            # No sound repair, or the repair uncovered a second defect:
+            # fall back to that violation's own mode (never normalize —
+            # one repair attempt per record keeps this terminating).
+            fallback = policies.mode_for(secondary.reason)
+            disposition = "strict" if fallback == "strict" else "quarantine"
+            return GuardVerdict(disposition, None, secondary.reason, secondary.detail, ())
+        if edge is None:
+            # The repair was removal (a self-loop under normalize).
+            return GuardVerdict(
+                "normalized", None, violation.reason, violation.detail, (violation.reason,)
+            )
+        return self._stream_verdict(edge, [violation.reason], policies)
+
+    def _stream_verdict(
+        self, edge: Edge, cases: list, policies: PolicySet
+    ) -> GuardVerdict:
+        key = (edge.u, edge.v) if edge.u <= edge.v else (edge.v, edge.u)
+        # Duplicate first: identity does not depend on the timestamp, so
+        # a verbatim re-send (whose stale timestamp would also look
+        # out-of-order) is named for what it is.
+        if key in self._seen:
+            detail = f"edge {key} already accepted earlier in the stream"
+            verdict = self._judge("duplicate_edge", detail, cases, policies)
+            if verdict is not None:
+                return verdict
+            return GuardVerdict(
+                "normalized", None, "duplicate_edge", detail,
+                tuple(cases + ["duplicate_edge"]),
+            )
+        if edge.timestamp > self.max_timestamp:
+            detail = (
+                f"timestamp {edge.timestamp:g} beyond the far-future horizon "
+                f"{self.max_timestamp:g}"
+            )
+            verdict = self._judge("far_future_timestamp", detail, cases, policies)
+            if verdict is not None:
+                return verdict
+            edge = Edge(edge.u, edge.v, self.max_timestamp)
+            cases.append("far_future_timestamp")
+        if self._high_water > float("-inf") and edge.timestamp < self._high_water:
+            detail = (
+                f"timestamp {edge.timestamp:g} regresses behind the stream "
+                f"high-water mark {self._high_water:g}"
+            )
+            verdict = self._judge("out_of_order_timestamp", detail, cases, policies)
+            if verdict is not None:
+                return verdict
+            edge = Edge(edge.u, edge.v, self._high_water)
+            cases.append("out_of_order_timestamp")
+        degree_u = self._degrees.get(edge.u, 0)
+        degree_v = self._degrees.get(edge.v, 0)
+        if degree_u >= self.hub_degree_limit or degree_v >= self.hub_degree_limit:
+            hub = edge.u if degree_u >= self.hub_degree_limit else edge.v
+            detail = (
+                f"vertex {hub} already has degree {max(degree_u, degree_v)} "
+                f"(hub limit {self.hub_degree_limit})"
+            )
+            verdict = self._judge("hub_anomaly", detail, cases, policies)
+            if verdict is not None:
+                return verdict
+            return GuardVerdict(
+                "normalized", None, "hub_anomaly", detail, tuple(cases + ["hub_anomaly"])
+            )
+        # Accepted: commit the detector state.
+        self._seen.add(key)
+        self._degrees[edge.u] = degree_u + 1
+        self._degrees[edge.v] = degree_v + 1
+        if edge.timestamp > self._high_water:
+            self._high_water = edge.timestamp
+        if cases:
+            return GuardVerdict("normalized", edge, cases[0], "", tuple(cases))
+        return GuardVerdict("ok", edge, None, "", ())
+
+    def _judge(
+        self, reason: str, detail: str, cases: list, policies: PolicySet
+    ) -> Optional[GuardVerdict]:
+        """Strict/quarantine verdict for a stream-level case, or
+        ``None`` when the mode is normalize (caller applies the repair)."""
+        mode = policies.mode_for(reason)
+        if mode == "strict":
+            return GuardVerdict("strict", None, reason, detail, tuple(cases))
+        if mode == "quarantine":
+            return GuardVerdict("quarantine", None, reason, detail, tuple(cases))
+        return None
+
+    # ------------------------------------------------------------------
+    # Normalize-mode repairs (parse level)
+    # ------------------------------------------------------------------
+
+    def _repair(
+        self, record: SourceRecord, violation: ContractViolation
+    ) -> Optional[Edge]:
+        """The deterministic repair for one parse-level case.
+
+        Returns the repaired edge (``None`` = repaired by removal) or
+        raises :class:`ContractViolation` when the case is unrepairable
+        or the repaired text still violates the contract.
+        """
+        reason, value = violation.reason, record.value
+        if reason == "self_loop":
+            return None
+        if reason in ("bad_timestamp", "nonfinite_timestamp"):
+            # Substitute the stream offset — the same default an
+            # untimestamped record gets, so ordering stays monotone.
+            if isinstance(value, str):
+                return self._reparse(" ".join(value.split()[:2]), record)
+            trimmed = SourceRecord(record.offset, tuple(value[:2]), record.line_number)
+            return coerce_record(trimmed, self.self_loops)
+        if reason == "mixed_delimiter" and isinstance(value, str):
+            parts = [part for part in _ALIEN_SPLIT.split(value) if part]
+            return self._reparse(" ".join(parts), record)
+        if reason == "bad_encoding" and isinstance(value, str):
+            return self._reparse(_strip_hostile_encoding(value), record)
+        raise ContractViolation(
+            reason, f"no sound normalizer for {reason}: {violation.detail}"
+        )
+
+    def _reparse(self, text: str, record: SourceRecord) -> Optional[Edge]:
+        """Re-run the repaired text through the full parse contract."""
+        try:
+            edge = parse_edge_line(
+                text,
+                line_number=record.line_number,
+                default_timestamp=float(record.offset),
+            )
+        except StreamFormatError as error:
+            raise ContractViolation(error.reason or "bad_arity", str(error)) from None
+        if edge.u == edge.v:
+            if self.self_loops == "drop":
+                return None
+            raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
+        return edge
+
+
+def _strip_hostile_encoding(text: str) -> str:
+    """Deterministic ``bad_encoding`` repair: drop control/format
+    characters (keeping tab — it is a field separator), fold Unicode
+    compatibility forms (NFKC turns fullwidth digits into ASCII), and
+    canonicalize any remaining non-ASCII digit runs through ``int``."""
+    kept = "".join(
+        char
+        for char in text
+        if char == "\t" or unicodedata.category(char) not in ("Cc", "Cf")
+    )
+    kept = unicodedata.normalize("NFKC", kept)
+    tokens = []
+    for token in kept.split():
+        if token.isdigit() and not token.isascii():
+            token = str(int(token))
+        tokens.append(token)
+    return " ".join(tokens)

@@ -45,82 +45,25 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.core.config import SketchConfig
 from repro.core.predictor import MinHashLinkPredictor
-from repro.errors import ConfigurationError, DeadLetterError, StreamFormatError
-from repro.graph.io import parse_edge_line
+from repro.errors import ConfigurationError, DeadLetterError
 from repro.graph.stream import Edge
 from repro.obs.export import PeriodicReporter
 from repro.obs.registry import MetricsRegistry
 from repro.stream.checkpoint import CheckpointManager
 from repro.stream.deadletter import DeadLetter, DeadLetterSink, MemoryDeadLetters, REASONS
+from repro.stream.policies import (
+    ContractViolation,
+    GuardVerdict,
+    PolicySet,
+    StreamGuard,
+    coerce_record,
+)
 from repro.stream.sources import EdgeSource, RetryingSource, SourceRecord
 
 __all__ = ["StreamRunner", "ContractViolation", "coerce_record"]
 
-
-class ContractViolation(Exception):
-    """A record failed validation (reason + human detail).
-
-    Raised by :func:`coerce_record`; consumers (the serial
-    :class:`StreamRunner` and the sharded coordinator in
-    :mod:`repro.parallel`) translate it into a dead-letter entry or a
-    :class:`~repro.errors.DeadLetterError` per their policy.
-    """
-
-    def __init__(self, reason: str, detail: str) -> None:
-        super().__init__(detail)
-        self.reason = reason
-        self.detail = detail
-
-
 #: Backwards-compatible private alias (pre-parallel name).
 _ContractViolation = ContractViolation
-
-
-def coerce_record(record: SourceRecord, self_loops: str = "quarantine") -> Optional[Edge]:
-    """Validate one raw record into an :class:`Edge` (or ``None``).
-
-    The single record-contract implementation shared by the serial
-    runner and the sharded coordinator — both paths must accept and
-    reject *exactly* the same records or parallel ingestion could not
-    be bit-identical to serial.  ``None`` means "drop silently" (a
-    self-loop under ``self_loops="drop"``); contract violations raise
-    :class:`ContractViolation`.
-    """
-    value = record.value
-    if isinstance(value, str):
-        try:
-            edge = parse_edge_line(
-                value,
-                line_number=record.line_number,
-                default_timestamp=float(record.offset),
-            )
-        except StreamFormatError as error:
-            raise ContractViolation(error.reason or "bad_arity", str(error)) from None
-    elif isinstance(value, (tuple, list)):
-        if len(value) not in (2, 3):
-            raise ContractViolation("bad_arity", f"expected 2 or 3 fields, got {len(value)}")
-        u, v = value[0], value[1]
-        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
-            raise ContractViolation("non_integer_vertex", f"non-integer vertex in {value!r}")
-        if u < 0 or v < 0:
-            raise ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
-        if len(value) == 3:
-            try:
-                timestamp = float(value[2])
-            except (TypeError, ValueError):
-                raise ContractViolation("bad_timestamp", f"non-numeric timestamp {value[2]!r}") from None
-        else:
-            timestamp = float(record.offset)
-        edge = Edge(u, v, timestamp)
-    else:
-        raise ContractViolation(
-            "bad_record_type", f"record is a {type(value).__name__}, not a line or tuple"
-        )
-    if edge.u == edge.v:
-        if self_loops == "drop":
-            return None
-        raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
-    return edge
 
 
 class StreamRunner:
@@ -153,6 +96,18 @@ class StreamRunner:
     self_loops:
         ``"quarantine"`` (visible in counters) or ``"drop"`` (silent,
         matching the eager file readers).
+    policies:
+        Optional per-case :class:`~repro.stream.policies.PolicySet`
+        (or its CLI string spelling).  Activates the full casebook
+        contract — stream-level cases (duplicates, timestamp anomalies,
+        hub explosions) and normalize-mode repairs — via a
+        :class:`~repro.stream.policies.StreamGuard`.  ``None`` (the
+        default) keeps the legacy parse-level contract exactly.
+    guard:
+        An explicit pre-configured :class:`StreamGuard` (to set
+        ``hub_degree_limit``/``max_timestamp``, or to share detector
+        state with a dead-letter replay).  Mutually exclusive with
+        ``policies``; its ``self_loops`` must match the runner's.
     metrics:
         The :class:`~repro.obs.registry.MetricsRegistry` holding this
         runner's instruments (the ``ingest_*`` family); default a fresh
@@ -179,6 +134,8 @@ class StreamRunner:
         dead_letters: Optional[DeadLetterSink] = None,
         policy: str = "quarantine",
         self_loops: str = "quarantine",
+        policies: Union[PolicySet, str, None] = None,
+        guard: Optional[StreamGuard] = None,
         metrics: Optional[MetricsRegistry] = None,
         reporter: Optional[PeriodicReporter] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -191,6 +148,8 @@ class StreamRunner:
             raise ConfigurationError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
         if checkpoint_every and checkpoint_manager is None:
             raise ConfigurationError("checkpoint_every needs a checkpoint_manager")
+        if guard is not None and policies is not None:
+            raise ConfigurationError("pass policies or a pre-built guard, not both")
         self.source = source
         self.predictor = predictor or MinHashLinkPredictor(config)
         self.checkpoints = checkpoint_manager
@@ -198,6 +157,17 @@ class StreamRunner:
         self.dead_letters = dead_letters or MemoryDeadLetters()
         self.policy = policy
         self.self_loops = self_loops
+        if guard is not None:
+            if guard.self_loops != self_loops:
+                raise ConfigurationError(
+                    "the guard's self_loops setting must match the runner's"
+                )
+            self.guard = guard
+        else:
+            if isinstance(policies, str):
+                policies = PolicySet.parse(policies)
+            self.guard = StreamGuard(policies, self_loops=self_loops)
+        self.policies = self.guard.policies
         self.clock = clock
         self.reporter = reporter
         #: Committed offset: every record below it is reflected in state.
@@ -220,9 +190,15 @@ class StreamRunner:
         self._m_dead = records.labels(outcome="dead_letter")
         self._m_dropped = records.labels(outcome="dropped")
         self._m_strict_error = records.labels(outcome="strict_error")
+        self._m_norm_removed = records.labels(outcome="normalized")
         self._m_dead_reasons = self.metrics.counter(
             "ingest_dead_letters_total",
             "Quarantined records by contract-violation reason",
+            labelnames=("reason",),
+        )
+        self._m_normalized = self.metrics.counter(
+            "ingest_normalized_total",
+            "Normalize-mode repairs applied, by casebook case",
             labelnames=("reason",),
         )
         self._m_checkpoints = self.metrics.counter(
@@ -268,6 +244,7 @@ class StreamRunner:
             self._m_ok.value
             + self._m_dead.value
             + self._m_dropped.value
+            + self._m_norm_removed.value
             + self._m_strict_error.value
         )
 
@@ -342,18 +319,28 @@ class StreamRunner:
         return self.stats()
 
     def _consume(self, record: SourceRecord) -> None:
-        try:
-            edge = self._coerce(record)
-        except ContractViolation as violation:
-            self._reject(record, violation)
-            self._m_dead.inc()
-            self._m_dead_reasons.labels(violation.reason).inc()
-        else:
-            if edge is None:
-                self._m_dropped.inc()  # silently dropped self-loop
-            else:
-                self.predictor.update(edge.u, edge.v)
+        verdict = self.guard.evaluate(record)
+        disposition = verdict.disposition
+        if disposition == "ok":
+            edge = verdict.edge
+            self.predictor.update(edge.u, edge.v)
+            self._m_ok.inc()
+        elif disposition == "normalized":
+            for case in verdict.cases:
+                self._m_normalized.labels(case).inc()
+            if verdict.edge is not None:
+                self.predictor.update(verdict.edge.u, verdict.edge.v)
                 self._m_ok.inc()
+            else:
+                self._m_norm_removed.inc()  # the repair was removal
+        elif disposition == "drop":
+            self._m_dropped.inc()  # silently dropped self-loop
+        elif disposition == "strict" or self.policy == "strict":
+            self._reject_strict(record, verdict)  # raises before commit
+        else:  # quarantine
+            self._quarantine(record, verdict)
+            self._m_dead.inc()
+            self._m_dead_reasons.labels(verdict.reason).inc()
         # Dead-lettered and dropped records still commit the offset:
         # quarantining must never desynchronise resume.
         self.offset = record.offset + 1
@@ -365,24 +352,25 @@ class StreamRunner:
         """Validate one raw record; ``None`` means "drop silently"."""
         return coerce_record(record, self.self_loops)
 
-    def _reject(self, record: SourceRecord, violation: ContractViolation) -> None:
+    def _reject_strict(self, record: SourceRecord, verdict: GuardVerdict) -> None:
+        self._m_strict_error.inc()
+        raise DeadLetterError(
+            f"offset {record.offset}"
+            + (f" (line {record.line_number})" if record.line_number else "")
+            + f": {verdict.detail}",
+            reason=verdict.reason,
+            offset=record.offset,
+        )
+
+    def _quarantine(self, record: SourceRecord, verdict: GuardVerdict) -> None:
         raw = record.value if isinstance(record.value, str) else repr(record.value)
-        if self.policy == "strict":
-            self._m_strict_error.inc()
-            raise DeadLetterError(
-                f"offset {record.offset}"
-                + (f" (line {record.line_number})" if record.line_number else "")
-                + f": {violation.detail}",
-                reason=violation.reason,
-                offset=record.offset,
-            )
         self.dead_letters.record(
             DeadLetter(
                 offset=record.offset,
-                reason=violation.reason,
+                reason=verdict.reason,
                 raw=raw,
                 line_number=record.line_number,
-                detail=violation.detail,
+                detail=verdict.detail,
             )
         )
 
@@ -417,6 +405,19 @@ class StreamRunner:
                 ordered[reason] = count
         return ordered
 
+    def normalized_reasons(self) -> Dict[str, int]:
+        """Per-case counts of applied normalize-mode repairs (stably
+        ordered by the reason vocabulary, defensive copy)."""
+        by_reason = {
+            labels.get("reason", ""): int(series.value)
+            for labels, series in self._m_normalized.series()
+        }
+        ordered = {reason: by_reason[reason] for reason in REASONS if by_reason.get(reason)}
+        for reason, count in by_reason.items():
+            if count and reason not in ordered:
+                ordered[reason] = count
+        return ordered
+
     def stats(self) -> Dict[str, object]:
         """Runner health as a flat dict (the monitoring surface).
 
@@ -441,6 +442,8 @@ class StreamRunner:
             "dead_lettered": int(self._m_dead.value),
             "dead_letter_reasons": self.dead_letter_reasons(),
             "dropped": self.dropped,
+            "normalized": int(sum(self.normalized_reasons().values())),
+            "normalized_reasons": self.normalized_reasons(),
             "retries": self._source_retries(),
             "checkpoints_written": self.checkpoints_written,
             "last_checkpoint_offset": self._last_checkpoint_offset,

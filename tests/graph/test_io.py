@@ -85,9 +85,20 @@ MALFORMED_LINES = [
     ("0 1 2 3", "bad_arity"),
     ("alice bob", "non_integer_vertex"),
     ("1.5 2.5", "non_integer_vertex"),
+    ("1_0 2", "non_integer_vertex"),  # int() would read 10
+    ("+5 2", "non_integer_vertex"),  # int() would read 5
     ("-1 2", "negative_vertex"),
     ("0 -9", "negative_vertex"),
     ("0 1 yesterday", "bad_timestamp"),
+    ("0 1 nan", "nonfinite_timestamp"),
+    ("0 1 inf", "nonfinite_timestamp"),
+    ("0 1 -inf", "nonfinite_timestamp"),
+    ("1,2", "mixed_delimiter"),
+    ("1;2;3", "mixed_delimiter"),
+    ("1|2", "mixed_delimiter"),
+    ("﻿0 1", "bad_encoding"),  # BOM from a shell pipeline
+    ("0 1\x00", "bad_encoding"),  # NUL from a truncated binary write
+    ("５ ６", "bad_encoding"),  # fullwidth digits (int() reads them)
 ]
 
 
@@ -148,6 +159,55 @@ class TestLenientParsing:
         path.write_text("alice bob\n")
         diagnostics = list(scan_edge_list(path, relabeler=VertexRelabeler()))
         assert diagnostics[0].edge == Edge(0, 1, 0.0)
+
+
+class TestHostileTokens:
+    """Python-int lenience and hostile bytes must not slip through."""
+
+    def test_underscore_and_sign_are_not_vertex_ids(self):
+        # int() happily parses both spellings; the contract does not.
+        assert int("1_0") == 10 and int("+5") == 5
+        for line in ("1_0 2", "+5 2"):
+            with pytest.raises(StreamFormatError) as excinfo:
+                parse_edge_line(line)
+            assert excinfo.value.reason == "non_integer_vertex"
+
+    def test_fullwidth_digits_tag_bad_encoding(self):
+        assert int("５") == 5  # int() reads non-ASCII decimals
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_edge_line("５ ６")
+        assert excinfo.value.reason == "bad_encoding"
+
+    def test_nonfinite_timestamps_rejected(self):
+        for token in ("nan", "inf", "-inf", "NaN", "Infinity"):
+            with pytest.raises(StreamFormatError) as excinfo:
+                parse_edge_line(f"0 1 {token}")
+            assert excinfo.value.reason == "nonfinite_timestamp"
+
+    def test_mixed_delimiters_only_flag_plausible_records(self):
+        # A comma line that re-splits into a record is mixed_delimiter...
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_edge_line("3,4,100.5")
+        assert excinfo.value.reason == "mixed_delimiter"
+        # ...but one that re-splits into garbage stays bad_arity.
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_edge_line("a,b,c,d,e")
+        assert excinfo.value.reason == "bad_arity"
+
+    def test_relabeler_accepts_alien_delimiters_as_label_bytes(self):
+        # Labelled data owns its characters: "a,b" is one opaque label.
+        relabeler = VertexRelabeler()
+        edge = parse_edge_line("a,b c", relabeler=relabeler)
+        assert relabeler.decode(edge.u) == "a,b"
+
+    def test_relabeler_still_rejects_control_characters(self):
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_edge_line("evil\x00label bob", relabeler=VertexRelabeler())
+        assert excinfo.value.reason == "bad_encoding"
+
+    def test_non_integer_message_still_points_at_relabeler(self):
+        with pytest.raises(StreamFormatError, match="VertexRelabeler"):
+            parse_edge_line("alice bob")
 
 
 class TestWriting:

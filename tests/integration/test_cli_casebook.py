@@ -1,0 +1,108 @@
+"""Tests for the ``casebook`` subcommand and the ingest policy flags."""
+
+from __future__ import annotations
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_casebook_defaults(self):
+        args = build_parser().parse_args(["casebook"])
+        assert not args.check
+        assert args.per_case == 2
+        assert args.hub_degree_limit == 6
+        assert args.check_workers == 0
+        assert not args.write_corpus
+
+    def test_ingest_gains_policy_flags(self):
+        args = build_parser().parse_args(
+            ["ingest", "synth-grqc", "--case-policy", "normalize",
+             "--hub-degree-limit", "10"]
+        )
+        assert args.case_policy == "normalize"
+        assert args.hub_degree_limit == 10
+
+
+class TestCasebookCommand:
+    def test_taxonomy_table_lists_all_cases(self, capsys):
+        assert main(["casebook"]) == 0
+        out = capsys.readouterr().out
+        for reason in ("bad_arity", "duplicate_edge", "hub_anomaly",
+                       "mixed_delimiter", "nonfinite_timestamp"):
+            assert reason in out
+
+    def test_check_passes_serially(self, capsys):
+        assert main(["casebook", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "casebook check OK" in out
+        assert "PASS" in out and "FAIL" not in out
+        assert "MISMATCH" not in out
+
+    def test_check_passes_sharded(self, capsys):
+        assert main(
+            ["casebook", "--check", "--check-workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "casebook check OK" in out
+        assert out.count("PASS") == 4  # serial + sharded, x2 convergences
+
+    def test_write_corpus_emits_hostile_lines(self, tmp_path, capsys):
+        target = tmp_path / "hostile.txt"
+        assert main(["casebook", "--write-corpus", str(target)]) == 0
+        lines = target.read_text(encoding="utf-8").splitlines()
+        assert len(lines) > 40  # backbone + injections
+        assert any("," in line for line in lines)  # mixed delimiters present
+
+    def test_written_corpus_round_trips_through_ingest(self, tmp_path, capsys):
+        target = tmp_path / "hostile.txt"
+        assert main(["casebook", "--write-corpus", str(target)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["ingest", str(target), "--k", "16",
+             "--case-policy", "normalize", "--hub-degree-limit", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "normalized[duplicate_edge]" in out
+        assert "normalized[mixed_delimiter]" in out
+        assert "dead_letter[bad_arity]" in out  # unrepairable fallback
+
+
+class TestIngestPolicyFlags:
+    def test_bad_case_policy_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        assert main(
+            ["ingest", str(path), "--case-policy", "bogus_case=normalize"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "bogus_case" in err
+
+    def test_bad_mode_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert main(["ingest", str(path), "--case-policy", "retry"]) == 2
+
+    def test_strict_policy_fails_fast_with_reason(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n")
+        assert main(
+            ["ingest", str(path), "--k", "16", "--case-policy", "strict"]
+        ) == 2
+        assert "already accepted earlier" in capsys.readouterr().err
+
+    def test_legacy_ingest_output_unchanged_without_flags(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n1 2\n")  # duplicate passes: no guard
+        assert main(["ingest", str(path), "--k", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "records_ok" in out
+        assert "normalized[" not in out
+
+    def test_hub_degree_limit_alone_arms_the_guard(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("".join(f"0 {v}\n" for v in range(1, 6)))
+        assert main(
+            ["ingest", str(path), "--k", "16", "--hub-degree-limit", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dead_letter[hub_anomaly]" in out

@@ -30,6 +30,8 @@ RUNNER_STATS_KEYS = {
     "dropped",
     "last_checkpoint_age_seconds",
     "last_checkpoint_offset",
+    "normalized",
+    "normalized_reasons",
     "offset",
     "policy",
     "records_in",
@@ -88,6 +90,8 @@ PINNED_RUNNER_STATS = {
     "dropped": 0,
     "last_checkpoint_age_seconds": None,
     "last_checkpoint_offset": None,
+    "normalized": 0,
+    "normalized_reasons": {},
     "offset": 10,
     "policy": "quarantine",
     "records_in": 10,

@@ -1,0 +1,223 @@
+"""The adversarial-input casebook: taxonomy, corpus, and convergence.
+
+The casebook's acceptance contract, pinned:
+
+1. every dead-letter reason has exactly one :class:`Case` with a
+   default policy matching :data:`DEFAULT_POLICIES`;
+2. the synthetic corpus lands every case with its expected disposition
+   under all three uniform modes;
+3. quarantine-then-replay converges **bit-identically** to clean
+   ingest — serially and through the sharded runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SketchConfig
+from repro.stream import (
+    CASEBOOK,
+    DEFAULT_POLICIES,
+    FileDeadLetters,
+    IteratorEdgeSource,
+    MODES,
+    MemoryDeadLetters,
+    PolicySet,
+    REASONS,
+    StreamRunner,
+    SyntheticCorpusGenerator,
+    check_casebook,
+    replay_dead_letters,
+)
+from repro.stream.casebook import (
+    CASES_BY_REASON,
+    DISPOSITIONS,
+    _disposition_of,
+    sketch_fingerprint,
+)
+from repro.stream.sources import SourceRecord
+
+CONFIG = SketchConfig(k=16, seed=11)
+
+
+class TestTaxonomy:
+    def test_every_reason_has_exactly_one_case(self):
+        assert [case.reason for case in CASEBOOK] == list(REASONS)
+
+    def test_defaults_mirror_the_policy_table(self):
+        for case in CASEBOOK:
+            assert case.default_policy == DEFAULT_POLICIES[case.reason], case.reason
+
+    def test_lookup_table_is_consistent(self):
+        assert set(CASES_BY_REASON) == set(REASONS)
+        for reason, case in CASES_BY_REASON.items():
+            assert case.reason == reason
+
+    def test_cases_are_fully_documented(self):
+        for case in CASEBOOK:
+            assert case.level in ("parse", "stream"), case.reason
+            assert case.default_policy in MODES, case.reason
+            assert case.example, case.reason
+            assert case.fixture, case.reason
+            if case.repairable:
+                assert case.repair, case.reason
+
+    def test_disposition_vocabulary_is_closed(self):
+        assert DISPOSITIONS == ("applied", "dropped", "quarantined", "error")
+
+
+class TestCorpusGenerator:
+    def test_same_seed_same_corpus(self):
+        first = SyntheticCorpusGenerator(seed=5).generate()
+        second = SyntheticCorpusGenerator(seed=5).generate()
+        assert first == second
+
+    def test_every_text_case_is_represented(self):
+        corpus = SyntheticCorpusGenerator(seed=0, per_case=3).generate()
+        by_case = {}
+        for line in corpus:
+            if line.case is not None:
+                by_case.setdefault(line.case, []).append(line)
+        # bad_record_type is tuple-only; every other case gets per_case lines.
+        assert set(by_case) == set(REASONS) - {"bad_record_type"}
+        assert all(len(lines) == 3 for lines in by_case.values())
+
+    def test_clean_lines_substitute_repairs(self):
+        generator = SyntheticCorpusGenerator(seed=0)
+        hostile = generator.hostile_lines()
+        clean = generator.clean_lines()
+        # The clean twin drops the unrepairable lines and keeps the rest.
+        assert len(clean) < len(hostile)
+        assert all("nan" not in line for line in clean)
+
+    def test_parameters_are_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusGenerator(vertices=2)
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusGenerator(per_case=0)
+        with pytest.raises(ConfigurationError):
+            # Backbone degree would trip the hub detector on clean data.
+            SyntheticCorpusGenerator(hub_degree_limit=1)
+
+
+class TestDispositionManifest:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_line_lands_as_labelled(self, mode):
+        generator = SyntheticCorpusGenerator(seed=0)
+        guard = generator.guard(PolicySet.uniform(mode))
+        for offset, line in enumerate(generator.generate()):
+            verdict = guard.evaluate(SourceRecord(offset, line.text, offset + 1))
+            got = _disposition_of(verdict)
+            assert got == line.expected[mode], (
+                f"{line.case or 'pristine'}: {line.text!r} under {mode}: "
+                f"expected {line.expected[mode]}, got {got}"
+            )
+
+
+def ingest(lines, *, guard=None):
+    runner = StreamRunner(
+        IteratorEdgeSource(list(lines), name="corpus"),
+        config=CONFIG,
+        guard=guard,
+        dead_letters=MemoryDeadLetters(capacity=10_000),
+    )
+    runner.run()
+    return runner
+
+
+class TestConvergence:
+    def test_normalize_matches_clean_ingest(self):
+        generator = SyntheticCorpusGenerator(seed=0)
+        reference = ingest(generator.clean_lines())
+        normalized = ingest(
+            generator.hostile_lines(),
+            guard=generator.guard(PolicySet.uniform("normalize")),
+        )
+        assert sketch_fingerprint(normalized.predictor) == sketch_fingerprint(
+            reference.predictor
+        )
+
+    def test_quarantine_plus_replay_matches_clean_ingest(self):
+        generator = SyntheticCorpusGenerator(seed=0)
+        reference = ingest(generator.clean_lines())
+        runner = ingest(
+            generator.hostile_lines(),
+            guard=generator.guard(PolicySet.uniform("quarantine")),
+        )
+        assert runner.stats()["dead_lettered"] > 0
+        report = replay_dead_letters(
+            runner.dead_letters.entries,
+            guard=runner.guard,
+            predictor=runner.predictor,
+        )
+        # The unrepairable cases have no sound normalize repair: they
+        # fall back to quarantine even on replay.  The clean reference
+        # excludes them too, so convergence is unaffected.
+        assert report.still_quarantined == {
+            "bad_arity": 2,
+            "negative_vertex": 2,
+            "non_integer_vertex": 2,
+        }
+        assert report.total == runner.stats()["dead_lettered"]
+        assert sketch_fingerprint(runner.predictor) == sketch_fingerprint(
+            reference.predictor
+        )
+
+    def test_replay_accepts_a_dead_letter_file(self, tmp_path):
+        generator = SyntheticCorpusGenerator(seed=0)
+        path = tmp_path / "quarantine.jsonl"
+        runner = StreamRunner(
+            IteratorEdgeSource(generator.hostile_lines(), name="corpus"),
+            config=CONFIG,
+            guard=generator.guard(PolicySet.uniform("quarantine")),
+            dead_letters=FileDeadLetters(path),
+        )
+        runner.run()
+        report = replay_dead_letters(
+            path, guard=runner.guard, predictor=runner.predictor
+        )
+        assert set(report.still_quarantined) == {
+            "bad_arity",
+            "negative_vertex",
+            "non_integer_vertex",
+        }
+        reference = ingest(generator.clean_lines())
+        assert sketch_fingerprint(runner.predictor) == sketch_fingerprint(
+            reference.predictor
+        )
+
+    def test_replay_with_strict_policies_reports_survivors(self):
+        generator = SyntheticCorpusGenerator(seed=0)
+        runner = ingest(
+            generator.hostile_lines(),
+            guard=generator.guard(PolicySet.uniform("quarantine")),
+        )
+        report = replay_dead_letters(
+            runner.dead_letters.entries,
+            guard=runner.guard,
+            predictor=runner.predictor,
+            policies=PolicySet.uniform("quarantine"),
+        )
+        # Re-judging under quarantine changes nothing: all still held.
+        assert report.applied == 0 and report.removed == 0
+        assert sum(report.still_quarantined.values()) == report.total
+
+
+class TestCheckCasebook:
+    def test_serial_check_passes(self):
+        report = check_casebook(seed=0, config=CONFIG)
+        assert report.ok
+        assert report.mismatches == []
+        assert report.normalize_converged and report.replay_converged
+        assert report.sharded_normalize_converged is None
+        # 12 text cases x 3 modes, every row fully matched.
+        assert len(report.rows) == 36
+        assert all(row.matched == row.total for row in report.rows)
+
+    def test_sharded_check_passes(self):
+        report = check_casebook(seed=0, config=CONFIG, workers=2)
+        assert report.ok
+        assert report.sharded_normalize_converged is True
+        assert report.sharded_replay_converged is True

@@ -1,0 +1,127 @@
+"""The quarantine file round-trip: JSON-lines in, identical letters out.
+
+The replay loop depends on :func:`read_dead_letters` reconstructing
+*exactly* what :class:`FileDeadLetters` wrote — including hostile raws
+with embedded newlines, control characters, and non-ASCII bytes.  One
+letter must always serialise to one file line, or triage tooling
+(``grep``, ``wc -l``, ``tail -f``) miscounts the quarantine.
+"""
+
+from __future__ import annotations
+
+from repro.stream import (
+    DeadLetter,
+    FileDeadLetters,
+    IteratorEdgeSource,
+    MemoryDeadLetters,
+    StreamRunner,
+    read_dead_letters,
+)
+
+HOSTILE_RAWS = [
+    "plain bad line",
+    "two\nphysical\nlines",  # embedded newlines
+    "carriage\rreturn",
+    "tab\tand\x00nul\x1b[31mescape",  # control chars incl. ANSI
+    "﻿bom-prefixed 1 2",  # U+FEFF
+    "unicode: ５ ６ naïve café",
+    'json-metachars: {"a": "b\\n"}',
+    "",  # the empty raw
+]
+
+
+def letters_for(raws):
+    return [
+        DeadLetter(
+            offset=i,
+            reason="bad_arity",
+            raw=raw,
+            line_number=i + 1,
+            detail=f"fixture {i}",
+        )
+        for i, raw in enumerate(raws)
+    ]
+
+
+class TestFileRoundTrip:
+    def test_letters_survive_exactly(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        written = letters_for(HOSTILE_RAWS)
+        with FileDeadLetters(path) as sink:
+            for letter in written:
+                sink.record(letter)
+        assert read_dead_letters(path) == written
+
+    def test_one_letter_is_one_file_line(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        with FileDeadLetters(path) as sink:
+            for letter in letters_for(HOSTILE_RAWS):
+                sink.record(letter)
+        physical_lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(physical_lines) == len(HOSTILE_RAWS)
+
+    def test_append_only_across_reopens(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        first, second = letters_for(HOSTILE_RAWS[:2]), letters_for(HOSTILE_RAWS[2:])
+        with FileDeadLetters(path) as sink:
+            for letter in first:
+                sink.record(letter)
+        with FileDeadLetters(path) as sink:
+            for letter in second:
+                sink.record(letter)
+        assert read_dead_letters(path) == first + second
+
+    def test_blank_lines_tolerated_on_read(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        with FileDeadLetters(path) as sink:
+            sink.record(letters_for(["x"])[0])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")  # an operator's stray edit
+        assert len(read_dead_letters(path)) == 1
+
+    def test_counts_track_reasons(self, tmp_path):
+        sink = FileDeadLetters(tmp_path / "q.jsonl")
+        with sink:
+            sink.record(DeadLetter(0, "bad_arity", "x"))
+            sink.record(DeadLetter(1, "self_loop", "1 1"))
+            sink.record(DeadLetter(2, "bad_arity", "y"))
+        assert sink.counts == {"bad_arity": 2, "self_loop": 1}
+        assert sink.total == 3
+        assert list(sink.summary()) == ["bad_arity", "self_loop"]  # REASONS order
+
+
+class TestRunnerToFileToReplayOrder:
+    def test_runner_writes_readable_letters_in_stream_order(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        stream = ["0 1", "broken line here", "2 3", "4 4", "5 6"]
+        runner = StreamRunner(
+            IteratorEdgeSource(stream, name="fixture"),
+            dead_letters=FileDeadLetters(path),
+        )
+        runner.run()
+        letters = read_dead_letters(path)
+        assert [(l.offset, l.reason) for l in letters] == [
+            (1, "non_integer_vertex"),
+            (3, "self_loop"),
+        ]
+        assert letters[0].raw == "broken line here"
+        assert letters[1].line_number is None  # iterator sources have no lines
+
+
+class TestMemorySinkParity:
+    def test_memory_and_file_sinks_agree(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        memory = MemoryDeadLetters()
+        with FileDeadLetters(path) as file_sink:
+            for letter in letters_for(HOSTILE_RAWS):
+                memory.record(letter)
+                file_sink.record(letter)
+        assert read_dead_letters(path) == memory.entries
+        assert file_sink.counts == memory.counts
+
+    def test_memory_capacity_bounds_entries_not_counts(self):
+        sink = MemoryDeadLetters(capacity=3)
+        for letter in letters_for(HOSTILE_RAWS):
+            sink.record(letter)
+        assert len(sink.entries) == 3
+        assert sink.total == len(HOSTILE_RAWS)
