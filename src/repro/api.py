@@ -147,6 +147,7 @@ def ingest(
     max_retries: int = 0,
     seed: int = 0,
     metrics: Optional[MetricsRegistry] = None,
+    batch_size: int = 0,
 ) -> IngestReport:
     """Consume an edge stream into a predictor; serial or sharded.
 
@@ -165,6 +166,14 @@ def ingest(
     spelling (``"strict"``, ``"normalize"``,
     ``"duplicate_edge=normalize,hub_anomaly=strict"``, ...).  ``None``
     keeps the legacy parse-level contract.  See ``docs/CASEBOOK.md``.
+
+    ``batch_size > 1`` routes accepted edges through the vectorized
+    block-ingest kernel
+    (:meth:`~repro.core.predictor.MinHashLinkPredictor.update_block`)
+    in spans of up to that many edges — several times faster at scale
+    and bit-identical to scalar ingestion (guard ordering, checkpoints
+    and crash recovery included).  ``0``/``1`` keeps the scalar
+    per-record path.
     """
     from repro.parallel import ShardedRunner
     from repro.stream.checkpoint import CheckpointManager
@@ -183,6 +192,7 @@ def ingest(
             self_loops=self_loops,
             policies=policies,
             metrics=metrics,
+            batch_size=batch_size,
         )
         if resume:
             runner.resume()
@@ -202,6 +212,7 @@ def ingest(
             self_loops=self_loops,
             policies=policies,
             metrics=metrics,
+            batch_size=batch_size,
         )
         if resume:
             if manager is None:

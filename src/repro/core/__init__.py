@@ -15,6 +15,7 @@ Public entry points:
 """
 
 from repro.core.biased import BiasedMinHashLinkPredictor
+from repro.core.block import apply_edge_block, coerce_edge_batch
 from repro.core.config import (
     SketchConfig,
     hoeffding_epsilon,
@@ -44,6 +45,8 @@ __all__ = [
     "PairEstimate",
     "SketchConfig",
     "WindowedMinHashPredictor",
+    "apply_edge_block",
+    "coerce_edge_batch",
     "bands_for_threshold",
     "build_predictor",
     "equal_space_parameters",

@@ -22,6 +22,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.sketches.countmin import CountMin
 
@@ -34,6 +36,19 @@ class DegreeTracker(ABC):
     @abstractmethod
     def increment(self, vertex: int) -> None:
         """Count one new incident edge at ``vertex``."""
+
+    def increment_block(self, us, vs) -> None:
+        """Count both endpoints of a whole edge batch.
+
+        The default replays the exact scalar order — ``u`` then ``v``,
+        edge by edge — so order-dependent trackers (conservative
+        Count-Min, whose cell increments depend on the interleaving of
+        colliding keys) stay bit-identical to sequential ingestion.
+        Order-independent trackers override with a counting fast path.
+        """
+        for u, v in zip(np.asarray(us).tolist(), np.asarray(vs).tolist()):
+            self.increment(u)
+            self.increment(v)
 
     @abstractmethod
     def get(self, vertex: int) -> int:
@@ -66,6 +81,17 @@ class ExactDegrees(DegreeTracker):
 
     def increment(self, vertex: int) -> None:
         self._counts[vertex] = self._counts.get(vertex, 0) + 1
+
+    def increment_block(self, us, vs) -> None:
+        """Exact counters commute, so a batch reduces to one bincount:
+        one dict write per *unique* endpoint instead of two per edge."""
+        unique, counts = np.unique(
+            np.concatenate([np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)]),
+            return_counts=True,
+        )
+        table = self._counts
+        for vertex, count in zip(unique.tolist(), counts.tolist()):
+            table[vertex] = table.get(vertex, 0) + count
 
     def get(self, vertex: int) -> int:
         return self._counts.get(vertex, 0)

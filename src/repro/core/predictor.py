@@ -38,6 +38,7 @@ from typing import Dict, NamedTuple, Optional
 
 import numpy as np
 
+from repro.core.block import apply_edge_block
 from repro.core.config import SketchConfig
 from repro.core.degrees import CountMinDegrees, DegreeTracker, ExactDegrees
 from repro.core.estimators import (
@@ -142,8 +143,15 @@ class MinHashLinkPredictor(LinkPredictor):
 
         Self-loops are rejected (the measures are defined on simple
         graphs).  Duplicate arrivals are idempotent on the sketches but
-        increment degrees — pre-filter multi-edge streams with
-        :func:`repro.graph.stream.deduplicated`.
+        increment degrees, so on multi-edge streams the degree-consuming
+        estimators drift *upward*: ``preferential_attachment`` scales
+        with the product of inflated arrival counts, and ``adamic_adar``
+        / ``resource_allocation`` damp each witness by an inflated
+        degree (biasing those sums *downward*).  Pre-filter with
+        :func:`repro.graph.stream.deduplicated`, or ingest through a
+        :class:`~repro.stream.policies.StreamGuard` with a
+        ``duplicate_edge`` policy — the runner then reports how many
+        duplicates it saw (``stats()["duplicate_edges_detected"]``).
         """
         if u == v:
             raise ConfigurationError(f"self-loop on vertex {u} is not allowed")
@@ -155,6 +163,27 @@ class MinHashLinkPredictor(LinkPredictor):
         self._sketch_of(v).update_hashed(u, hashes_u)
         self._degrees.increment(u)
         self._degrees.increment(v)
+
+    def update_block(self, us, vs) -> int:
+        """Consume a whole edge batch through the vectorized kernel.
+
+        Bit-identical to ``for u, v in zip(us, vs): self.update(u, v)``
+        — sketch values, witnesses, update counts, and degrees all match
+        the sequential loop exactly (the property the hypothesis suite
+        pins) — but hashes the entire batch in one
+        :meth:`~repro.hashing.HashBank.values_block` pass and applies
+        scatter-min updates to packed per-vertex matrices, which is
+        ~10x the scalar path at realistic batch sizes (bench E4).
+
+        The whole batch validates up front: any self-loop or negative
+        id raises :class:`~repro.errors.ConfigurationError` *before*
+        any mutation, so a rejected batch leaves the predictor exactly
+        as it was.  Returns the number of edges applied.  Duplicate
+        arrivals inside or across batches behave exactly as in
+        :meth:`update` (idempotent sketches, inflated degrees — see the
+        bias note there).
+        """
+        return apply_edge_block(self, us, vs)
 
     # ------------------------------------------------------------------
     # Queries

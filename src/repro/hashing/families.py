@@ -23,6 +23,15 @@ Every object here is immutable after construction and fully determined
 by its seed, so two processes constructing sketches from equal seeds
 produce bit-identical state (a property the merge operations rely on,
 and that the test-suite pins).
+
+**Negative-key contract.**  Every hash path — scalar ``__call__``,
+vectorized ``batch``, and the :class:`HashBank` block evaluators —
+first reduces the key modulo ``2**64`` (two's-complement masking), so
+``h(-1) == h(2**64 - 1)`` for every family and the scalar and batch
+paths agree bit-for-bit on any int64-representable input.  Sketches
+additionally *reject* negative keys at their own boundary (witness
+storage reserves negative values), but the hash layer itself is total
+and consistent.
 """
 
 from __future__ import annotations
@@ -109,7 +118,13 @@ class HashFunction(ABC):
         return to_unit_open(self(key))
 
     def batch(self, keys: np.ndarray) -> np.ndarray:
-        """Hash a uint64 array of keys elementwise (generic fallback)."""
+        """Hash an integer array of keys elementwise (generic fallback).
+
+        Keys are first cast to uint64 (wrapping), so negative inputs
+        reduce modulo ``2**64`` exactly as the scalar paths do — the
+        fallback and every native ``batch`` override agree bit-for-bit.
+        """
+        keys = np.asarray(keys).astype(np.uint64, casting="unsafe", copy=False)
         return np.array([self(int(k)) for k in keys], dtype=np.uint64)
 
 
@@ -194,7 +209,10 @@ class PolynomialHash(HashFunction):
         return len(self.coefficients)
 
     def __call__(self, key: int) -> int:
-        x = key % _MERSENNE_61
+        # Mask first (the library-wide negative-key contract): a negative
+        # key must hash like its two's-complement uint64 image, not like
+        # Python's ``key % p`` of the signed value.
+        x = (key & MASK64) % _MERSENNE_61
         acc = 0
         for c in reversed(self.coefficients):  # Horner's rule
             acc = (acc * x + c) % _MERSENNE_61
@@ -285,7 +303,7 @@ class HashBank(object):
     test-suite verifies the equivalence bit-for-bit.
     """
 
-    __slots__ = ("seed", "size", "_mixed_seeds")
+    __slots__ = ("seed", "size", "_mixed_seeds", "_pair_keys")
 
     def __init__(self, seed: int, size: int) -> None:
         if size < 1:
@@ -295,6 +313,9 @@ class HashBank(object):
         family = SplitMixFamily(seed)
         mixed = [family.function(i)._mixed_seed for i in range(size)]
         self._mixed_seeds = np.array(mixed, dtype=np.uint64)
+        # Reused scratch for values_pair: allocating a fresh (2, 1) array
+        # per stream edge measurably drags the scalar ingest hot path.
+        self._pair_keys = np.empty((2, 1), dtype=np.uint64)
 
     def values(self, key: int) -> np.ndarray:
         """Return ``[h_0(key), ..., h_{k-1}(key)]`` as a uint64 array."""
@@ -309,9 +330,28 @@ class HashBank(object):
         ``(values_a, values_b)``, each identical to the corresponding
         :meth:`values` result.
         """
-        keys = np.array([[key_a & MASK64], [key_b & MASK64]], dtype=np.uint64)
+        keys = self._pair_keys
+        keys[0, 0] = key_a & MASK64
+        keys[1, 0] = key_b & MASK64
         both = _splitmix64_array(self._mixed_seeds ^ keys)
         return both[0], both[1]
+
+    def values_block(self, keys) -> np.ndarray:
+        """Hash a whole key batch through all ``k`` functions at once.
+
+        Returns an ``(m, k)`` uint64 matrix whose row ``i`` equals
+        :meth:`values` of ``keys[i]`` bit-for-bit — one
+        :func:`_splitmix64_array` pass over the entire batch instead of
+        ``m`` per-key evaluations.  This is the block-ingest kernel's
+        hashing primitive (:mod:`repro.core.block`).  Negative keys
+        reduce modulo ``2**64`` per the module contract.
+        """
+        keys = np.asarray(keys).astype(np.uint64, copy=False)
+        if keys.ndim != 1:
+            raise ConfigurationError(
+                f"values_block expects a 1-d key array, got shape {keys.shape}"
+            )
+        return _splitmix64_array(keys[:, np.newaxis] ^ self._mixed_seeds)
 
     def units(self, key: int) -> np.ndarray:
         """Return the ``k`` hashes mapped into ``[0, 1)`` as float64.

@@ -64,7 +64,18 @@ class LinkPredictor(ABC):
     # ------------------------------------------------------------------
 
     def process(self, stream: Iterable[Edge]) -> int:
-        """Consume an entire edge stream; returns the edge count."""
+        """Consume an entire edge stream; returns the edge count.
+
+        The count is *arrivals*, duplicates included — ``process``
+        applies no deduplication, so on multi-edge streams
+        degree-derived measures drift (see
+        :meth:`repro.core.predictor.MinHashLinkPredictor.update` for
+        the per-measure bias).  Pre-filter with
+        :func:`repro.graph.stream.deduplicated`, or ingest through a
+        :class:`~repro.stream.runner.StreamRunner` with casebook
+        policies, whose ``stats()["duplicate_edges_detected"]`` reports
+        how many duplicates were caught.
+        """
         count = 0
         for edge in stream:
             self.update(edge.u, edge.v)

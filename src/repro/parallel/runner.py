@@ -97,6 +97,12 @@ class ShardedRunner:
         chunks, which is the backpressure window — a stalled worker
         blocks the coordinator after ``queue_depth`` undelivered
         chunks instead of buffering the stream unboundedly.
+    batch_size:
+        Worker-side block ingest: ``>1`` makes each worker fold its
+        chunks through ``update_block`` in spans of up to this many
+        edges (never crossing a checkpoint boundary), ``0``/``1``
+        keeps the scalar per-record path.  Either way the merged
+        result is bit-identical to serial ingestion.
     mp_context:
         ``multiprocessing`` start-method name (``"fork"``/``"spawn"``);
         default is the platform default.  Workers are spawn-safe.
@@ -119,6 +125,7 @@ class ShardedRunner:
         metrics: Optional[MetricsRegistry] = None,
         chunk_records: int = 2048,
         queue_depth: int = 8,
+        batch_size: int = 0,
         mp_context: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -136,6 +143,8 @@ class ShardedRunner:
             raise ConfigurationError(f"chunk_records must be positive, got {chunk_records}")
         if queue_depth < 1:
             raise ConfigurationError(f"queue_depth must be positive, got {queue_depth}")
+        if batch_size < 0:
+            raise ConfigurationError(f"batch_size must be >= 0, got {batch_size}")
         self.source = source
         self.workers = workers
         self.config = config or SketchConfig()
@@ -164,6 +173,7 @@ class ShardedRunner:
         self.policies = self.guard.policies
         self.chunk_records = chunk_records
         self.queue_depth = queue_depth
+        self.batch_size = batch_size
         self.mp_context = mp_context
         self.clock = clock
         #: Merged predictor; populated by :meth:`run`.
@@ -328,6 +338,7 @@ class ShardedRunner:
                     self.checkpoint_every,
                     self.keep,
                     self._resume_requested,
+                    self.batch_size,
                 ),
                 daemon=True,
                 name=f"repro-shard-{shard}",
@@ -552,6 +563,8 @@ class ShardedRunner:
         :meth:`StreamRunner.stats <repro.stream.runner.StreamRunner.stats>`
         with the sharding extras (per-shard offsets/records, merge
         latency).  A defensive snapshot — mutate freely."""
+        dead_reasons = self.dead_letter_reasons()
+        norm_reasons = self.normalized_reasons()
         return {
             "source": self.source.name,
             "policy": self.policy,
@@ -560,10 +573,14 @@ class ShardedRunner:
             "records_in": self.records_in,
             "records_ok": self.records_ok,
             "dead_lettered": self.dead_lettered,
-            "dead_letter_reasons": self.dead_letter_reasons(),
+            "dead_letter_reasons": dead_reasons,
             "dropped": self.dropped,
-            "normalized": int(sum(self.normalized_reasons().values())),
-            "normalized_reasons": self.normalized_reasons(),
+            "normalized": int(sum(norm_reasons.values())),
+            "normalized_reasons": norm_reasons,
+            # Guard-detected duplicate arrivals (casebook policies only;
+            # parity with StreamRunner.stats).
+            "duplicate_edges_detected": dead_reasons.get("duplicate_edge", 0)
+            + norm_reasons.get("duplicate_edge", 0),
             "replayed": self.replayed,
             "checkpoints_written": self.checkpoints_written,
             "shard_offsets": list(self.shard_offsets),

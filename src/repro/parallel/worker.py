@@ -55,8 +55,17 @@ def shard_worker_main(
     checkpoint_every: int,
     keep: int,
     resume: bool,
+    batch_size: int = 0,
 ) -> None:
-    """Entry point of one shard worker process (top-level: spawn-safe)."""
+    """Entry point of one shard worker process (top-level: spawn-safe).
+
+    ``batch_size > 1`` folds each chunk's eligible edges through the
+    block-ingest kernel
+    (:meth:`~repro.core.predictor.MinHashLinkPredictor.update_block`)
+    in spans that never cross a checkpoint boundary — checkpoints land
+    at exactly the same record offsets as scalar ingestion, so crash
+    recovery stays bit-identical.
+    """
     try:
         manager = None
         if checkpoint_dir:
@@ -83,6 +92,29 @@ def shard_worker_main(
             message = task_queue.get()
             kind = message[0]
             if kind == "edges":
+                if batch_size > 1:
+                    eligible = [
+                        entry for entry in message[1] if entry[0] >= offset
+                    ]  # replayed records are already in a checkpoint
+                    applied = 0
+                    while applied < len(eligible):
+                        take = min(batch_size, len(eligible) - applied)
+                        if checkpoint_every:
+                            take = min(take, checkpoint_every - since_checkpoint)
+                        span = eligible[applied : applied + take]
+                        predictor.update_block(
+                            [entry[1] for entry in span],
+                            [entry[2] for entry in span],
+                        )
+                        offset = span[-1][0] + 1
+                        records_ok += take
+                        since_checkpoint += take
+                        applied += take
+                        if checkpoint_every and since_checkpoint >= checkpoint_every:
+                            manager.save(predictor, offset)
+                            checkpoints_written += 1
+                            since_checkpoint = 0
+                    continue
                 for record_offset, u, v in message[1]:
                     if record_offset < offset:
                         continue  # replayed record already in a checkpoint

@@ -160,6 +160,75 @@ class TestHashBank:
             HashBank(seed=0, size=0)
 
 
+class TestNegativeKeyContract:
+    """Negative keys reduce mod 2**64 — identically in every family and
+    identically between the scalar ``__call__`` and ``batch`` paths.
+
+    The block-ingest kernel hashes whole int64 edge arrays at once, so a
+    divergence here would silently break scalar-vs-batch bit identity.
+    """
+
+    FUNCTIONS = [
+        SplitMixHash(13),
+        MultiplyShiftFamily(seed=13).function(0),
+        PolynomialFamily(seed=13, independence=4).function(0),
+        family_by_name("tabulation", seed=13).function(0),
+    ]
+
+    @pytest.mark.parametrize("h", FUNCTIONS, ids=lambda h: type(h).__name__)
+    def test_minus_one_wraps_to_max_uint64(self, h):
+        assert h(-1) == h(2**64 - 1)
+        assert h(-2) == h(2**64 - 2)
+
+    @pytest.mark.parametrize("h", FUNCTIONS, ids=lambda h: type(h).__name__)
+    def test_batch_matches_scalar_on_negative_keys(self, h):
+        keys = np.array([-1, -2, -(2**63), 0, 5], dtype=np.int64)
+        batch = h.batch(keys)
+        for i, key in enumerate(keys.tolist()):
+            assert int(batch[i]) == h(key)
+
+
+class TestHashBankBlock:
+    def test_values_block_matches_per_key_values(self):
+        bank = HashBank(seed=21, size=8)
+        keys = np.array([0, 1, 999, 2**40, 2**64 - 1], dtype=np.uint64)
+        block = bank.values_block(keys)
+        assert block.shape == (5, 8)
+        for row in range(5):
+            assert np.array_equal(block[row], bank.values(int(keys[row])))
+
+    def test_values_block_wraps_negative_keys(self):
+        bank = HashBank(seed=21, size=8)
+        assert np.array_equal(
+            bank.values_block(np.array([-1], dtype=np.int64))[0],
+            bank.values(2**64 - 1),
+        )
+
+    def test_values_block_empty(self):
+        assert HashBank(0, 4).values_block(np.array([], dtype=np.uint64)).shape == (0, 4)
+
+    def test_values_block_rejects_non_1d(self):
+        with pytest.raises(ConfigurationError):
+            HashBank(0, 4).values_block(np.zeros((3, 2), dtype=np.uint64))
+
+    def test_values_pair_matches_values(self):
+        bank = HashBank(seed=4, size=16)
+        for u, v in [(0, 1), (2**40, 7), (2**64 - 1, 0)]:
+            values_u, values_v = bank.values_pair(u, v)
+            assert np.array_equal(values_u, bank.values(u))
+            assert np.array_equal(values_v, bank.values(v))
+
+    def test_values_pair_results_survive_reuse(self):
+        # values_pair reuses one scratch buffer for the *keys*, never the
+        # returned hash rows — earlier results must not be clobbered.
+        bank = HashBank(seed=4, size=16)
+        first_u, first_v = bank.values_pair(1, 2)
+        copies = first_u.copy(), first_v.copy()
+        bank.values_pair(3, 4)
+        assert np.array_equal(first_u, copies[0])
+        assert np.array_equal(first_v, copies[1])
+
+
 class TestFamilyRegistry:
     @pytest.mark.parametrize(
         "name", ["splitmix", "multiply_shift", "polynomial", "tabulation"]

@@ -28,6 +28,7 @@ RUNNER_STATS_KEYS = {
     "dead_letter_reasons",
     "dead_lettered",
     "dropped",
+    "duplicate_edges_detected",
     "last_checkpoint_age_seconds",
     "last_checkpoint_offset",
     "normalized",
@@ -88,6 +89,7 @@ PINNED_RUNNER_STATS = {
     },
     "dead_lettered": 5,
     "dropped": 0,
+    "duplicate_edges_detected": 0,
     "last_checkpoint_age_seconds": None,
     "last_checkpoint_offset": None,
     "normalized": 0,

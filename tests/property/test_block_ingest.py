@@ -1,0 +1,168 @@
+"""Property-based bit-identity pins for the block-ingest kernel.
+
+The entire value of :mod:`repro.core.block` rests on one law:
+
+    ``predictor.update_block(us, vs)`` leaves *exactly* the state that
+    ``for u, v in zip(us, vs): predictor.update(u, v)`` would have —
+    sketch values, witnesses, update counts, and degrees, bit for bit.
+
+Hypothesis drives the adversarial corners the scalar semantics make
+subtle: duplicate edges inside one batch (idempotent slots, counted
+arrivals), hash ties at tiny ``k`` over tiny key universes (the
+earliest-arrival witness rule), batches straddling seen and unseen
+vertices, pre-seeded predictors (equal batch minima must *not* steal
+the pre-batch witness), empty batches, and both degree modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MinHashLinkPredictor, SketchConfig
+from repro.errors import ConfigurationError
+from repro.hashing import HashBank
+
+# Tiny vertex universe: duplicates and shared endpoints are the norm,
+# and at k=2..4 equal slot minima across keys actually happen.
+edge_batches = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(lambda p: p[0] != p[1]),
+    max_size=50,
+)
+
+
+def _state(predictor):
+    """Every bit of predictor state the scalar law quantifies over."""
+    sketches = {}
+    for vertex, sketch in predictor._sketches.items():
+        sketches[vertex] = (
+            sketch.values.tobytes(),
+            None if sketch.witnesses is None else sketch.witnesses.tobytes(),
+            sketch.update_count,
+        )
+    degrees = {v: predictor.degree(v) for v in range(12)}
+    return sketches, degrees
+
+
+def _pair(config, prefix, batch):
+    """Two predictors with identical scalar history; one then takes the
+    batch scalar, the other through the kernel."""
+    scalar = MinHashLinkPredictor(config)
+    block = MinHashLinkPredictor(config)
+    for u, v in prefix:
+        scalar.update(u, v)
+        block.update(u, v)
+    for u, v in batch:
+        scalar.update(u, v)
+    applied = block.update_block(
+        [u for u, _ in batch], [v for _, v in batch]
+    )
+    assert applied == len(batch)
+    return scalar, block
+
+
+class TestBlockEqualsSequential:
+    @settings(max_examples=60, deadline=None)
+    @given(edge_batches, edge_batches, st.sampled_from([2, 3, 16]))
+    def test_fresh_and_preseeded(self, prefix, batch, k):
+        scalar, block = _pair(SketchConfig(k=k, seed=3), prefix, batch)
+        assert _state(scalar) == _state(block)
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_batches, st.integers(0, 2**31 - 1))
+    def test_seed_invariance(self, batch, seed):
+        scalar, block = _pair(SketchConfig(k=4, seed=seed), [], batch)
+        assert _state(scalar) == _state(block)
+
+    @settings(max_examples=40, deadline=None)
+    @given(edge_batches, edge_batches)
+    def test_without_witness_tracking(self, prefix, batch):
+        config = SketchConfig(k=3, seed=7, track_witnesses=False)
+        scalar, block = _pair(config, prefix, batch)
+        assert _state(scalar) == _state(block)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_batches, edge_batches)
+    def test_countmin_degree_mode(self, prefix, batch):
+        config = SketchConfig(k=3, seed=5, degree_mode="countmin")
+        scalar, block = _pair(config, prefix, batch)
+        assert _state(scalar) == _state(block)
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_batches, st.lists(st.integers(1, 7), min_size=1, max_size=4))
+    def test_any_batch_split_is_equivalent(self, batch, splits):
+        """Chopping one stream into arbitrary update_block spans cannot
+        change the result (the StreamRunner/worker batching law)."""
+        whole, chopped = _pair(SketchConfig(k=3, seed=11), [], batch)
+        resplit = MinHashLinkPredictor(SketchConfig(k=3, seed=11))
+        position = 0
+        while position < len(batch):
+            size = splits[position % len(splits)]
+            span = batch[position : position + size]
+            resplit.update_block([u for u, _ in span], [v for _, v in span])
+            position += size
+        assert _state(whole) == _state(resplit)
+
+    def test_empty_batch_is_a_noop(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=4, seed=1))
+        predictor.update(1, 2)
+        before = _state(predictor)
+        assert predictor.update_block([], []) == 0
+        assert predictor.update_block(np.array([]), np.array([])) == 0
+        assert _state(predictor) == before
+
+
+class TestBatchRejection:
+    """A rejected batch must leave the predictor untouched."""
+
+    @pytest.mark.parametrize(
+        "us, vs",
+        [
+            ([1, -2, 3], [4, 5, 6]),  # negative id mid-batch
+            ([1, 2], [4, 2]),  # self-loop mid-batch
+            ([1, 2, 3], [4, 5]),  # length mismatch
+            ([[1, 2]], [[3, 4]]),  # wrong rank
+            (["a", "b"], [1, 2]),  # non-integer
+        ],
+    )
+    def test_rejects_before_any_mutation(self, us, vs):
+        predictor = MinHashLinkPredictor(SketchConfig(k=4, seed=2))
+        predictor.update(1, 4)
+        before = _state(predictor)
+        with pytest.raises(ConfigurationError):
+            predictor.update_block(us, vs)
+        assert _state(predictor) == before
+
+    def test_error_names_first_offending_index(self):
+        predictor = MinHashLinkPredictor(SketchConfig(k=4, seed=2))
+        with pytest.raises(ConfigurationError, match="batch index 1"):
+            predictor.update_block([1, 2, 3], [4, -1, -6])
+
+
+class TestValuesBlock:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**63 - 1), max_size=30),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([1, 3, 17]),
+    )
+    def test_matches_per_key_values(self, keys, seed, k):
+        bank = HashBank(seed, k)
+        block = bank.values_block(np.array(keys, dtype=np.uint64))
+        assert block.shape == (len(keys), k)
+        for row, key in enumerate(keys):
+            assert np.array_equal(block[row], bank.values(key))
+
+    def test_negative_keys_wrap(self):
+        bank = HashBank(9, 5)
+        wrapped = bank.values_block(np.array([-1, -2], dtype=np.int64))
+        direct = bank.values_block(
+            np.array([2**64 - 1, 2**64 - 2], dtype=np.uint64)
+        )
+        assert np.array_equal(wrapped, direct)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ConfigurationError):
+            HashBank(0, 2).values_block(np.zeros((2, 2), dtype=np.uint64))
