@@ -9,15 +9,16 @@ and a full evaluation harness.  (See DESIGN.md for why the requested
 "Dark Data" panel title resolves to this paper.)
 
 Quick start — the :mod:`repro.api` facade covers the whole pipeline in
-four verbs::
+five verbs::
 
-    from repro import SketchConfig, ingest, open_engine, evaluate
+    from repro import SketchConfig, ingest, open_engine, evaluate, serve
 
     report = ingest("synth-facebook", config=SketchConfig(k=128, seed=42),
                     workers=4)                  # sharded, bit-identical
     engine = open_engine(report.predictor)
     scores = engine.score_many([(10, 42), (7, 99)], "adamic_adar")
     errors = evaluate("synth-facebook", config=SketchConfig(k=128))
+    serve(report.predictor, port=8080).run()    # HTTP serving tier
 
 The subpackages, bottom-up: :mod:`repro.hashing` (seeded hash
 families), :mod:`repro.sketches` (MinHash / bottom-k / weighted MinHash
@@ -32,7 +33,7 @@ the facade composes them and ``repro.api.__all__`` is the documented
 stable surface.
 """
 
-from repro.api import IngestReport, build_predictor, evaluate, ingest, open_engine
+from repro.api import IngestReport, build_predictor, evaluate, ingest, open_engine, serve
 from repro.core import (
     BiasedMinHashLinkPredictor,
     MinHashLinkPredictor,
@@ -60,5 +61,6 @@ __all__ = [
     "evaluate",
     "ingest",
     "open_engine",
+    "serve",
     "__version__",
 ]

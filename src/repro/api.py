@@ -1,8 +1,8 @@
-"""The unified high-level API: four verbs covering the whole pipeline.
+"""The unified high-level API: five verbs covering the whole pipeline.
 
 This module is the *recommended* entry point for programmatic use —
 everything an application needs to reproduce the paper's pipeline fits
-in four functions:
+in five functions:
 
 * :func:`build_predictor` — construct a sketch predictor (or a
   baseline, by method name);
@@ -13,7 +13,10 @@ in four functions:
   snapshot, or a checkpoint directory (serial *or* sharded layout) in
   the batch :class:`~repro.serve.engine.QueryEngine`;
 * :func:`evaluate` — measure estimation accuracy against the exact
-  oracle on sampled two-hop pairs.
+  oracle on sampled two-hop pairs;
+* :func:`serve` — put any of the above behind an always-on HTTP
+  service with zero-downtime snapshot hot-swap (static or with live
+  background ingest).
 
 The deeper modules (:mod:`repro.core`, :mod:`repro.stream`,
 :mod:`repro.parallel`, :mod:`repro.serve`, :mod:`repro.eval`) stay
@@ -48,6 +51,7 @@ __all__ = [
     "evaluate",
     "ingest",
     "open_engine",
+    "serve",
 ]
 
 SourceLike = Union[str, Path, Iterable]
@@ -282,6 +286,119 @@ def open_engine(
             f"open_engine needs a predictor or a path, got {type(target).__name__}"
         )
     return QueryEngine(predictor, **engine_options)
+
+
+def serve(
+    target: Union[MinHashLinkPredictor, str, Path, None] = None,
+    *,
+    source: Optional[SourceLike] = None,
+    config: Optional[SketchConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    refresh_every: float = 5.0,
+    drain_timeout: float = 10.0,
+    checkpoint_dir: Union[str, Path, None] = None,
+    checkpoint_every: int = 1000,
+    resume: bool = False,
+    keep: int = 3,
+    policy: str = "quarantine",
+    self_loops: str = "quarantine",
+    policies: object = None,
+    batch_size: int = 0,
+    max_retries: int = 0,
+    seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
+    **server_options,
+):
+    """Configure the always-on HTTP serving tier (the fifth verb).
+
+    Returns a ready-to-run :class:`~repro.serve.server.SketchServer`;
+    call ``server.run()`` to serve until SIGTERM (the blocking,
+    production spelling — what ``repro-linkpred serve`` does), or start
+    it on a thread and use :meth:`~repro.serve.server.SketchServer.
+    wait_ready` / :meth:`~repro.serve.server.SketchServer.
+    request_shutdown` to embed it.
+
+    Two modes, picked by which argument you pass:
+
+    * ``serve(target)`` — **static**: serve one frozen generation of a
+      warm predictor, a saved ``.npz``, or a checkpoint directory
+      (anything :func:`open_engine` accepts).
+    * ``serve(source=...)`` — **live**: ingest the stream in a
+      background thread and hot-swap a freshly packed generation every
+      ``refresh_every`` seconds, with zero downtime and no torn reads.
+      ``checkpoint_dir``/``checkpoint_every`` arm durable checkpoints
+      (written on the usual cadence plus once more during the drain);
+      ``resume=True`` restores from them before serving.
+
+    ``port=0`` binds an ephemeral port (read ``server.port`` once
+    ready).  Ingest knobs (``policy``, ``policies``, ``batch_size``,
+    ``max_retries``, ...) match :func:`ingest`; extra keyword options
+    pass through to :class:`~repro.serve.server.SketchServer`
+    (``keep_history``, ``stale_after``, ``engine_options``, ...).
+    See ``docs/OPERATIONS.md`` ("Running the server") for the runbook.
+    """
+    from repro.core.persistence import load_predictor
+    from repro.serve.server import SketchServer
+    from repro.stream.checkpoint import CheckpointManager
+    from repro.stream.runner import StreamRunner
+
+    if (target is None) == (source is None):
+        raise ConfigurationError(
+            "serve needs exactly one of target (static serving) or "
+            "source (live ingest + hot swap)"
+        )
+    if target is not None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            if path.is_dir():
+                predictor = _predictor_from_checkpoint_dir(path)
+            elif path.is_file():
+                predictor = load_predictor(path)
+            else:
+                raise ReproError(
+                    f"{path} is neither a predictor file nor a checkpoint directory"
+                )
+        elif isinstance(target, LinkPredictor):
+            predictor = target
+        else:
+            raise ConfigurationError(
+                f"serve needs a predictor or a path, got {type(target).__name__}"
+            )
+        return SketchServer(
+            predictor,
+            host=host,
+            port=port,
+            refresh_every=0.0,
+            drain_timeout=drain_timeout,
+            metrics=metrics,
+            **server_options,
+        )
+    resolved = _resolve_source(source, seed, max_retries=max_retries)
+    manager = CheckpointManager(checkpoint_dir, keep=keep) if checkpoint_dir else None
+    if resume and manager is None:
+        raise ConfigurationError("resume=True needs a checkpoint_dir")
+    runner = StreamRunner(
+        resolved,
+        config=config,
+        checkpoint_manager=manager,
+        checkpoint_every=checkpoint_every if manager else 0,
+        policy=policy,
+        self_loops=self_loops,
+        policies=policies,
+        metrics=metrics,
+        batch_size=batch_size,
+    )
+    if resume:
+        runner.resume()
+    return SketchServer(
+        runner=runner,
+        host=host,
+        port=port,
+        refresh_every=refresh_every,
+        drain_timeout=drain_timeout,
+        **server_options,
+    )
 
 
 def evaluate(

@@ -1,10 +1,10 @@
 """Command-line interface: ``repro-linkpred``.
 
-Ten subcommands cover the everyday uses of the library without
+Eleven subcommands cover the everyday uses of the library without
 writing code — exploration (``datasets``, ``stats``), prediction and
 evaluation (``predict``, ``evaluate``, ``discover``, ``triangles``),
-and the production runtime (``ingest``, ``query``, ``monitor``,
-``casebook``):
+and the production runtime (``ingest``, ``query``, ``serve``,
+``monitor``, ``casebook``):
 
 * ``repro-linkpred datasets`` — the registry of synthetic SNAP
   stand-ins with their measured statistics (table E1).
@@ -28,9 +28,16 @@ and the production runtime (``ingest``, ``query``, ``monitor``,
   score a whole pair file (``--pairs-file``) or serve a top-k query
   (``--vertex``) through the vectorized ``repro.serve`` kernel, from a
   fresh ingest or a saved checkpoint, as a table, CSV or JSON.
+* ``repro-linkpred serve`` — the always-on HTTP serving tier:
+  ``POST /score``, ``GET /topk/<vertex>``, health/readiness probes and
+  a Prometheus ``/metrics`` endpoint over immutable packed
+  generations, with live background ingest, zero-downtime snapshot
+  hot-swap (``--refresh-every``) and graceful SIGTERM drain
+  (``--drain-timeout``); see ``docs/OPERATIONS.md``.
 * ``repro-linkpred monitor <metrics-file>`` — render a metrics
   snapshot (a ``--metrics-out`` JSON-lines flight record or a saved
-  snapshot) as human-readable tables; see ``docs/OBSERVABILITY.md``.
+  snapshot) as human-readable tables, or scrape a running server with
+  ``--url http://host:port/metrics``; see ``docs/OBSERVABILITY.md``.
 * ``repro-linkpred casebook`` — the adversarial input casebook: print
   the case taxonomy with default policies and repairs, and (with
   ``--check``) replay a labeled hostile corpus under all three policy
@@ -571,6 +578,55 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve as api_serve
+
+    if args.load_checkpoint and args.checkpoint_dir and not args.source:
+        raise ReproError(
+            "serve takes --load-checkpoint (one .npz) or --checkpoint-dir "
+            "(an ingest directory), not both"
+        )
+    policies = args.case_policy or None
+    if args.source:
+        # Live mode: background ingest + periodic hot swap.
+        server = api_serve(
+            source=args.source,
+            config=_config_from_args(args),
+            host=args.host,
+            port=args.port,
+            refresh_every=args.refresh_every,
+            drain_timeout=args.drain_timeout,
+            checkpoint_dir=args.checkpoint_dir or None,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            keep=args.keep,
+            policy=args.policy,
+            self_loops=args.self_loops,
+            policies=policies,
+            batch_size=args.batch_size,
+            max_retries=args.max_retries,
+            seed=args.seed,
+            announce=lambda url: print(f"serving {url}", flush=True),
+        )
+    else:
+        target = args.load_checkpoint or args.checkpoint_dir
+        if not target:
+            raise ReproError(
+                "serve needs a source (dataset/edge list) for live ingest, or "
+                "--load-checkpoint/--checkpoint-dir for static serving"
+            )
+        if args.resume:
+            raise ReproError("--resume is a live-mode flag (pass a source too)")
+        server = api_serve(
+            target,
+            host=args.host,
+            port=args.port,
+            drain_timeout=args.drain_timeout,
+            announce=lambda url: print(f"serving {url}", flush=True),
+        )
+    return server.run()
+
+
 def _load_snapshot(path: str) -> dict:
     """Read a metrics snapshot: one JSON document, or the last line of
     a ``--metrics-out`` JSON-lines flight record."""
@@ -604,10 +660,56 @@ def _format_series_labels(name: str, labels: dict) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _fetch_snapshot(url: str) -> dict:
+    """Scrape a running server's ``/metrics`` endpoint as a snapshot.
+
+    Requests the JSON exposition (``Accept: application/json``), which
+    the serving tier renders via :func:`repro.obs.export.snapshot` —
+    the same schema ``--metrics-out`` files hold, so the rendering
+    below is shared between the offline and live paths.
+    """
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.startswith(("http://", "https://")):
+        raise ReproError(f"--url must be an http(s) URL, got {url!r}")
+    request = urllib.request.Request(url, headers={"Accept": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        raise ReproError(f"could not scrape {url!r}: {error}") from None
+    try:
+        loaded = json_module.loads(text)
+    except ValueError as error:
+        raise ReproError(
+            f"{url!r} did not return JSON ({error}); point --url at the "
+            "server's /metrics endpoint"
+        ) from None
+    if not isinstance(loaded, dict) or "instruments" not in loaded:
+        raise ReproError(
+            f"{url!r} is not a repro.obs snapshot endpoint "
+            "(expected an object with an 'instruments' list)"
+        )
+    return loaded
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     import datetime
 
-    loaded = _load_snapshot(args.metrics_file)
+    if bool(args.metrics_file) == bool(args.url):
+        raise ReproError(
+            "monitor needs exactly one of a metrics file or --url http://host:port/metrics"
+        )
+    if args.url:
+        loaded = _fetch_snapshot(args.url)
+        source_label = args.url
+    else:
+        loaded = _load_snapshot(args.metrics_file)
+        source_label = args.metrics_file
     when = datetime.datetime.fromtimestamp(loaded.get("ts", 0)).isoformat(sep=" ")
     scalar_rows = []
     histogram_rows = []
@@ -633,7 +735,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             format_table(
                 ["instrument", "type", "value"],
                 scalar_rows,
-                title=f"Metrics snapshot @ {when} ({args.metrics_file})",
+                title=f"Metrics snapshot @ {when} ({source_label})",
                 precision=4,
             )
         )
@@ -986,6 +1088,101 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arguments(query)
     query.set_defaults(run=_cmd_query)
 
+    serve = commands.add_parser(
+        "serve",
+        help="always-on HTTP serving tier with zero-downtime hot swap",
+    )
+    serve.add_argument(
+        "source",
+        nargs="?",
+        default="",
+        help="dataset name or edge-list path to ingest live in the "
+        "background (omit for static serving from a checkpoint)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0: ephemeral)"
+    )
+    serve.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
+    add_seed_argument(serve)
+    serve.add_argument(
+        "--load-checkpoint",
+        default="",
+        metavar="NPZ",
+        help="serve one frozen generation from a saved .npz snapshot",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default="",
+        metavar="DIR",
+        help="without a source: serve statically from this ingest "
+        "directory; with a source: write rotated checkpoints here "
+        "(and --resume restores from them)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="live mode: snapshot state every N consumed records",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="live mode: restore (state, offset) from the newest "
+        "checkpoint before serving",
+    )
+    serve.add_argument(
+        "--keep", type=int, default=3, help="checkpoint generations to retain"
+    )
+    serve.add_argument(
+        "--refresh-every",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds between generation hot-swaps in live mode "
+        "(0: publish only once the stream is exhausted)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds the SIGTERM drain waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--policy",
+        default="quarantine",
+        choices=["quarantine", "strict"],
+        help="malformed-record policy for live ingest",
+    )
+    serve.add_argument(
+        "--self-loops",
+        default="quarantine",
+        choices=["quarantine", "drop"],
+        help="self-loop handling for live ingest",
+    )
+    serve.add_argument(
+        "--case-policy",
+        default="",
+        metavar="SPEC",
+        help="casebook per-case policies for live ingest (see 'ingest')",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        metavar="B",
+        help="block-ingest batch size for live ingest (0/1: scalar)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="transient source I/O failures tolerated before giving up",
+    )
+    serve.set_defaults(run=_cmd_serve)
+
     casebook = commands.add_parser(
         "casebook",
         help="the adversarial input casebook: taxonomy, and --check replay",
@@ -1031,7 +1228,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     monitor.add_argument(
         "metrics_file",
+        nargs="?",
+        default="",
         help="a --metrics-out JSON-lines file (last sample wins) or a saved snapshot",
+    )
+    monitor.add_argument(
+        "--url",
+        default="",
+        metavar="URL",
+        help="scrape a running server instead: http://host:port/metrics",
     )
     add_seed_argument(monitor)
     monitor.set_defaults(run=_cmd_monitor)

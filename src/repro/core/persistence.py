@@ -258,9 +258,34 @@ def describe(path: Union[PathLike, IO[bytes]]) -> str:
     return str(path) if isinstance(path, (str, Path)) else getattr(path, "name", "<buffer>")
 
 
+#: Every field a version-2 checkpoint must carry (plus ``sha256``,
+#: checked separately so its absence gets its own diagnosis).
+_REQUIRED_FIELDS = (
+    "format_version",
+    "k",
+    "seed",
+    "track_witnesses",
+    "vertex_ids",
+    "values",
+    "witnesses",
+    "update_counts",
+    "degrees",
+)
+
+
 def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
     fields = {field: archive[field] for field in archive.files}
-    # Version first: a future format may checksum differently, and the
+    # Field inventory before anything else: a valid .npz that is not a
+    # predictor checkpoint at all (or a half-schema from some other
+    # tool) must fail with a diagnosis, not a KeyError traceback.
+    missing = [field for field in _REQUIRED_FIELDS if field not in fields]
+    if missing:
+        raise CheckpointCorruptError(
+            f"checkpoint {name} is not a predictor checkpoint archive: "
+            f"missing field(s) {', '.join(missing)} "
+            f"(holds: {', '.join(sorted(fields)) or 'nothing'})"
+        )
+    # Version next: a future format may checksum differently, and the
     # "wrong library version" diagnosis beats a checksum mismatch.
     version = int(fields["format_version"])
     if version != FORMAT_VERSION:
@@ -278,11 +303,19 @@ def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
             f"checkpoint {name} failed checksum verification "
             f"(stored {expected[:12]}..., recomputed {actual[:12]}...)"
         )
-    config = SketchConfig(
-        k=int(fields["k"]),
-        seed=int(fields["seed"]),
-        track_witnesses=bool(fields["track_witnesses"]),
-    )
+    try:
+        config = SketchConfig(
+            k=int(fields["k"]),
+            seed=int(fields["seed"]),
+            track_witnesses=bool(fields["track_witnesses"]),
+        )
+    except ConfigurationError as error:
+        # Checksummed but unusable: the archive was written with a
+        # configuration this library refuses to construct.
+        raise ConfigurationError(
+            f"checkpoint {name} carries an incompatible sketch "
+            f"configuration: {error}"
+        ) from error
     predictor = MinHashLinkPredictor(config)
     vertex_ids = fields["vertex_ids"]
     values = fields["values"]

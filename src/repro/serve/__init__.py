@@ -16,6 +16,13 @@ without paying a Python-level loop per pair.
   ``score_many(pairs, measure)`` and ``top_k(u, measure, k)`` (with
   LSH-pruned candidate generation), plus a flat ``stats()`` health
   surface mirroring :meth:`repro.stream.runner.StreamRunner.stats`.
+* :class:`~repro.serve.server.SketchServer` — the always-on tier: a
+  stdlib asyncio HTTP service over immutable
+  :class:`~repro.serve.server.Generation` snapshots with zero-downtime
+  hot-swap, request micro-batching, live background ingest and
+  graceful drain (``repro.api.serve`` / ``repro-linkpred serve``).
+* :mod:`repro.serve.loadgen` — the closed-loop load generator that
+  measures it (and audits every response for torn reads).
 
 The engine answers every query exactly as the per-pair
 :meth:`~repro.core.predictor.MinHashLinkPredictor.score` path would —
@@ -26,5 +33,12 @@ same estimators, same clamps, same unseen-vertex policy (0.0, never a
 from repro.serve.engine import QueryEngine
 from repro.serve.kernels import score_pairs_packed
 from repro.serve.packed import PackedSketches
+from repro.serve.server import Generation, SketchServer
 
-__all__ = ["PackedSketches", "QueryEngine", "score_pairs_packed"]
+__all__ = [
+    "Generation",
+    "PackedSketches",
+    "QueryEngine",
+    "SketchServer",
+    "score_pairs_packed",
+]

@@ -1,0 +1,354 @@
+"""Closed-loop load generator for the serving tier.
+
+``run_load`` drives a running :class:`~repro.serve.server.SketchServer`
+with N worker threads, each issuing ``POST /score`` batches over a
+persistent keep-alive connection and waiting for the response before
+sending the next (closed-loop: concurrency is exactly ``workers``, so
+measured latency is honest — no coordinated-omission from an open-loop
+arrival process).  It is the measurement half of
+``benchmarks/bench_e17_serving.py`` and of the hot-swap atomicity
+tests, so beyond throughput/latency it audits *correctness* of every
+response:
+
+* **torn reads** — each response carries a generation number and the
+  sha256 fingerprint of the pack it was scored against; if one
+  generation number is ever seen with two fingerprints, a hot-swap
+  leaked a half-published snapshot.  ``LoadReport.torn_reads`` counts
+  these (the benchmark gates it at zero).
+* **bit-identity samples** — with ``record_samples > 0`` each worker
+  keeps full ``(generation, pairs, scores)`` records of its first
+  responses, which the benchmark later re-scores offline against
+  :meth:`PackedSketches.to_predictor
+  <repro.serve.packed.PackedSketches.to_predictor>` reconstructions of
+  the same generations.
+
+Stdlib-only (``http.client`` + ``threading``), like the server it
+measures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LoadReport", "ScoredSample", "run_load"]
+
+
+class ScoredSample:
+    """One audited response: enough to re-score it offline."""
+
+    __slots__ = ("generation", "fingerprint", "measure", "pairs", "scores")
+
+    def __init__(
+        self,
+        generation: int,
+        fingerprint: str,
+        measure: str,
+        pairs: np.ndarray,
+        scores: np.ndarray,
+    ) -> None:
+        self.generation = generation
+        self.fingerprint = fingerprint
+        self.measure = measure
+        self.pairs = pairs
+        self.scores = scores
+
+
+class LoadReport:
+    """What a load run observed; the benchmark's raw material."""
+
+    __slots__ = (
+        "requests",
+        "failures",
+        "torn_reads",
+        "pairs_scored",
+        "elapsed",
+        "status_counts",
+        "generations",
+        "latencies",
+        "samples",
+        "errors",
+    )
+
+    def __init__(
+        self,
+        requests: int,
+        failures: int,
+        torn_reads: int,
+        pairs_scored: int,
+        elapsed: float,
+        status_counts: Dict[int, int],
+        generations: Dict[int, str],
+        latencies: np.ndarray,
+        samples: List[ScoredSample],
+        errors: List[str],
+    ) -> None:
+        self.requests = requests
+        self.failures = failures
+        self.torn_reads = torn_reads
+        self.pairs_scored = pairs_scored
+        self.elapsed = elapsed
+        self.status_counts = status_counts
+        #: generation number -> the single fingerprint it was seen with
+        self.generations = generations
+        self.latencies = latencies
+        self.samples = samples
+        self.errors = errors
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def pairs_per_second(self) -> float:
+        return self.pairs_scored / self.elapsed if self.elapsed > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency quantile in seconds (0.0 when nothing completed)."""
+        if len(self.latencies) == 0:
+            return 0.0
+        return float(np.quantile(self.latencies, q))
+
+    def summary(self) -> Dict[str, object]:
+        """The flat dict the benchmark emits as JSON."""
+        return {
+            "requests": self.requests,
+            "failures": self.failures,
+            "torn_reads": self.torn_reads,
+            "pairs_scored": self.pairs_scored,
+            "elapsed_seconds": self.elapsed,
+            "qps": self.qps,
+            "pairs_per_second": self.pairs_per_second,
+            "latency_p50_ms": self.latency_quantile(0.50) * 1e3,
+            "latency_p95_ms": self.latency_quantile(0.95) * 1e3,
+            "latency_p99_ms": self.latency_quantile(0.99) * 1e3,
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "generations_observed": len(self.generations),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadReport(requests={self.requests}, qps={self.qps:.0f}, "
+            f"p99={self.latency_quantile(0.99) * 1e3:.2f}ms, "
+            f"failures={self.failures}, torn={self.torn_reads})"
+        )
+
+
+class _Audit:
+    """Shared cross-worker state: the torn-read ledger."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.generations: Dict[int, str] = {}
+        self.torn = 0
+
+    def observe(self, generation: int, fingerprint: str) -> None:
+        with self.lock:
+            known = self.generations.setdefault(generation, fingerprint)
+            if known != fingerprint:
+                self.torn += 1
+
+
+def _worker(
+    host: str,
+    port: int,
+    pairs_pool: np.ndarray,
+    measure: str,
+    batch_pairs: int,
+    stop_at: float,
+    timeout: float,
+    seed: int,
+    record_samples: int,
+    out_latencies: List[float],
+    out_statuses: Dict[int, int],
+    out_samples: List[ScoredSample],
+    out_errors: List[str],
+    counters: List[int],
+    audit: _Audit,
+) -> None:
+    rng = np.random.default_rng(seed)
+    connection: Optional[http.client.HTTPConnection] = None
+    while time.monotonic() < stop_at:
+        rows = rng.integers(0, len(pairs_pool), size=batch_pairs)
+        pairs = pairs_pool[rows]
+        body = json.dumps({"pairs": pairs.tolist(), "measure": measure})
+        started = time.monotonic()
+        try:
+            if connection is None:
+                connection = http.client.HTTPConnection(host, port, timeout=timeout)
+            connection.request(
+                "POST", "/score", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException) as error:
+            counters[0] += 1  # requests
+            counters[1] += 1  # failures
+            if len(out_errors) < 20:
+                out_errors.append(f"{type(error).__name__}: {error}")
+            if connection is not None:
+                connection.close()
+            connection = None
+            continue
+        elapsed = time.monotonic() - started
+        counters[0] += 1
+        out_statuses[status] = out_statuses.get(status, 0) + 1
+        if status != 200:
+            counters[1] += 1
+            if len(out_errors) < 20:
+                out_errors.append(f"HTTP {status}: {payload[:120]!r}")
+            continue
+        out_latencies.append(elapsed)
+        counters[2] += len(pairs)
+        try:
+            document = json.loads(payload)
+            generation = int(document["generation"])
+            fingerprint = document["fingerprint"]
+            scores = np.array(
+                [row["score"] for row in document["results"]], dtype=np.float64
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            counters[1] += 1
+            if len(out_errors) < 20:
+                out_errors.append(f"bad response body: {error}")
+            continue
+        if len(scores) != len(pairs):
+            counters[1] += 1
+            if len(out_errors) < 20:
+                out_errors.append(
+                    f"result length {len(scores)} != batch size {len(pairs)}"
+                )
+            continue
+        audit.observe(generation, fingerprint)
+        if len(out_samples) < record_samples:
+            out_samples.append(
+                ScoredSample(generation, fingerprint, measure, pairs.copy(), scores)
+            )
+    if connection is not None:
+        connection.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    pairs_pool,
+    *,
+    measure: str = "jaccard",
+    workers: int = 4,
+    duration: float = 5.0,
+    batch_pairs: int = 16,
+    record_samples: int = 0,
+    seed: int = 0,
+    timeout: float = 10.0,
+) -> LoadReport:
+    """Drive ``host:port`` closed-loop and audit every response.
+
+    ``pairs_pool`` is an ``(n, 2)`` array of candidate pairs; each
+    request draws ``batch_pairs`` rows from it at random (with
+    replacement).  ``record_samples`` is *per worker*: each worker
+    keeps its first that-many full responses for offline re-scoring.
+    Workers share one torn-read ledger, so a swap that leaks across
+    connections is still caught.
+    """
+    pool = np.asarray(pairs_pool, dtype=np.int64)
+    if pool.ndim != 2 or pool.shape[1] != 2 or len(pool) == 0:
+        raise ValueError(f"pairs_pool must be a non-empty (n, 2) array, got {pool.shape}")
+    audit = _Audit()
+    per_worker: List[Tuple[List[float], Dict[int, int], List[ScoredSample], List[str], List[int]]] = []
+    threads = []
+    stop_at = time.monotonic() + duration
+    started = time.monotonic()
+    for index in range(workers):
+        state: Tuple[List[float], Dict[int, int], List[ScoredSample], List[str], List[int]] = (
+            [],
+            {},
+            [],
+            [],
+            [0, 0, 0],
+        )
+        per_worker.append(state)
+        thread = threading.Thread(
+            target=_worker,
+            args=(
+                host,
+                port,
+                pool,
+                measure,
+                batch_pairs,
+                stop_at,
+                timeout,
+                seed * 1000 + index,
+                record_samples,
+                *state,
+                audit,
+            ),
+            name=f"repro-loadgen-{index}",
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    latencies = np.array(
+        [value for state in per_worker for value in state[0]], dtype=np.float64
+    )
+    statuses: Dict[int, int] = {}
+    for state in per_worker:
+        for status, count in state[1].items():
+            statuses[status] = statuses.get(status, 0) + count
+    samples = [sample for state in per_worker for sample in state[2]]
+    errors = [error for state in per_worker for error in state[3]][:20]
+    return LoadReport(
+        requests=sum(state[4][0] for state in per_worker),
+        failures=sum(state[4][1] for state in per_worker),
+        torn_reads=audit.torn,
+        pairs_scored=sum(state[4][2] for state in per_worker),
+        elapsed=elapsed,
+        status_counts=statuses,
+        generations=dict(audit.generations),
+        latencies=latencies,
+        samples=samples,
+        errors=errors,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.serve.loadgen HOST:PORT`` — ad-hoc load runs."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="closed-loop load for a repro server")
+    parser.add_argument("target", help="host:port of a running serve instance")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--batch-pairs", type=int, default=16)
+    parser.add_argument("--measure", default="jaccard")
+    parser.add_argument("--max-vertex", type=int, default=1000,
+                        help="pairs are drawn uniformly from [0, max-vertex)")
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args(argv)
+    host, _, port_text = arguments.target.rpartition(":")
+    rng = np.random.default_rng(arguments.seed)
+    pool = rng.integers(0, arguments.max_vertex, size=(4096, 2))
+    report = run_load(
+        host or "127.0.0.1",
+        int(port_text),
+        pool,
+        measure=arguments.measure,
+        workers=arguments.workers,
+        duration=arguments.duration,
+        batch_pairs=arguments.batch_pairs,
+        seed=arguments.seed,
+    )
+    print(json.dumps(report.summary(), indent=2))
+    return 0 if report.failures == 0 and report.torn_reads == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

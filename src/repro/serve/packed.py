@@ -25,6 +25,7 @@ other.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import Optional, Sequence, Union
 
@@ -246,6 +247,60 @@ class PackedSketches(object):
             cached = weight_fn(self.witness_degree_matrix())
             self._weight_cache[name] = cached
         return cached
+
+    def fingerprint(self) -> str:
+        """sha256 hex digest over every packed array.
+
+        Two stores share a fingerprint iff their matrices are
+        bit-identical, so this is the serving tier's *generation
+        identity*: every response of the HTTP server carries the
+        fingerprint of the store that answered it, and a reader that
+        ever saw scores from one generation tagged with another
+        generation's fingerprint has witnessed a torn hot-swap (the
+        atomicity suite and ``bench_e17_serving`` assert this never
+        happens).  Mirrors
+        :func:`repro.stream.casebook.sketch_fingerprint` on the ingest
+        side, but over the packed layout.
+        """
+        digest = hashlib.sha256()
+        for array in (self.vertex_ids, self.values, self.degrees, self.update_counts):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        if self.witnesses is not None:
+            digest.update(np.ascontiguousarray(self.witnesses).tobytes())
+        return digest.hexdigest()
+
+    def to_predictor(self) -> MinHashLinkPredictor:
+        """Reconstruct a live predictor from the packed snapshot.
+
+        The inverse of :meth:`from_predictor` (exact-degree
+        configurations only — the pack does not carry Count-Min
+        tables): the result answers every query identically to the
+        predictor that was packed, and round-trips back to an equal
+        :meth:`fingerprint`.  This is how the serving benchmark
+        recomputes scores *offline* for a generation it only knows as
+        packed arrays.
+        """
+        from repro.core.config import SketchConfig
+        from repro.core.degrees import ExactDegrees
+        from repro.sketches.minhash import KMinHash
+
+        config = SketchConfig(
+            k=self.k, seed=self.seed, track_witnesses=self.witnesses is not None
+        )
+        predictor = MinHashLinkPredictor(config)
+        degree_table = predictor._degrees
+        if not isinstance(degree_table, ExactDegrees):  # pragma: no cover
+            raise SketchStateError("to_predictor requires exact degrees")
+        for row, vertex in enumerate(self.vertex_ids.tolist()):
+            predictor._sketches[vertex] = KMinHash.from_arrays(
+                predictor.bank,
+                self.values[row],
+                self.witnesses[row] if self.witnesses is not None else None,
+                update_count=int(self.update_counts[row]),
+            )
+            if self.degrees[row]:
+                degree_table._counts[vertex] = int(self.degrees[row])
+        return predictor
 
     def nominal_bytes(self) -> int:
         """Packed size of the matrices (the serving-tier memory cost)."""

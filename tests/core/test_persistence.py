@@ -184,3 +184,61 @@ class TestValidation:
         np.savez_compressed(path, **fields)
         with pytest.raises(ConfigurationError, match="version"):
             load_predictor(path)
+
+
+class TestLoadErrorContract:
+    """The operator-facing load errors: wrong file vs corrupt vs
+    incompatible, each with a message that names the problem."""
+
+    def _saved_fields(self, tmp_path, **config):
+        predictor = MinHashLinkPredictor(SketchConfig(k=8, seed=1, **config))
+        predictor.process(from_pairs(TOY_EDGES))
+        path = checkpoint_path(tmp_path)
+        save_predictor(predictor, path)
+        with np.load(path) as archive:
+            fields = {name: archive[name] for name in archive.files}
+        return path, fields
+
+    def _rewrite(self, path, fields):
+        """Re-checksum and rewrite, so only the *semantic* change is
+        visible to the loader (not a checksum mismatch)."""
+        from repro.core.persistence import _payload_checksum
+
+        fields.pop("sha256", None)
+        fields["sha256"] = np.frombuffer(
+            bytes.fromhex(_payload_checksum(fields)), dtype=np.uint8
+        )
+        np.savez_compressed(path, **fields)
+
+    def test_non_checkpoint_npz_names_missing_fields(self, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path = tmp_path / "model.npz"
+        np.savez(path, weights=np.arange(4.0), bias=np.zeros(2))
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            load_predictor(path)
+        message = str(excinfo.value)
+        assert "not a predictor checkpoint archive" in message
+        # Both what's absent and what the file actually holds.
+        assert "missing field(s)" in message
+        assert "values" in message and "vertex_ids" in message
+        assert "weights" in message
+
+    def test_single_missing_field_rejected_before_checksum(self, tmp_path):
+        from repro.errors import CheckpointCorruptError
+
+        path, fields = self._saved_fields(tmp_path)
+        del fields["degrees"]
+        self._rewrite(path, fields)
+        with pytest.raises(CheckpointCorruptError, match="missing field"):
+            load_predictor(path)
+
+    def test_incompatible_config_wrapped_with_context(self, tmp_path):
+        path, fields = self._saved_fields(tmp_path)
+        fields["k"] = np.int64(0)
+        self._rewrite(path, fields)
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_predictor(path)
+        message = str(excinfo.value)
+        assert "incompatible sketch configuration" in message
+        assert "k must be positive" in message

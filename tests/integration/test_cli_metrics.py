@@ -142,3 +142,46 @@ class TestMonitor:
         path.write_text("definitely not json\n")
         assert main(["monitor", str(path)]) == 2
         assert "not JSON" in capsys.readouterr().err
+
+
+class TestMonitorUrl:
+    """``monitor --url`` — scraping a live server instead of a file."""
+
+    def test_scrapes_live_server(self, capsys):
+        from repro.serve.server import SketchServer
+        from tests.serve.test_server import ServerHarness, warm_predictor
+
+        harness = ServerHarness(SketchServer(warm_predictor(), port=0))
+        try:
+            # One scored request so the counters are non-trivial.
+            harness.score([[1, 2]])
+            url = f"http://127.0.0.1:{harness.server.port}/metrics"
+            assert main(["monitor", "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert url in out  # the table is titled with its source
+            assert "http_requests_total" in out
+            assert "serve_generation" in out
+        finally:
+            harness.shutdown()
+
+    def test_file_and_url_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snapshot(MetricsRegistry(), timestamp=0.0)))
+        assert main(["monitor", str(path), "--url", "http://127.0.0.1:1/metrics"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_neither_file_nor_url_is_an_error(self, capsys):
+        assert main(["monitor"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreachable_url_is_rc2_not_traceback(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        assert main(["monitor", "--url", f"http://127.0.0.1:{dead_port}/metrics"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err

@@ -1,0 +1,208 @@
+"""Subprocess-level tests for the ``serve`` subcommand.
+
+The operator contract is process-shaped: an announce line with the
+bound URL on stdout, exit code 0 after a SIGTERM drain, and rc=2 with
+a clear one-line error (never a traceback) when the target is missing
+or the flag combination is incoherent.  In-process ``main([...])``
+calls cannot pin the signal path down, so these run the real entry
+point in a child process.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*argv, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=cli_env(),
+        timeout=timeout,
+    )
+
+
+@pytest.fixture()
+def edge_file(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "edges.txt"
+    rng = np.random.default_rng(11)
+    with path.open("w", encoding="utf-8") as handle:
+        for u, v in rng.integers(0, 40, size=(400, 2)).tolist():
+            handle.write(f"{u} {v}\n")
+    return path
+
+
+@pytest.fixture()
+def checkpoint_dir(tmp_path, edge_file):
+    directory = tmp_path / "ckpt"
+    proc = run_cli(
+        "ingest", str(edge_file), "--k", "16",
+        "--checkpoint-dir", str(directory), "--checkpoint-every", "100",
+    )
+    assert proc.returncode == 0, proc.stderr
+    return directory
+
+
+class ServeProcess:
+    """``serve`` in a child process, port parsed from the announce line."""
+
+    def __init__(self, *argv):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *argv, "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=cli_env(),
+        )
+        announce = self.proc.stdout.readline().strip()
+        assert announce.startswith("serving http://"), (
+            f"expected announce line, got {announce!r}; "
+            f"stderr={self.proc.stderr.read()!r}"
+        )
+        self.url = announce.split(" ", 1)[1]
+        self.port = int(self.url.rsplit(":", 1)[1])
+
+    def get_json(self, path):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def wait_ready(self, timeout=20.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                status, body = self.get_json("/readyz")
+            except OSError:
+                time.sleep(0.05)
+                continue
+            if status == 200 and body.get("ready"):
+                return True
+            time.sleep(0.05)
+        return False
+
+    def terminate(self, timeout=30):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+class TestServeLifecycle:
+    def test_static_serve_scores_and_drains_on_sigterm(self, checkpoint_dir):
+        server = ServeProcess("--checkpoint-dir", str(checkpoint_dir))
+        try:
+            assert server.wait_ready()
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                connection.request(
+                    "POST", "/score",
+                    body=json.dumps({"pairs": [[1, 2], [3, 4]]}),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                body = json.loads(response.read())
+            finally:
+                connection.close()
+            assert response.status == 200
+            assert len(body["results"]) == 2
+            assert body["generation"] == 1
+            assert len(body["fingerprint"]) == 64
+            rc = server.terminate()
+            assert rc == 0
+        finally:
+            server.kill()
+
+    def test_live_serve_ingests_and_checkpoints_on_drain(self, edge_file, tmp_path):
+        ckpt = tmp_path / "live-ckpt"
+        server = ServeProcess(
+            str(edge_file),
+            "--k", "16",
+            "--checkpoint-dir", str(ckpt),
+            "--refresh-every", "0.2",
+        )
+        try:
+            assert server.wait_ready()
+            # Ready means "a generation is published", not "feed fully
+            # ingested" — poll the offset until the worker catches up.
+            deadline = time.monotonic() + 20
+            while True:
+                status, body = server.get_json("/readyz")
+                assert status == 200 and body["ready"]
+                if body["ingest_offset"] >= 400:
+                    break
+                assert time.monotonic() < deadline, (
+                    f"ingest stalled at offset {body['ingest_offset']}"
+                )
+                time.sleep(0.1)
+            rc = server.terminate()
+            assert rc == 0
+            # The drain wrote a final checkpoint for the live runner.
+            assert list(ckpt.glob("checkpoint-*.npz"))
+        finally:
+            server.kill()
+
+
+class TestServeErrors:
+    def test_no_target_is_rc2(self):
+        proc = run_cli("serve")
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+
+    def test_resume_without_source_is_rc2(self, checkpoint_dir):
+        proc = run_cli("serve", "--checkpoint-dir", str(checkpoint_dir), "--resume")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+
+    def test_both_checkpoint_flags_without_source_is_rc2(self, checkpoint_dir):
+        proc = run_cli(
+            "serve",
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--load-checkpoint", str(checkpoint_dir / "whatever.npz"),
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+
+    def test_junk_checkpoint_is_rc2_with_clear_error(self, tmp_path):
+        import numpy as np
+
+        junk_dir = tmp_path / "junk"
+        junk_dir.mkdir()
+        np.savez(junk_dir / "checkpoint-1.npz", noise=np.arange(3))
+        proc = run_cli("serve", "--checkpoint-dir", str(junk_dir))
+        assert proc.returncode == 2
+        assert "not a predictor checkpoint archive" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -1,0 +1,152 @@
+"""The closed-loop load generator: auditing, sampling, failure paths.
+
+``run_load`` is itself a measurement instrument — the E17 benchmark
+gates on what it reports — so these tests pin its accounting: every
+response audited against the torn-read ledger, samples that re-score
+bit-identically offline, and honest failure counts when the target is
+down.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.loadgen import LoadReport, run_load, _Audit
+from repro.serve.server import SketchServer
+
+from .test_server import ServerHarness, warm_predictor
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    harness = ServerHarness(SketchServer(warm_predictor(), port=0, keep_history=4))
+    yield harness
+    harness.shutdown()
+
+
+class TestRunLoad:
+    def test_clean_run_against_live_server(self, live_server):
+        pool = np.random.default_rng(0).integers(0, 50, size=(256, 2))
+        report = run_load(
+            "127.0.0.1",
+            live_server.server.port,
+            pool,
+            workers=2,
+            duration=0.6,
+            batch_pairs=4,
+            record_samples=2,
+            seed=1,
+        )
+        assert report.requests > 0
+        assert report.failures == 0
+        assert report.torn_reads == 0
+        assert report.status_counts == {200: report.requests}
+        assert report.pairs_scored == report.requests * 4
+        assert len(report.latencies) == report.requests
+        assert report.qps > 0
+        # One static generation, one fingerprint.
+        generation = live_server.server.generation
+        assert report.generations == {generation.number: generation.fingerprint}
+
+    def test_samples_rescore_bit_identically(self, live_server):
+        pool = np.random.default_rng(1).integers(0, 50, size=(64, 2))
+        report = run_load(
+            "127.0.0.1",
+            live_server.server.port,
+            pool,
+            workers=1,
+            duration=0.4,
+            batch_pairs=8,
+            record_samples=3,
+            seed=2,
+        )
+        assert 0 < len(report.samples) <= 3
+        engine = QueryEngine(live_server.server.predictor)
+        for sample in report.samples:
+            assert sample.measure == "jaccard"
+            offline = engine.score_many(sample.pairs, sample.measure)
+            assert np.array_equal(offline, sample.scores)
+
+    def test_summary_has_gate_fields(self, live_server):
+        pool = np.asarray([[1, 2], [3, 4]])
+        report = run_load(
+            "127.0.0.1", live_server.server.port, pool,
+            workers=1, duration=0.2, batch_pairs=2,
+        )
+        summary = report.summary()
+        for key in (
+            "requests", "failures", "torn_reads", "qps",
+            "latency_p99_ms", "status_counts", "generations_observed",
+        ):
+            assert key in summary
+
+    def test_unreachable_target_counts_failures(self):
+        # Bind-then-close gives a port with nothing listening.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        report = run_load(
+            "127.0.0.1",
+            dead_port,
+            np.asarray([[1, 2]]),
+            workers=1,
+            duration=0.2,
+            batch_pairs=1,
+            timeout=0.5,
+        )
+        assert report.requests > 0
+        assert report.failures == report.requests
+        assert report.errors  # the failure reason is surfaced, not swallowed
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError, match=r"non-empty \(n, 2\)"):
+            run_load("127.0.0.1", 1, np.zeros((0, 2)))
+        with pytest.raises(ValueError, match=r"non-empty \(n, 2\)"):
+            run_load("127.0.0.1", 1, np.zeros((4, 3)))
+
+
+class TestAudit:
+    def test_detects_torn_generation(self):
+        audit = _Audit()
+        audit.observe(1, "aaa")
+        audit.observe(1, "aaa")
+        audit.observe(2, "bbb")
+        assert audit.torn == 0
+        audit.observe(1, "bbb")  # same generation, different pack: torn
+        assert audit.torn == 1
+
+    def test_ledger_is_thread_safe(self):
+        audit = _Audit()
+
+        def hammer(fingerprint):
+            for _ in range(500):
+                audit.observe(7, fingerprint)
+
+        threads = [
+            threading.Thread(target=hammer, args=(fp,)) for fp in ("x", "x", "x")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert audit.torn == 0
+        assert audit.generations == {7: "x"}
+
+
+class TestLoadReport:
+    def test_empty_latencies_quantile_is_zero(self):
+        report = LoadReport(
+            requests=0, failures=0, torn_reads=0, pairs_scored=0,
+            elapsed=0.0, status_counts={}, generations={},
+            latencies=np.array([]), samples=[], errors=[],
+        )
+        assert report.latency_quantile(0.99) == 0.0
+        assert report.qps == 0.0
+        assert report.pairs_per_second == 0.0

@@ -33,6 +33,7 @@ class TestSurface:
             "evaluate",
             "ingest",
             "open_engine",
+            "serve",
         ]
 
     def test_facade_reexported_from_package_root(self):
