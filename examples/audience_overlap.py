@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import random
 
-from repro.core import DirectedExactOracle, DirectedMinHashPredictor, SketchConfig
+from repro import SketchConfig
+from repro.core import DirectedExactOracle, DirectedMinHashPredictor
 from repro.eval.reporting import format_table
 from repro.graph.generators import chung_lu
 

@@ -13,10 +13,11 @@ Run:  python examples/coauthorship_recommendation.py
 
 from __future__ import annotations
 
-from repro.core import MinHashLinkPredictor, SketchConfig
+from repro import MinHashLinkPredictor, SketchConfig
 from repro.eval.experiments import ranking_quality, temporal_ranking_task
 from repro.eval.reporting import format_table
-from repro.exact import ExactOracle, NeighborReservoirBaseline
+from repro import ExactOracle
+from repro.exact import NeighborReservoirBaseline
 from repro.graph import datasets
 
 

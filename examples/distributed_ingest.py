@@ -16,10 +16,9 @@ from __future__ import annotations
 import time
 from multiprocessing import Pool
 
-from repro.core import MinHashLinkPredictor, SketchConfig
+from repro import ExactOracle, MinHashLinkPredictor, SketchConfig
 from repro.eval.candidates import sample_two_hop_pairs
 from repro.eval.reporting import format_table
-from repro.exact import ExactOracle
 from repro.graph import datasets
 
 CONFIG = SketchConfig(k=128, seed=99)

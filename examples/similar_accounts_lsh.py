@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import random
 
-from repro.core import LshCandidateIndex, MinHashLinkPredictor, SketchConfig
+from repro import MinHashLinkPredictor, SketchConfig
+from repro.core import LshCandidateIndex
 from repro.core.lshindex import bands_for_threshold
 from repro.eval.reporting import format_table
 from repro.graph import datasets, from_pairs, shuffled

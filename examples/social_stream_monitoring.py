@@ -17,10 +17,9 @@ Run:  python examples/social_stream_monitoring.py
 
 from __future__ import annotations
 
-from repro.core import MinHashLinkPredictor, SketchConfig
+from repro import ExactOracle, MinHashLinkPredictor, SketchConfig
 from repro.eval.candidates import sample_two_hop_pairs
 from repro.eval.reporting import format_table
-from repro.exact import ExactOracle
 from repro.graph import StreamStats, checkpoints, datasets
 
 

@@ -11,12 +11,11 @@ Run:  python examples/space_accuracy_tradeoff.py
 
 from __future__ import annotations
 
-from repro.core import MinHashLinkPredictor, SketchConfig
+from repro import ExactOracle, MinHashLinkPredictor, SketchConfig
 from repro.eval.candidates import sample_two_hop_pairs
 from repro.eval.experiments import accuracy_profile
 from repro.eval.metrics import mean_absolute_error
 from repro.eval.reporting import format_table
-from repro.exact import ExactOracle
 from repro.graph import datasets
 
 MEASURES = ("jaccard", "common_neighbors", "adamic_adar")

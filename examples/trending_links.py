@@ -19,11 +19,10 @@ from __future__ import annotations
 
 import random
 
-from repro.core import MinHashLinkPredictor, SketchConfig
+from repro import ExactOracle, MinHashLinkPredictor, SketchConfig
 from repro.core.windowed import WindowedMinHashPredictor
 from repro.eval.metrics import mean_relative_error
 from repro.eval.reporting import format_table
-from repro.exact import ExactOracle
 from repro.graph.generators import planted_partition
 from repro.graph.stream import Edge
 

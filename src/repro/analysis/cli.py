@@ -1,0 +1,110 @@
+"""Command line entry point for repro-lint.
+
+Usage::
+
+    python -m repro.analysis src/repro examples
+    python -m repro.analysis src/repro --format json --output findings.json
+    python -m repro.analysis src/repro --write-baseline lint-baseline.json
+
+Exit codes: ``0`` clean (every finding suppressed or baselined),
+``1`` new findings, ``2`` usage/configuration error (missing target,
+unreadable baseline).  The default baseline is ``lint-baseline.json``
+in the working directory *when it exists* — CI and local runs agree
+without flags, and a missing baseline simply means "no accepted
+findings".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import Baseline, LintRunner
+from repro.errors import ConfigurationError
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: AST invariant checks for the repro codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="files or directories to lint",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; every finding is a new finding",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write current unsuppressed findings as the baseline and exit 0 "
+             "(each entry still needs a justification filled in by hand)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    return parser
+
+
+def _load_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(Path(args.baseline))
+    default = Path(DEFAULT_BASELINE)
+    if default.exists():
+        return Baseline.load(default)
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(sys.argv[1:]) if argv is None else list(argv))
+    runner = LintRunner()
+    try:
+        if args.write_baseline is not None:
+            findings, _suppressed, checked = runner.run([Path(p) for p in args.paths])
+            Baseline.from_findings(findings, justification="TODO: justify").save(
+                Path(args.write_baseline)
+            )
+            print(
+                f"repro-lint: wrote {len(findings)} finding(s) from "
+                f"{checked} file(s) to {args.write_baseline}"
+            )
+            return 0
+        baseline = _load_baseline(args)
+        report = runner.report([Path(p) for p in args.paths], baseline)
+    except ConfigurationError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+    rendered = report.render_json() if args.format == "json" else report.render_text()
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        summary: List[str] = [
+            f"repro-lint: report written to {args.output} "
+            f"({len(report.new)} new finding(s))"
+        ]
+        print("\n".join(summary))
+    else:
+        print(rendered)
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,346 @@
+"""The lint engine: file discovery, rule driving, suppressions, baseline.
+
+The engine is deliberately small and stdlib-only — ``ast`` parses, the
+rules visit, and three mechanisms keep the gate honest rather than
+noisy:
+
+* **per-line suppressions** — ``# repro-lint: disable=RL001`` (or a
+  comma list, or ``all``) on the offending line silences that line;
+  the convention is to justify every suppression in an adjacent
+  comment, because a suppression *is* a documented exception to a
+  contract;
+* **a checked-in baseline** — accepted legacy findings, matched by
+  ``(file, rule, message)`` so they survive unrelated line drift; only
+  findings *outside* the baseline fail the run (rc=1), which is what
+  lets a new rule land before its whole sweep does;
+* **stale-entry reporting** — baseline entries that no longer match
+  are listed so the baseline shrinks monotonically instead of fossilizing.
+
+Output is text (``file:line: RLxxx message``, clickable in editors and
+CI logs) or JSON (schema pinned by ``tests/analysis``) for artifact
+upload and tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintReport",
+    "LintRunner",
+    "ModuleContext",
+    "iter_python_files",
+]
+
+#: ``# repro-lint: disable=RL001`` / ``disable=RL001,RL004`` / ``disable=all``
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class Finding(NamedTuple):
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} {self.message}"
+
+
+class ModuleContext:
+    """Everything a rule may need about one parsed module.
+
+    ``rel`` is the path findings carry (posix, relative to the scan
+    invocation's working directory when possible).  ``package_rel`` is
+    the path *inside* the repro package (``core/block.py``) — or, for
+    fixture trees that do not contain a ``repro`` directory, relative
+    to the scanned root — which is what path-scoped rules match on.
+    """
+
+    def __init__(self, path: Path, rel: str, package_rel: str, tree: ast.Module, lines: List[str]) -> None:
+        self.path = path
+        self.rel = rel
+        self.package_rel = package_rel
+        self.tree = tree
+        self.lines = lines
+
+    @property
+    def is_example(self) -> bool:
+        return "examples" in Path(self.rel).parts
+
+    def finding(self, node_or_line, rule_id: str, message: str) -> Finding:
+        line = node_or_line if isinstance(node_or_line, int) else getattr(node_or_line, "lineno", 1)
+        return Finding(self.rel, line, rule_id, message)
+
+    def suppressed_rules(self, line: int) -> frozenset:
+        """Rule ids disabled on ``line`` (1-based); ``{"all"}`` means every rule."""
+        if not 1 <= line <= len(self.lines):
+            return frozenset()
+        match = _SUPPRESS_RE.search(self.lines[line - 1])
+        if match is None:
+            return frozenset()
+        return frozenset(token.strip() for token in match.group(1).split(",") if token.strip())
+
+
+class BaselineEntry(NamedTuple):
+    """One accepted legacy finding, with its written-down justification."""
+
+    file: str
+    rule_id: str
+    message: str
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.file, self.rule_id, self.message)
+
+
+class Baseline:
+    """The checked-in set of accepted findings (a multiset of keys)."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(f"cannot read baseline {path}: {error}") from None
+        if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+            raise ConfigurationError(
+                f'baseline {path} must be a JSON object with an "entries" list'
+            )
+        entries = []
+        for raw in payload["entries"]:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        file=raw["file"],
+                        rule_id=raw["rule"],
+                        message=raw["message"],
+                        justification=raw.get("justification", ""),
+                    )
+                )
+            except (TypeError, KeyError) as error:
+                raise ConfigurationError(
+                    f"baseline {path} entry {raw!r} is missing {error}"
+                ) from None
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], justification: str = "") -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(f.file, f.rule_id, f.message, justification)
+                for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "comment": (
+                "Accepted repro-lint findings. Every entry needs a justification; "
+                "new findings never land here without one. See docs/LINT.md."
+            ),
+            "entries": [
+                {
+                    "file": entry.file,
+                    "rule": entry.rule_id,
+                    "message": entry.message,
+                    "justification": entry.justification,
+                }
+                for entry in self.entries
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition ``findings`` into (new, baselined) and list stale entries."""
+        budget = Counter(entry.key() for entry in self.entries)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = (finding.file, finding.rule_id, finding.message)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        # Each surplus key is stale once per unmatched occurrence.
+        listed: Counter = Counter()
+        stale_entries = []
+        for entry in self.entries:
+            key = entry.key()
+            if listed[key] < budget.get(key, 0):
+                listed[key] += 1
+                stale_entries.append(entry)
+        return new, baselined, stale_entries
+
+
+class LintReport(NamedTuple):
+    """The outcome of one engine run, pre-baseline-split included."""
+
+    findings: List[Finding]        # all unsuppressed findings, stable order
+    new: List[Finding]             # findings not covered by the baseline
+    baselined: List[Finding]
+    stale_baseline: List[BaselineEntry]
+    suppressed: int
+    checked_files: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        summary = (
+            f"repro-lint: {self.checked_files} files, "
+            f"{len(self.new)} new finding(s), {len(self.baselined)} baselined, "
+            f"{self.suppressed} suppressed"
+        )
+        if self.stale_baseline:
+            summary += f", {len(self.stale_baseline)} stale baseline entr(ies)"
+        lines.append(summary)
+        for entry in self.stale_baseline:
+            lines.append(f"  stale baseline: {entry.file}: {entry.rule_id} {entry.message}")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        def encode(finding: Finding, baselined: bool) -> Dict[str, object]:
+            return {
+                "file": finding.file,
+                "line": finding.line,
+                "rule": finding.rule_id,
+                "message": finding.message,
+                "baselined": baselined,
+            }
+
+        payload = {
+            "version": 1,
+            "checked_files": self.checked_files,
+            "new": len(self.new),
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed,
+            "exit_code": self.exit_code,
+            "findings": [encode(f, False) for f in self.new]
+            + [encode(f, True) for f in self.baselined],
+            "stale_baseline": [
+                {"file": e.file, "rule": e.rule_id, "message": e.message}
+                for e in self.stale_baseline
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" in child.parts:
+                    continue
+                seen.setdefault(child, None)
+        elif path.suffix == ".py" and path.exists():
+            seen.setdefault(path, None)
+        elif not path.exists():
+            raise ConfigurationError(f"lint target {path} does not exist")
+    return sorted(seen)
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _package_relative(path: Path, roots: Sequence[Path]) -> str:
+    """The path inside the repro package (or the nearest scanned root)."""
+    resolved = path.resolve()
+    parts = resolved.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    for root in roots:
+        root = root.resolve()
+        try:
+            return resolved.relative_to(root).as_posix()
+        except ValueError:
+            continue
+    return resolved.name
+
+
+class LintRunner:
+    """Drive every rule over every file; one parse per module."""
+
+    def __init__(self, rules: Optional[Sequence] = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+
+    def run(self, paths: Sequence[Path]) -> Tuple[List[Finding], int, int]:
+        """Lint ``paths``; returns (unsuppressed findings, suppressed count, files)."""
+        targets = [Path(p) for p in paths]
+        roots = [p for p in targets if p.is_dir()] or [Path.cwd()]
+        files = iter_python_files(targets)
+        for rule in self.rules:
+            rule.reset()
+        raw: List[Finding] = []
+        contexts: List[ModuleContext] = []
+        for path in files:
+            source = path.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            rel = _relative(path)
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as error:
+                raw.append(
+                    Finding(rel, error.lineno or 1, "RL000", f"file does not parse: {error.msg}")
+                )
+                continue
+            ctx = ModuleContext(path, rel, _package_relative(path, roots), tree, lines)
+            contexts.append(ctx)
+            for rule in self.rules:
+                raw.extend(rule.check_module(ctx))
+        for rule in self.rules:
+            raw.extend(rule.finalize())
+        raw.sort(key=lambda f: (f.file, f.line, f.rule_id, f.message))
+        by_file = {ctx.rel: ctx for ctx in contexts}
+        findings: List[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            ctx = by_file.get(finding.file)
+            if ctx is not None:
+                disabled = ctx.suppressed_rules(finding.line)
+                if "all" in disabled or finding.rule_id in disabled:
+                    suppressed += 1
+                    continue
+            findings.append(finding)
+        return findings, suppressed, len(files)
+
+    def report(
+        self, paths: Sequence[Path], baseline: Optional[Baseline] = None
+    ) -> LintReport:
+        findings, suppressed, checked = self.run(paths)
+        if baseline is None:
+            baseline = Baseline()
+        new, baselined, stale = baseline.split(findings)
+        return LintReport(findings, new, baselined, stale, suppressed, checked)

@@ -1,0 +1,281 @@
+"""RL005 — the facade is the API; the API is the facade.
+
+:mod:`repro.api` is the stable, five-verb surface embedders are told
+to program against, and :mod:`repro` re-exports the supporting types.
+Deep modules stay importable for power users, but two kinds of drift
+quietly erode the contract:
+
+* a public ``def`` added to ``repro/api.py`` without an ``__all__``
+  entry (or an ``__all__`` entry whose def was renamed away) — the
+  facade's docs and its reality diverge;
+* an example or docstring snippet that imports a *facade-available*
+  name from a deep path (``from repro.core import SketchConfig``) —
+  copy-paste propagates the deep spelling, and the facade stops being
+  load-bearing.
+
+RL005 therefore checks three things:
+
+1. in ``repro/api.py``: the ``__all__`` literal is exactly the set of
+   public top-level ``def``/``class`` names;
+2. in any module with a literal ``__all__``: every entry is actually
+   bound at module top level (def, class, assignment, or import);
+3. in ``examples/`` and in ``>>>`` docstring snippets anywhere: a name
+   exported by the facade is imported *from* the facade (``repro`` or
+   ``repro.api``), never from a deep module; underscore-private names
+   are never imported in examples at all.
+
+Names the facade does **not** export (``format_table``, the dataset
+loaders, directed variants, ...) are exactly the power-user surface —
+deep imports of those are fine and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules.base import Rule
+
+__all__ = ["ApiSurfaceRule", "FACADE_MODULES"]
+
+#: Modules whose exports *are* the supported surface.
+FACADE_MODULES = ("repro", "repro.api")
+
+_SNIPPET_IMPORT_RE = re.compile(
+    r">>>\s+from\s+(repro(?:\.[A-Za-z0-9_.]+)?)\s+import\s+([A-Za-z0-9_,\s]+)"
+)
+
+
+class ApiSurfaceRule(Rule):
+    rule_id = "RL005"
+    title = "repro.api.__all__ matches its defs; examples import through the facade"
+
+    def __init__(
+        self,
+        facade_modules: Sequence[str] = FACADE_MODULES,
+        facade_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.facade_modules = tuple(facade_modules)
+        self._facade_names: Optional[FrozenSet[str]] = (
+            None if facade_names is None else frozenset(facade_names)
+        )
+
+    @property
+    def facade_names(self) -> FrozenSet[str]:
+        """Union of the facade modules' live ``__all__`` lists.
+
+        Resolved lazily from the running package so that renaming a
+        facade export immediately re-scopes the rule — the lint pass
+        checks the contract as it is, not a copy of it.
+        """
+        if self._facade_names is None:
+            import repro
+            import repro.api
+
+            self._facade_names = frozenset(repro.__all__) | frozenset(repro.api.__all__)
+        return self._facade_names
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        exported = self._all_literal(ctx.tree)
+        if ctx.package_rel == "api.py":
+            findings.extend(self._check_facade_module(ctx, exported))
+        if exported is not None:
+            findings.extend(self._check_all_resolves(ctx, exported))
+        if ctx.is_example:
+            findings.extend(self._check_example_imports(ctx))
+        findings.extend(self._check_docstring_snippets(ctx))
+        return findings
+
+    # -- facade definition ----------------------------------------------
+
+    @staticmethod
+    def _all_literal(tree: ast.Module) -> Optional[ast.Assign]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == "__all__" \
+                    and isinstance(node.value, (ast.List, ast.Tuple)):
+                return node
+        return None
+
+    def _check_facade_module(
+        self, ctx: ModuleContext, exported: Optional[ast.Assign]
+    ) -> Iterable[Finding]:
+        if exported is None:
+            return [
+                ctx.finding(
+                    1, self.rule_id,
+                    "repro/api.py must pin its surface with a literal __all__",
+                )
+            ]
+        names: Set[str] = set()
+        for element in exported.value.elts:  # type: ignore[union-attr]
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.add(element.value)
+        public_defs = {
+            node.name
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        }
+        findings: List[Finding] = []
+        for missing in sorted(public_defs - names):
+            findings.append(
+                ctx.finding(
+                    exported, self.rule_id,
+                    f"public def {missing!r} in repro/api.py is not listed in "
+                    f"__all__ (the facade surface must be exact — export it or "
+                    f"prefix it with an underscore)",
+                )
+            )
+        for extra in sorted(names - public_defs):
+            if self._bound_at_top_level(ctx.tree, extra):
+                continue  # re-exported value (e.g. a dataclass imported here)
+            findings.append(
+                ctx.finding(
+                    exported, self.rule_id,
+                    f"__all__ entry {extra!r} in repro/api.py has no public "
+                    f"definition behind it",
+                )
+            )
+        return findings
+
+    def _check_all_resolves(
+        self, ctx: ModuleContext, exported: ast.Assign
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for element in exported.value.elts:  # type: ignore[union-attr]
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                findings.append(
+                    ctx.finding(
+                        element, self.rule_id,
+                        "__all__ must contain only string literals",
+                    )
+                )
+                continue
+            if not self._bound_at_top_level(ctx.tree, element.value):
+                findings.append(
+                    ctx.finding(
+                        element, self.rule_id,
+                        f"__all__ entry {element.value!r} is not bound at module "
+                        f"top level (stale export?)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _bound_at_top_level(tree: ast.Module, name: str) -> bool:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name == name:
+                    return True
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return True
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.target.id == name:
+                    return True
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    if bound == name:
+                        return True
+            elif isinstance(node, (ast.If, ast.Try)):
+                # TYPE_CHECKING / optional-dependency guards
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            bound = alias.asname or alias.name.split(".", 1)[0]
+                            if bound == name:
+                                return True
+                    elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)) \
+                            and sub.name == name:
+                        return True
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Name) and target.id == name:
+                                return True
+        return False
+
+    # -- example imports ------------------------------------------------
+
+    def _check_example_imports(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        facade = self.facade_names
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            module = node.module
+            if module != "repro" and not module.startswith("repro."):
+                continue
+            deep = module not in self.facade_modules
+            for alias in node.names:
+                if alias.name.startswith("_"):
+                    findings.append(
+                        ctx.finding(
+                            node, self.rule_id,
+                            f"example imports private name {alias.name!r} from "
+                            f"{module} (examples demonstrate the supported "
+                            f"surface only)",
+                        )
+                    )
+                elif deep and alias.name in facade:
+                    findings.append(
+                        ctx.finding(
+                            node, self.rule_id,
+                            f"example imports {alias.name!r} from {module}, but "
+                            f"the facade exports it — import it from 'repro' so "
+                            f"examples exercise the supported surface",
+                        )
+                    )
+        return findings
+
+    # -- docstring snippets ---------------------------------------------
+
+    def _check_docstring_snippets(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        facade = self.facade_names
+        for owner in ast.walk(ctx.tree):
+            if not isinstance(
+                owner, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            docstring_node = self._docstring_node(owner)
+            if docstring_node is None:
+                continue
+            text = docstring_node.value
+            base_line = docstring_node.lineno
+            for offset, line in enumerate(text.splitlines()):
+                match = _SNIPPET_IMPORT_RE.search(line)
+                if match is None:
+                    continue
+                module = match.group(1)
+                if module in self.facade_modules:
+                    continue
+                imported = [name.strip() for name in match.group(2).split(",")]
+                for name in imported:
+                    if name in facade:
+                        findings.append(
+                            ctx.finding(
+                                base_line + offset, self.rule_id,
+                                f"docstring snippet imports {name!r} from "
+                                f"{module}; the facade exports it — spell the "
+                                f"snippet 'from repro import {name}'",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _docstring_node(owner: ast.AST) -> Optional[ast.Constant]:
+        body = getattr(owner, "body", None)
+        if not body:
+            return None
+        first = body[0]
+        if isinstance(first, ast.Expr) and isinstance(first.value, ast.Constant) \
+                and isinstance(first.value.value, str):
+            return first.value
+        return None

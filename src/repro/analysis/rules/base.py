@@ -1,0 +1,102 @@
+"""The rule contract and shared AST helpers.
+
+A rule is a small object with a stable ``rule_id``, a one-line
+``title``, and two hooks:
+
+* :meth:`Rule.check_module` — called once per parsed module, yields
+  :class:`~repro.analysis.engine.Finding`;
+* :meth:`Rule.finalize` — called once after every module, for checks
+  that need cross-file state (RL003's duplicate-name detection).
+
+Rules must be deterministic: same tree in, same findings out, in
+source order — the engine sorts globally, but stable per-rule output
+keeps diffs reviewable.  Configuration (which modules are hot paths,
+what the publication-set constant is called) lives in constructor
+arguments with the project's contracts as defaults, so the test suite
+can point a rule at fixture trees without monkeypatching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, ModuleContext
+
+__all__ = ["Rule", "call_name", "dotted_name", "literal_strings", "walk_functions"]
+
+
+class Rule:
+    """Base class: one invariant, one id, one catalog entry."""
+
+    rule_id = "RL000"
+    title = "abstract rule"
+
+    def reset(self) -> None:
+        """Clear cross-run state (the engine calls this before a run)."""
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The simple callee name of a call: ``f(...)`` and ``x.f(...)`` → ``f``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def literal_strings(node: ast.AST) -> Optional[List[str]]:
+    """The string elements of a literal list/tuple/set (possibly wrapped
+    in ``frozenset(...)``/``set(...)``/``tuple(...)``), else ``None``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple", "list") and len(node.args) == 1:
+        node = node.args[0]
+    if not isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        return None
+    out: List[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def walk_functions(tree: ast.Module) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """Yield ``(enclosing_class_name, function_node)`` for every def.
+
+    Nested defs report the *top-level* enclosing class (methods of a
+    class, functions at module level); closures inside a method belong
+    to that method's class for write-attribution purposes.
+    """
+
+    def visit(node: ast.AST, owner: Optional[str]) -> Iterator[Tuple[Optional[str], ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield owner, child
+                yield from visit(child, owner)
+            else:
+                yield from visit(child, owner)
+
+    yield from visit(tree, None)

@@ -1,0 +1,283 @@
+"""RL004 — the thread/asyncio publication boundary (hot-swap contract).
+
+The serving tier's core invariant is *immutable-generation publication*:
+the ingest thread builds a frozen snapshot off the event loop and
+publishes it with **one reference assignment**; the asyncio side reads
+that reference exactly once per request.  Any *other* ``self.<attr>``
+that both sides write is a latent race — exactly the class of bug an
+example-based test only catches when the interleaving cooperates.
+
+RL004 is a lightweight static race detector for that contract.  In any
+module that mixes threads and coroutines it:
+
+1. finds **thread entry points** — ``run`` methods of
+   ``threading.Thread`` subclasses and functions passed as
+   ``Thread(target=...)``;
+2. finds **event-loop entry points** — every ``async def``, plus sync
+   callables registered via ``add_signal_handler`` / ``call_soon`` /
+   ``call_soon_threadsafe`` / ``call_later``;
+3. closes both sets over same-module calls by simple name (a thread
+   calling ``server._refresh_if_due()`` drags that method — and what
+   it calls — to the thread side).  The thread-side closure does not
+   descend into ``async def`` bodies: calling a coroutine function
+   from a thread creates an object, it does not run the body;
+4. attributes every ``self.<attr> = ...`` / ``self.<attr> op= ...`` to
+   its enclosing class and side, and flags each ``(class, attr)``
+   written on **both** sides unless the attribute is named in the
+   module's declared publication set;
+5. enforces that declared publication attributes are only written by
+   plain single assignments — an ``append`` or ``+=`` publication is a
+   read-modify-write and therefore not atomic under the contract.
+
+The publication set is a module-level literal, by convention::
+
+    _PUBLICATION_ATTRS = frozenset({"_generation"})
+
+Declaring an attribute there is a reviewed statement: *this reference
+is published whole, readers resolve it once, the object behind it is
+never mutated after publication.*
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules.base import Rule, literal_strings
+
+__all__ = ["ConcurrencyBoundaryRule", "PUBLICATION_CONSTANT"]
+
+#: The module-level constant RL004 reads the publication set from.
+PUBLICATION_CONSTANT = "_PUBLICATION_ATTRS"
+
+_CALLBACK_REGISTRARS = {
+    "add_signal_handler",
+    "call_soon",
+    "call_soon_threadsafe",
+    "call_later",
+    "call_at",
+}
+
+_FuncKey = Tuple[Optional[str], str]  # (enclosing class, function name)
+
+
+class _FuncInfo:
+    __slots__ = ("node", "owner", "is_async", "calls", "writes")
+
+    def __init__(self, node: ast.AST, owner: Optional[str]) -> None:
+        self.node = node
+        self.owner = owner
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        self.calls: Set[str] = set()          # simple callee names
+        self.writes: List[Tuple[str, int, bool]] = []  # (attr, line, is_plain_assign)
+
+
+class ConcurrencyBoundaryRule(Rule):
+    rule_id = "RL004"
+    title = "cross thread/async attribute writes go through the publication set"
+
+    def __init__(self, publication_constant: str = PUBLICATION_CONSTANT) -> None:
+        self.publication_constant = publication_constant
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        functions = self._collect_functions(ctx.tree)
+        if not functions:
+            return []
+        thread_entries = self._thread_entries(ctx.tree, functions)
+        async_entries = self._async_entries(ctx.tree, functions)
+        if not thread_entries or not async_entries:
+            return []  # no boundary to cross in this module
+        published = self._publication_set(ctx.tree)
+
+        by_name: Dict[str, List[_FuncKey]] = {}
+        for key in functions:
+            by_name.setdefault(key[1], []).append(key)
+
+        thread_side = self._closure(thread_entries, functions, by_name, descend_async=False)
+        async_side = self._closure(async_entries, functions, by_name, descend_async=True)
+
+        thread_writes = self._writes(thread_side, functions)
+        async_writes = self._writes(async_side, functions)
+
+        findings: List[Finding] = []
+        for (owner, attr), thread_sites in sorted(thread_writes.items()):
+            async_sites = async_writes.get((owner, attr))
+            if async_sites is None:
+                continue
+            if attr in published:
+                continue
+            where = f"thread side line {thread_sites[0]}, async side line {async_sites[0]}"
+            findings.append(
+                ctx.finding(
+                    thread_sites[0], self.rule_id,
+                    f"self.{attr} (class {owner or '<module>'}) is written on both "
+                    f"sides of the thread/async boundary ({where}); publish it "
+                    f"through a single-assignment reference and declare it in "
+                    f"{self.publication_constant}, or keep it on one side",
+                )
+            )
+        # Published attributes must be written by plain assignment only.
+        if published:
+            for key, info in functions.items():
+                for attr, line, is_plain in info.writes:
+                    if attr in published and not is_plain:
+                        findings.append(
+                            ctx.finding(
+                                line, self.rule_id,
+                                f"publication attribute self.{attr} is written by a "
+                                f"read-modify-write; the publication contract "
+                                f"requires one plain reference assignment",
+                            )
+                        )
+        return findings
+
+    # -- collection -----------------------------------------------------
+
+    def _collect_functions(self, tree: ast.Module) -> Dict[_FuncKey, _FuncInfo]:
+        functions: Dict[_FuncKey, _FuncInfo] = {}
+
+        def visit(node: ast.AST, owner: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = _FuncInfo(child, owner)
+                    self._scan_body(child, info)
+                    functions[(owner, child.name)] = info
+                    # Nested defs attributed to the same owner.
+                    visit(child, owner)
+                else:
+                    visit(child, owner)
+
+        visit(tree, None)
+        return functions
+
+    @staticmethod
+    def _scan_body(func: ast.AST, info: _FuncInfo) -> None:
+        for node in ast.walk(func):
+            if node is func:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are collected separately
+            if isinstance(node, ast.Call):
+                callee = node.func
+                if isinstance(callee, ast.Name):
+                    info.calls.add(callee.id)
+                elif isinstance(callee, ast.Attribute):
+                    info.calls.add(callee.attr)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                plain = isinstance(node, ast.Assign)
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        info.writes.append((target.attr, node.lineno, plain))
+
+    def _thread_entries(
+        self, tree: ast.Module, functions: Dict[_FuncKey, _FuncInfo]
+    ) -> Set[_FuncKey]:
+        entries: Set[_FuncKey] = set()
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                for base in node.bases:
+                    base_name = base.id if isinstance(base, ast.Name) else (
+                        base.attr if isinstance(base, ast.Attribute) else None
+                    )
+                    if base_name == "Thread" and (node.name, "run") in functions:
+                        entries.add((node.name, "run"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            callee_name = callee.id if isinstance(callee, ast.Name) else (
+                callee.attr if isinstance(callee, ast.Attribute) else None
+            )
+            if callee_name != "Thread":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                entries.update(self._resolve_callable(keyword.value, functions))
+        return entries
+
+    def _async_entries(
+        self, tree: ast.Module, functions: Dict[_FuncKey, _FuncInfo]
+    ) -> Set[_FuncKey]:
+        entries = {key for key, info in functions.items() if info.is_async}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute) and callee.attr in _CALLBACK_REGISTRARS:
+                for arg in node.args:
+                    entries.update(self._resolve_callable(arg, functions))
+        return entries
+
+    @staticmethod
+    def _resolve_callable(
+        node: ast.AST, functions: Dict[_FuncKey, _FuncInfo]
+    ) -> Set[_FuncKey]:
+        """Match a callable reference to same-module defs by simple name."""
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is None:
+            return set()
+        return {key for key in functions if key[1] == name}
+
+    def _closure(
+        self,
+        entries: Set[_FuncKey],
+        functions: Dict[_FuncKey, _FuncInfo],
+        by_name: Dict[str, List[_FuncKey]],
+        *,
+        descend_async: bool,
+    ) -> Set[_FuncKey]:
+        reached: Set[_FuncKey] = set()
+        frontier = list(entries)
+        while frontier:
+            key = frontier.pop()
+            if key in reached:
+                continue
+            info = functions.get(key)
+            if info is None:
+                continue
+            if not descend_async and info.is_async and key not in entries:
+                continue  # a thread referencing a coroutine doesn't run its body
+            reached.add(key)
+            for callee_name in info.calls:
+                for callee_key in by_name.get(callee_name, ()):
+                    if callee_key not in reached:
+                        frontier.append(callee_key)
+        if not descend_async:
+            reached = {
+                key for key in reached if not functions[key].is_async
+            }
+        return reached
+
+    @staticmethod
+    def _writes(
+        reached: Set[_FuncKey], functions: Dict[_FuncKey, _FuncInfo]
+    ) -> Dict[Tuple[Optional[str], str], List[int]]:
+        writes: Dict[Tuple[Optional[str], str], List[int]] = {}
+        for key in sorted(reached, key=lambda k: (k[0] or "", k[1])):
+            info = functions[key]
+            for attr, line, _plain in info.writes:
+                writes.setdefault((info.owner, attr), []).append(line)
+        for sites in writes.values():
+            sites.sort()
+        return writes
+
+    def _publication_set(self, tree: ast.Module) -> frozenset:
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and node.targets[0].id == self.publication_constant:
+                names = literal_strings(node.value)
+                if names is not None:
+                    return frozenset(names)
+        return frozenset()

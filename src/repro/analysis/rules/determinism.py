@@ -1,0 +1,262 @@
+"""RL001 — determinism in kernel/hot-path modules.
+
+The block-ingest kernel, the packed scoring kernels, and every hashing
+and sketch module promise **bit-identical** results across the scalar,
+block and sharded paths.  That promise dies quietly the moment a hot
+path consults a wall clock, reaches for ambient randomness, compares
+floats with ``==``, or lets set/dict iteration order leak into a
+returned container.  RL001 rejects those constructs at the AST level
+in the modules that carry the promise:
+
+* calls into ``random.*`` (an explicitly seeded ``random.Random(seed)``
+  construction is allowed — that is how :mod:`repro.sketches.reservoir`
+  gets *reproducible* randomness), ``time.*``, ``os.urandom``,
+  ``secrets.*``, ``uuid.*``;
+* ``np.random.*`` — the legacy global RNG is never acceptable in a
+  kernel; ``np.random.default_rng(seed)`` with an explicit seed passes;
+* ``==`` / ``!=`` where either side is a float literal or a ``float()``
+  call — sketch equality must be integer-exact or tolerance-based;
+* iteration over a ``set``/``dict`` literal (or a locally built
+  ``set()``/``frozenset()``) whose elements flow into a returned
+  container — hash-order becomes output order.  Wrapping the iterable
+  in ``sorted(...)`` restores determinism and passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Set
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules.base import Rule, dotted_name
+
+__all__ = ["DeterminismRule", "HOT_PATH_MODULES", "HOT_PATH_DIRS"]
+
+#: Modules under the repro package that carry the bit-identity contract.
+HOT_PATH_MODULES = frozenset(
+    {"core/block.py", "serve/kernels.py", "serve/packed.py"}
+)
+
+#: Whole directories under the repro package that are hot paths.
+HOT_PATH_DIRS = ("hashing", "sketches")
+
+_BANNED_MODULES = {"time", "secrets", "uuid"}
+_MUTATORS = {"append", "add", "extend", "insert", "update", "setdefault", "__setitem__"}
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL001"
+    title = "hot-path modules must be deterministic"
+
+    def __init__(
+        self,
+        hot_modules: Sequence[str] = HOT_PATH_MODULES,
+        hot_dirs: Sequence[str] = HOT_PATH_DIRS,
+    ) -> None:
+        self.hot_modules = frozenset(hot_modules)
+        self.hot_dirs = tuple(hot_dirs)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        rel = ctx.package_rel
+        if rel in self.hot_modules:
+            return True
+        head = rel.split("/", 1)[0]
+        return head in self.hot_dirs
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not self.applies_to(ctx):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node))
+            elif isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(ctx, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_unordered_flow(ctx, node))
+        return findings
+
+    # -- nondeterministic calls ----------------------------------------
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> Iterable[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return []
+        parts = name.split(".")
+        head = parts[0]
+        if head == "random":
+            if name == "random.Random" and node.args:
+                return []  # explicitly seeded: reproducible by construction
+            return [
+                ctx.finding(
+                    node, self.rule_id,
+                    f"call to {name}() in a hot-path module (ambient randomness "
+                    f"breaks the bit-identity contract; seed an explicit "
+                    f"random.Random(seed) instead)",
+                )
+            ]
+        if head in _BANNED_MODULES and len(parts) > 1:
+            return [
+                ctx.finding(
+                    node, self.rule_id,
+                    f"call to {name}() in a hot-path module (wall clocks and "
+                    f"ambient entropy are nondeterministic inputs)",
+                )
+            ]
+        if name == "os.urandom":
+            return [
+                ctx.finding(
+                    node, self.rule_id,
+                    "call to os.urandom() in a hot-path module",
+                )
+            ]
+        if head in ("np", "numpy") and len(parts) >= 2 and parts[1] == "random":
+            if len(parts) == 3 and parts[2] == "default_rng" and node.args:
+                return []  # np.random.default_rng(seed): explicitly seeded
+            return [
+                ctx.finding(
+                    node, self.rule_id,
+                    f"call to {name}() in a hot-path module (the global numpy "
+                    f"RNG is unseeded shared state; pass an explicit "
+                    f"np.random.default_rng(seed))",
+                )
+            ]
+        return []
+
+    # -- float equality -------------------------------------------------
+
+    def _check_compare(self, ctx: ModuleContext, node: ast.Compare) -> Iterable[Finding]:
+        comparators = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, comparators, comparators[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if self._is_floatish(side):
+                    spelled = "==" if isinstance(op, ast.Eq) else "!="
+                    return [
+                        ctx.finding(
+                            node, self.rule_id,
+                            f"float {spelled} comparison in a hot-path module "
+                            f"(use an integer representation or an explicit "
+                            f"tolerance)",
+                        )
+                    ]
+        return []
+
+    @staticmethod
+    def _is_floatish(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant) \
+                and type(node.operand.value) is float:
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "float":
+            return True
+        return False
+
+    # -- unordered iteration flowing into returns -----------------------
+
+    def _check_unordered_flow(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        returned = self._returned_names(func)
+        unordered_locals = self._unordered_locals(func)
+
+        def is_unordered(expr: ast.AST) -> bool:
+            if isinstance(expr, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
+                return True
+            if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+                    and expr.func.id in ("set", "frozenset"):
+                return True
+            if isinstance(expr, ast.Name) and expr.id in unordered_locals:
+                return True
+            return False
+
+        def comp_over_unordered(expr: ast.AST) -> bool:
+            for sub in ast.walk(expr):
+                if isinstance(sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                    if any(is_unordered(gen.iter) for gen in sub.generators):
+                        return True
+            return False
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if comp_over_unordered(node.value):
+                    findings.append(
+                        ctx.finding(
+                            node, self.rule_id,
+                            "returned container is built by iterating a set/dict "
+                            "(hash order becomes output order; sort first)",
+                        )
+                    )
+            elif isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if any(t in returned for t in targets) and comp_over_unordered(node.value):
+                    findings.append(
+                        ctx.finding(
+                            node, self.rule_id,
+                            "returned value is built by iterating a set/dict "
+                            "(hash order becomes output order; sort first)",
+                        )
+                    )
+            elif isinstance(node, ast.For) and is_unordered(node.iter):
+                if self._mutates_returned(node, returned):
+                    findings.append(
+                        ctx.finding(
+                            node, self.rule_id,
+                            "loop over a set/dict feeds a returned container "
+                            "(hash order becomes output order; sort first)",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _returned_names(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            candidates: List[ast.AST] = [value]
+            if isinstance(value, ast.Tuple):
+                candidates = list(value.elts)
+            elif isinstance(value, ast.Call):
+                candidates = list(value.args)
+            for candidate in candidates:
+                if isinstance(candidate, ast.Name):
+                    names.add(candidate.id)
+        return names
+
+    @staticmethod
+    def _unordered_locals(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = node.value
+                if isinstance(value, (ast.Set, ast.SetComp, ast.DictComp)) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("set", "frozenset")
+                ):
+                    names.add(node.targets[0].id)
+        return names
+
+    @staticmethod
+    def _mutates_returned(loop: ast.For, returned: Set[str]) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATORS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in returned:
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id in returned:
+                        return True
+        return False

@@ -1,0 +1,135 @@
+"""RL003 — metrics hygiene across every instrument registration.
+
+The observability layer (:mod:`repro.obs.registry`) is idempotent at
+runtime — re-registering a name with the same kind returns the
+existing instrument, a *conflicting* redefinition raises.  But the
+runtime check only fires on the code path that actually re-registers,
+which can be a rarely exercised combination (serial runner + sharded
+runner + server in one process).  RL003 makes the whole registration
+surface checkable statically:
+
+* instrument names match ``^[a-z][a-z0-9_]+$`` — the dashboard-safe
+  subset of the Prometheus grammar this project standardizes on (no
+  colons, no capitals, at least two characters);
+* one name, one kind: a ``counter`` in one module and a ``histogram``
+  of the same name in another is flagged at the second site, across
+  the whole scanned tree;
+* label sets are **literal** tuples/lists of lowercase label names —
+  computed label sets defeat both this rule and grep, and labels are
+  part of the series identity.
+
+A call is treated as a registration when it is an attribute call named
+``counter``/``gauge``/``histogram`` whose first argument is a string
+literal — the resolve-once idiom every component here uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, ModuleContext
+from repro.analysis.rules.base import Rule
+
+__all__ = ["MetricsHygieneRule", "INSTRUMENT_NAME_RE", "LABEL_NAME_RE"]
+
+INSTRUMENT_NAME_RE = re.compile(r"^[a-z][a-z0-9_]+$")
+LABEL_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+_FACTORIES = ("counter", "gauge", "histogram")
+#: Positional index of ``labelnames`` in the registry factory signature
+#: ``counter(name, help, labelnames)``.
+_LABELNAMES_POSITION = 2
+
+
+class MetricsHygieneRule(Rule):
+    rule_id = "RL003"
+    title = "instrument names and label sets are literal, lowercase, and kind-stable"
+
+    def __init__(self) -> None:
+        self._registered: Dict[str, Tuple[str, str, int]] = {}
+
+    def reset(self) -> None:
+        self._registered = {}
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute) or node.func.attr not in _FACTORIES:
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue  # not the literal-name registration idiom
+            kind = node.func.attr
+            name = first.value
+            findings.extend(self._check_name(ctx, node, name, kind))
+            findings.extend(self._check_labels(ctx, node, name))
+        return findings
+
+    def _check_name(
+        self, ctx: ModuleContext, node: ast.Call, name: str, kind: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        if not INSTRUMENT_NAME_RE.match(name):
+            findings.append(
+                ctx.finding(
+                    node, self.rule_id,
+                    f"instrument name {name!r} does not match ^[a-z][a-z0-9_]+$",
+                )
+            )
+        seen = self._registered.get(name)
+        if seen is None:
+            self._registered[name] = (kind, ctx.rel, node.lineno)
+        elif seen[0] != kind:
+            findings.append(
+                ctx.finding(
+                    node, self.rule_id,
+                    f"instrument {name!r} registered as {kind} here but as "
+                    f"{seen[0]} at {seen[1]}:{seen[2]} (one name, one kind)",
+                )
+            )
+        return findings
+
+    def _check_labels(
+        self, ctx: ModuleContext, node: ast.Call, name: str
+    ) -> Iterable[Finding]:
+        label_node: Optional[ast.AST] = None
+        if len(node.args) > _LABELNAMES_POSITION:
+            label_node = node.args[_LABELNAMES_POSITION]
+        for keyword in node.keywords:
+            if keyword.arg == "labelnames":
+                label_node = keyword.value
+        if label_node is None:
+            return []
+        if not isinstance(label_node, (ast.Tuple, ast.List)):
+            return [
+                ctx.finding(
+                    label_node, self.rule_id,
+                    f"label set of {name!r} must be a literal tuple of strings "
+                    f"(labels are series identity; computed label sets defeat "
+                    f"static checking)",
+                )
+            ]
+        findings: List[Finding] = []
+        for element in label_node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                findings.append(
+                    ctx.finding(
+                        element, self.rule_id,
+                        f"label set of {name!r} must contain only string literals",
+                    )
+                )
+            elif not LABEL_NAME_RE.match(element.value):
+                findings.append(
+                    ctx.finding(
+                        element, self.rule_id,
+                        f"label {element.value!r} on {name!r} does not match "
+                        f"^[a-z][a-z0-9_]*$",
+                    )
+                )
+        return findings

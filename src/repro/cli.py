@@ -1,10 +1,11 @@
 """Command-line interface: ``repro-linkpred``.
 
-Eleven subcommands cover the everyday uses of the library without
+Twelve subcommands cover the everyday uses of the library without
 writing code — exploration (``datasets``, ``stats``), prediction and
 evaluation (``predict``, ``evaluate``, ``discover``, ``triangles``),
-and the production runtime (``ingest``, ``query``, ``serve``,
-``monitor``, ``casebook``):
+the production runtime (``ingest``, ``query``, ``serve``,
+``monitor``, ``casebook``), and the codebase's own static gate
+(``lint``):
 
 * ``repro-linkpred datasets`` — the registry of synthetic SNAP
   stand-ins with their measured statistics (table E1).
@@ -43,6 +44,10 @@ and the production runtime (``ingest``, ``query``, ``serve``,
   ``--check``) replay a labeled hostile corpus under all three policy
   modes, asserting per-case dispositions and replay convergence; see
   ``docs/CASEBOOK.md``.
+* ``repro-linkpred lint <paths>`` — repro-lint, the AST invariant
+  checker that gates CI: determinism on hot paths, the error
+  taxonomy, metrics hygiene, the thread/async publication boundary
+  and the facade surface; see ``docs/LINT.md``.
 
 ``ingest`` and ``query`` take ``--metrics-out FILE`` (and
 ``--metrics-every N``) to sample their metrics registry as JSON lines
@@ -838,6 +843,23 @@ def _cmd_casebook(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Delegate to the analysis CLI so `repro-linkpred lint` and
+    # `python -m repro.analysis` are the same tool with the same flags.
+    from repro.analysis.cli import main as lint_main
+
+    argv: list = list(args.paths) + ["--format", args.format]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline is not None:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.output is not None:
+        argv += ["--output", args.output]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed separately for the CLI tests).
 
@@ -1248,6 +1270,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--pairs", type=int, default=1000)
     evaluate.set_defaults(run=_cmd_evaluate)
+
+    lint = commands.add_parser(
+        "lint", help="repro-lint: AST invariant checks (see docs/LINT.md)"
+    )
+    lint.add_argument("paths", nargs="+", metavar="PATH")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", default=None, metavar="FILE")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE")
+    lint.add_argument("--output", default=None, metavar="FILE")
+    lint.set_defaults(run=_cmd_lint)
     return parser
 
 

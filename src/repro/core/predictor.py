@@ -22,7 +22,7 @@ question by name.
 
 Example
 -------
->>> from repro.core import MinHashLinkPredictor, SketchConfig
+>>> from repro import MinHashLinkPredictor, SketchConfig
 >>> from repro.graph import from_pairs
 >>> predictor = MinHashLinkPredictor(SketchConfig(k=64, seed=7))
 >>> predictor.process(from_pairs([(0, 2), (1, 2), (0, 3), (1, 3)]))

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.config import SketchConfig
+from repro.errors import WorkerCrashError
 from repro.core.predictor import MinHashLinkPredictor
 from repro.stream.checkpoint import CheckpointManager
 
@@ -135,7 +136,9 @@ def shard_worker_main(
                 halted = True
                 break
             else:  # pragma: no cover - protocol misuse is a coordinator bug
-                raise RuntimeError(f"unknown worker message {message!r}")
+                raise WorkerCrashError(
+                    f"unknown worker message {message!r}", shard=shard
+                )
 
         result_queue.put(
             (

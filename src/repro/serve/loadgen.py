@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 __all__ = ["LoadReport", "ScoredSample", "run_load"]
 
 
@@ -258,7 +260,9 @@ def run_load(
     """
     pool = np.asarray(pairs_pool, dtype=np.int64)
     if pool.ndim != 2 or pool.shape[1] != 2 or len(pool) == 0:
-        raise ValueError(f"pairs_pool must be a non-empty (n, 2) array, got {pool.shape}")
+        raise ConfigurationError(
+            f"pairs_pool must be a non-empty (n, 2) array, got {pool.shape}"
+        )
     audit = _Audit()
     per_worker: List[Tuple[List[float], Dict[int, int], List[ScoredSample], List[str], List[int]]] = []
     threads = []

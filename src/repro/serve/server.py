@@ -83,6 +83,14 @@ _JSON = "application/json"
 _TEXT = "text/plain; charset=utf-8"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
+#: The attributes the ingest thread publishes to the event-loop side.
+#: Everything the asyncio side needs from a swap hangs off the one
+#: Generation reference — number, fingerprint, offset, published_at —
+#: so one plain assignment is the entire cross-thread protocol.
+#: repro-lint's RL004 enforces that no other attribute is written on
+#: both sides of the boundary.
+_PUBLICATION_ATTRS = frozenset({"_generation"})
+
 
 class Generation:
     """One immutable served snapshot: engine, identity, provenance.
@@ -408,10 +416,8 @@ class SketchServer:
         #: Published generations, newest last (bounded by keep_history).
         self.history: List[Generation] = []
         self._generation: Optional[Generation] = None
-        self._generation_count = 0
         self._started_wall = time.time()
         self._started_mono = clock()
-        self._last_refresh = clock()
         self._draining = False
         self._inflight = 0
         self._worker_error: Optional[str] = None
@@ -485,10 +491,15 @@ class SketchServer:
         the duration of the pack.
         """
         engine = QueryEngine(self.predictor, metrics=self.metrics, **self.engine_options)
-        self._generation_count += 1
+        # The next number is derived from the published generation, not
+        # a separate counter — builds happen on one side at a time (the
+        # worker thread, or start() before the worker exists), so the
+        # read-derive-publish sequence never races, and the server keeps
+        # exactly one cross-boundary attribute: the publication itself.
+        current = self._generation
         return Generation(
             engine,
-            self._generation_count,
+            current.number + 1 if current is not None else 1,
             self.runner.offset if self.runner is not None else 0,
             published_at=self.clock(),
             wall_time=time.time(),
@@ -498,7 +509,6 @@ class SketchServer:
         # The hot-swap: one reference assignment.  In-flight requests
         # hold the previous Generation object and finish against it.
         self._generation = generation
-        self._last_refresh = generation.published_at
         self._m_swaps.inc()
         if self.keep_history:
             self.history.append(generation)
@@ -523,7 +533,8 @@ class SketchServer:
         if not force:
             if self.refresh_every <= 0:
                 return
-            if self.clock() - self._last_refresh < self.refresh_every:
+            last = current.published_at if current is not None else self._started_mono
+            if self.clock() - last < self.refresh_every:
                 return
         self.refresh()
 

@@ -164,7 +164,10 @@ class FlakySource(EdgeSource):
                 if done < budget:
                     self._failed_so_far[record.offset] = done + 1
                     self.failures_injected += 1
-                    raise IOError(
+                    # A *stdlib* IOError is the point: production retry
+                    # loops catch OSError, not ReproError, and the injector
+                    # must look exactly like the failure it simulates.
+                    raise IOError(  # repro-lint: disable=RL002
                         f"injected transient failure at offset {record.offset} "
                         f"({done + 1}/{budget})"
                     )

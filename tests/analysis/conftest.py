@@ -1,0 +1,35 @@
+"""Shared fixture helpers: write a source tree, lint it, read findings."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.analysis.engine import Finding, LintRunner
+
+
+@pytest.fixture()
+def lint_tree(tmp_path):
+    """Write ``{relative path: source}`` under a temp root and lint it.
+
+    Returns ``(findings, suppressed, checked)`` from the given rules —
+    the same triple :meth:`LintRunner.run` produces — with sources
+    dedented so tests can use readable triple-quoted literals.
+    """
+
+    def run(files: Dict[str, str], rules: Sequence) -> tuple:
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return LintRunner(rules).run([tmp_path])
+
+    run.root = tmp_path
+    return run
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [finding.rule_id for finding in findings]

@@ -1,0 +1,201 @@
+"""The lint engine: suppressions, baseline round-trip, output, rc contract."""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    LintRunner,
+    ModuleContext,
+    iter_python_files,
+)
+from repro.analysis.rules.base import Rule
+from repro.errors import ConfigurationError
+
+
+class FlagEveryDef(Rule):
+    """A test rule: one finding per function definition."""
+
+    rule_id = "RL901"
+    title = "flags every def"
+
+    def check_module(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield ctx.finding(node, self.rule_id, f"def {node.name}")
+
+
+class TestSuppressions:
+    def test_same_line_directive_silences_the_finding(self, lint_tree):
+        findings, suppressed, checked = lint_tree(
+            {
+                "mod.py": """
+                def flagged():
+                    pass
+
+                def silenced():  # repro-lint: disable=RL901
+                    pass
+                """
+            },
+            [FlagEveryDef()],
+        )
+        assert [f.message for f in findings] == ["def flagged"]
+        assert suppressed == 1
+        assert checked == 1
+
+    def test_comma_list_and_all(self, lint_tree):
+        findings, suppressed, _ = lint_tree(
+            {
+                "mod.py": """
+                def a():  # repro-lint: disable=RL555,RL901
+                    pass
+
+                def b():  # repro-lint: disable=all
+                    pass
+                """
+            },
+            [FlagEveryDef()],
+        )
+        assert findings == []
+        assert suppressed == 2
+
+    def test_unrelated_rule_id_does_not_suppress(self, lint_tree):
+        findings, suppressed, _ = lint_tree(
+            {
+                "mod.py": """
+                def a():  # repro-lint: disable=RL555
+                    pass
+                """
+            },
+            [FlagEveryDef()],
+        )
+        assert len(findings) == 1
+        assert suppressed == 0
+
+
+class TestBaseline:
+    def entries(self):
+        return [
+            BaselineEntry("mod.py", "RL901", "def a", "legacy"),
+            BaselineEntry("mod.py", "RL901", "def gone", "stale one"),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline(self.entries()).save(path)
+        loaded = Baseline.load(path)
+        assert [e.key() for e in loaded.entries] == [e.key() for e in self.entries()]
+        assert loaded.entries[0].justification == "legacy"
+
+    def test_split_new_baselined_stale(self):
+        baseline = Baseline(self.entries())
+        findings = [
+            Finding("mod.py", 2, "RL901", "def a"),
+            Finding("mod.py", 9, "RL901", "def brand_new"),
+        ]
+        new, baselined, stale = baseline.split(findings)
+        assert [f.message for f in new] == ["def brand_new"]
+        assert [f.message for f in baselined] == ["def a"]
+        assert [e.message for e in stale] == ["def gone"]
+
+    def test_match_is_line_independent(self):
+        baseline = Baseline([BaselineEntry("mod.py", "RL901", "def a")])
+        new, baselined, _ = baseline.split([Finding("mod.py", 777, "RL901", "def a")])
+        assert new == [] and len(baselined) == 1
+
+    def test_duplicate_findings_need_duplicate_entries(self):
+        baseline = Baseline([BaselineEntry("mod.py", "RL901", "def a")])
+        twice = [Finding("mod.py", 1, "RL901", "def a"), Finding("mod.py", 5, "RL901", "def a")]
+        new, baselined, _ = baseline.split(twice)
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+        path.write_text('{"entries": [{"file": "x"}]}')
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+
+
+class TestReport:
+    def make_report(self, lint_tree, tmp_path):
+        lint_tree(
+            {"mod.py": "def a():\n    pass\n\ndef b():\n    pass\n"},
+            [FlagEveryDef()],
+        )
+        runner = LintRunner([FlagEveryDef()])
+        baseline = Baseline([BaselineEntry("stale.py", "RL901", "def never")])
+        return runner.report([tmp_path], baseline)
+
+    def test_rc_contract(self, lint_tree, tmp_path):
+        report = self.make_report(lint_tree, tmp_path)
+        assert report.exit_code == 1  # new findings
+        full = Baseline.from_findings(report.findings)
+        assert LintRunner([FlagEveryDef()]).report([tmp_path], full).exit_code == 0
+
+    def test_json_schema(self, lint_tree, tmp_path):
+        report = self.make_report(lint_tree, tmp_path)
+        payload = json.loads(report.render_json())
+        assert payload["version"] == 1
+        assert payload["checked_files"] == 1
+        assert payload["new"] == 2
+        assert payload["exit_code"] == 1
+        assert {"file", "line", "rule", "message", "baselined"} == set(
+            payload["findings"][0]
+        )
+        assert payload["stale_baseline"] == [
+            {"file": "stale.py", "rule": "RL901", "message": "def never"}
+        ]
+
+    def test_text_output_lists_findings_and_stale_entries(self, lint_tree, tmp_path):
+        text = self.make_report(lint_tree, tmp_path).render_text()
+        assert "RL901 def a" in text
+        assert "2 new finding(s)" in text
+        assert "stale baseline: stale.py" in text
+
+
+class TestDiscoveryAndParsing:
+    def test_syntax_error_becomes_rl000(self, lint_tree):
+        findings, _, checked = lint_tree({"broken.py": "def (\n"}, [FlagEveryDef()])
+        assert checked == 1
+        assert [f.rule_id for f in findings] == ["RL000"]
+
+    def test_missing_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            iter_python_files([Path("definitely/not/here")])
+
+    def test_discovery_is_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-312.py").write_text("")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_package_relative_scoping_without_repro_dir(self, tmp_path):
+        # Fixture trees fall back to scan-root-relative paths, which is
+        # what lets path-scoped rules (RL001) match hot-path layouts.
+        path = tmp_path / "core" / "block.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        seen = {}
+
+        class Spy(Rule):
+            rule_id = "RL902"
+
+            def check_module(self, ctx):
+                seen[ctx.rel] = ctx.package_rel
+                return ()
+
+        LintRunner([Spy()]).run([tmp_path])
+        assert list(seen.values()) == ["core/block.py"]

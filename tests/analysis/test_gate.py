@@ -1,0 +1,115 @@
+"""The gate itself: the repo lints clean, drift fails, the CLI honors rc."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import Baseline, LintRunner
+from repro.analysis.rules.taxonomy import TaxonomyRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+EXAMPLES = REPO_ROOT / "examples"
+
+
+class TestRepoIsClean:
+    def test_src_and_examples_have_no_new_findings(self):
+        baseline_path = REPO_ROOT / "lint-baseline.json"
+        baseline = Baseline.load(baseline_path) if baseline_path.exists() else None
+        report = LintRunner().report([SRC, EXAMPLES], baseline)
+        assert report.new == [], report.render_text()
+        assert report.stale_baseline == [], report.render_text()
+        assert report.exit_code == 0
+
+    def test_every_suppression_sits_next_to_a_justification(self):
+        # Suppression etiquette (docs/LINT.md): a disable directive is a
+        # documented exception — there must be a comment within the two
+        # lines above it saying why.
+        problems = []
+        for path in sorted(SRC.rglob("*.py")):
+            if (SRC / "analysis") in path.parents:
+                continue  # the linter's own docs mention the directive
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for index, line in enumerate(lines):
+                if "repro-lint: disable=" not in line:
+                    continue
+                if line.lstrip().startswith("#") and "disable=" not in line.split("#")[0]:
+                    # A pure comment line is documentation, not a
+                    # suppression (the engine only honors trailing
+                    # directives on the flagged line).
+                    continue
+                context = lines[max(0, index - 2):index]
+                if not any("#" in previous for previous in context):
+                    problems.append(f"{path}:{index + 1}")
+        assert problems == [], f"unjustified suppressions: {problems}"
+
+
+class TestReasonsDrift:
+    def test_unregistered_reason_in_real_tree_fails_lint(self):
+        # Simulate vocabulary drift: lint the *real* stream package with
+        # one production reason deregistered.  The rule must catch the
+        # now-orphaned call sites — proving an unregistered reason at a
+        # call site can never pass CI.
+        from repro.stream.deadletter import REASONS
+
+        shrunk = tuple(r for r in REASONS if r != "bad_arity")
+        rule = TaxonomyRule(reasons=shrunk)
+        findings, _, _ = LintRunner([rule]).run([SRC / "stream"])
+        drifted = [f for f in findings if "'bad_arity'" in f.message]
+        # Caught at both the raise site and the DEFAULT_POLICIES key.
+        assert len(drifted) >= 2, findings
+
+
+class TestCli:
+    def write_bad_module(self, tmp_path):
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "block.py").write_text(
+            "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+        )
+        return tmp_path
+
+    def test_rc_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_rc_one_on_violation(self, tmp_path, capsys):
+        target = self.write_bad_module(tmp_path)
+        assert lint_main([str(target), "--no-baseline"]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_rc_two_on_missing_target(self, capsys):
+        assert lint_main(["definitely/not/here"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output_file(self, tmp_path, capsys):
+        target = self.write_bad_module(tmp_path)
+        out = tmp_path / "findings.json"
+        rc = lint_main([str(target), "--format", "json", "--output", str(out)])
+        assert rc == 1
+        payload = json.loads(out.read_text())
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "RL001"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        # Finding paths are cwd-relative, so baseline and check must run
+        # from one directory — as CI does from the repo root.
+        monkeypatch.chdir(tmp_path)
+        target = self.write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(target), "--write-baseline", str(baseline)]) == 0
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        # Default baseline discovery: ./lint-baseline.json when present.
+        baseline.rename(tmp_path / "lint-baseline.json")
+        assert lint_main([str(target)]) == 0
+
+    def test_repo_cli_lint_subcommand(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        target = self.write_bad_module(tmp_path)
+        assert repro_main(["lint", str(target), "--no-baseline"]) == 1

@@ -261,3 +261,30 @@ class TestWorkerCrashRecovery:
             runner.run()
         assert crashed.value.shard == 0
         assert crashed.value.traceback  # remote format_exc forwarded
+
+    def test_protocol_misuse_forwards_worker_crash_error(self):
+        # RL002 sweep: the worker's unknown-message guard raises
+        # WorkerCrashError (not bare RuntimeError); the in-worker
+        # except still forwards it to the coordinator as a traceback.
+        import queue
+
+        from repro.parallel import shard_worker_main
+
+        task_queue: "queue.Queue" = queue.Queue()
+        result_queue: "queue.Queue" = queue.Queue()
+        task_queue.put(("bogus-kind",))
+        shard_worker_main(
+            shard=3,
+            task_queue=task_queue,
+            result_queue=result_queue,
+            config=CONFIG,
+            checkpoint_dir="",
+            checkpoint_every=0,
+            keep=1,
+            resume=False,
+        )
+        assert result_queue.get(timeout=1)[0] == "ready"
+        kind, shard, forwarded = result_queue.get(timeout=1)
+        assert (kind, shard) == ("error", 3)
+        assert "WorkerCrashError" in forwarded
+        assert "unknown worker message" in forwarded

@@ -14,6 +14,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.serve.engine import QueryEngine
 from repro.serve.loadgen import LoadReport, run_load, _Audit
 from repro.serve.server import SketchServer
@@ -106,10 +107,13 @@ class TestRunLoad:
         assert report.errors  # the failure reason is surfaced, not swallowed
 
     def test_rejects_bad_pool(self):
-        with pytest.raises(ValueError, match=r"non-empty \(n, 2\)"):
+        # ConfigurationError subclasses ValueError, so pre-taxonomy
+        # callers that caught ValueError keep working (RL002 sweep).
+        with pytest.raises(ConfigurationError, match=r"non-empty \(n, 2\)"):
             run_load("127.0.0.1", 1, np.zeros((0, 2)))
-        with pytest.raises(ValueError, match=r"non-empty \(n, 2\)"):
+        with pytest.raises(ConfigurationError, match=r"non-empty \(n, 2\)"):
             run_load("127.0.0.1", 1, np.zeros((4, 3)))
+        assert issubclass(ConfigurationError, ValueError)
 
 
 class TestAudit:

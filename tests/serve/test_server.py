@@ -375,6 +375,67 @@ class TestHotSwapAtomicity:
             harness.shutdown()
 
 
+class TestPublicationContract:
+    """RL004 regression: the one cross-boundary attribute is the
+    published generation reference — numbering and refresh cadence are
+    derived from it, not from extra shared counters/timestamps."""
+
+    def test_publication_set_is_exactly_the_generation_reference(self):
+        from repro.serve import server as server_module
+
+        assert server_module._PUBLICATION_ATTRS == frozenset({"_generation"})
+        # The attributes the old design shared across the boundary are
+        # gone for good — numbering and cadence ride on the Generation.
+        server = SketchServer(warm_predictor(50), port=0)
+        assert not hasattr(server, "_generation_count")
+        assert not hasattr(server, "_last_refresh")
+
+    def test_generation_numbers_stay_monotonic_under_concurrent_readers(self):
+        predictor = warm_predictor(200)
+        server = SketchServer(predictor, port=0, keep_history=32)
+        harness = ServerHarness(server)
+        try:
+            stop = threading.Event()
+            problems: list = []
+            ledger: dict = {}
+            ledger_lock = threading.Lock()
+
+            def reader():
+                last_number = 0
+                while not stop.is_set():
+                    generation = server.generation
+                    if generation is None:
+                        continue
+                    number, fingerprint = generation.number, generation.fingerprint
+                    if number < last_number:
+                        problems.append(f"number regressed {last_number}->{number}")
+                    last_number = number
+                    with ledger_lock:
+                        known = ledger.setdefault(number, fingerprint)
+                    if known != fingerprint:
+                        problems.append(f"number {number} has two fingerprints")
+
+            readers = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+            for thread in readers:
+                thread.start()
+            rng = np.random.default_rng(5)
+            for _ in range(6):
+                for u, v in rng.integers(0, 50, size=(30, 2)).tolist():
+                    if u != v:
+                        predictor.update(u, v)
+                server.refresh()
+                time.sleep(0.01)
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=10)
+            assert problems == []
+            # Derived numbering: start() published 1, six refreshes follow.
+            assert server.generation.number == 7
+            assert sorted(ledger) == list(range(min(ledger), 8))
+        finally:
+            harness.shutdown()
+
+
 class TestGracefulDrain:
     """Satellite 4, second half: drain returns only after in-flight
     requests complete."""
