@@ -1,17 +1,24 @@
-"""E11 — extension features: sliding windows and streaming triangles.
+"""E11 — extension features: windows, streaming triangles, deletions.
 
-Not part of the original paper's evaluation: these validate the two
+Not part of the original paper's evaluation: these validate the
 "future-work-flavoured" extensions DESIGN.md documents, at benchmark
 scale.
 
-**Windowed recency.**  A drifting stream: community structure A for the
-first half, structure B for the second.  After the whole stream, the
-full-history predictor still blends in stale structure-A overlaps; the
-pane-rotated windowed predictor (window ≈ second half) should estimate
-*recent* common neighbors markedly better.
+**Windowed recency (E11a).**  A drifting stream: community structure A
+for the first half, structure B for the second.  After the whole
+stream, the full-history predictor still blends in stale structure-A
+overlaps; the pane-rotated windowed predictor (window ≈ second half)
+should estimate *recent* common neighbors markedly better.
 
-**Streaming triangles.**  The one-pass triangle estimate
+**Streaming triangles (E11b).**  The one-pass triangle estimate
 ``Σ ĈN_before(edge)`` versus the exact count, on two registry datasets.
+
+**Fully dynamic sketches (E11c).**  A churned stream whose stale
+structure is explicitly retracted: the append-only predictor drifts
+(deletes are invisible to it) while the dynamic predictor — via
+explicit deletes or TTL expiry — tracks the live ground truth.  The
+scenario lives in ``bench_e11c_dynamic.py`` (also a standalone CI
+runner).
 """
 
 from __future__ import annotations
@@ -127,3 +134,26 @@ def test_e11_streaming_triangles(benchmark):
     )
     for dataset in ("synth-grqc", "synth-communities"):
         assert _SHAPE[("triangles", dataset)] < 0.25, dataset
+
+
+def test_e11c_dynamic_deletions(benchmark):
+    from bench_e11c_dynamic import RATIO_BAR, run_churn
+
+    results = benchmark.pedantic(run_churn, rounds=1, iterations=1)
+    rows = [
+        ["append-only full history", results["append_only_mre"]],
+        ["dynamic (explicit deletes)", results["dynamic_deletes_mre"]],
+        ["dynamic (TTL expiry)", results["dynamic_ttl_mre"]],
+    ]
+    emit(
+        "e11_dynamic",
+        format_table(
+            ["predictor", "CN mean rel err vs live truth"],
+            rows,
+            title="E11c: churned stream — estimating the *live* graph "
+            "after retractions (k=192)",
+            precision=3,
+        ),
+    )
+    for arm in ("dynamic_deletes_mre", "dynamic_ttl_mre"):
+        assert results[arm] < RATIO_BAR * results["append_only_mre"], arm

@@ -33,9 +33,18 @@ the facade composes them and ``repro.api.__all__`` is the documented
 stable surface.
 """
 
-from repro.api import IngestReport, build_predictor, evaluate, ingest, open_engine, serve
+from repro.api import (
+    IngestReport,
+    StreamRecord,
+    build_predictor,
+    evaluate,
+    ingest,
+    open_engine,
+    serve,
+)
 from repro.core import (
     BiasedMinHashLinkPredictor,
+    DynamicMinHashPredictor,
     MinHashLinkPredictor,
     PairEstimate,
     SketchConfig,
@@ -49,6 +58,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BiasedMinHashLinkPredictor",
+    "DynamicMinHashPredictor",
     "ExactOracle",
     "IngestReport",
     "LinkPredictor",
@@ -57,6 +67,7 @@ __all__ = [
     "QueryEngine",
     "ReproError",
     "SketchConfig",
+    "StreamRecord",
     "build_predictor",
     "evaluate",
     "ingest",

@@ -27,7 +27,15 @@ the package root (``from repro import ingest``).
 
 Sources are polymorphic throughout: a registry dataset name, a path to
 a SNAP-format edge list, an :class:`~repro.stream.sources.EdgeSource`,
-or any iterable of edges / ``(u, v[, timestamp])`` tuples.
+or any iterable of edges / ``(u, v[, timestamp])`` tuples /
+:class:`StreamRecord` values.  The typed
+:class:`~repro.graph.stream.StreamRecord` (op + edge + timestamp +
+weight) is the canonical stream unit — plain tuples and untyped text
+lines are coerced into ``add`` records by the back-compat shim
+(:func:`repro.stream.policies.coerce_stream_record`), so every
+pre-record caller keeps working unchanged.  Deletions (``op="delete"``)
+are consumed when ``config.dynamic_mode`` is on; append-only
+configurations dead-letter them as ``unsupported_delete``.
 """
 
 from __future__ import annotations
@@ -38,15 +46,18 @@ from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.config import SketchConfig
+from repro.core.dynamic import merge_dynamic_shards
 from repro.core.predictor import MinHashLinkPredictor, merge_shards
 from repro.core.registry import build_predictor as _registry_build
 from repro.errors import ConfigurationError, ReproError
+from repro.graph.stream import StreamRecord
 from repro.interface import LinkPredictor
 from repro.obs.registry import MetricsRegistry
 from repro.serve.engine import QueryEngine
 
 __all__ = [
     "IngestReport",
+    "StreamRecord",
     "build_predictor",
     "evaluate",
     "ingest",
@@ -178,6 +189,14 @@ def ingest(
     and bit-identical to scalar ingestion (guard ordering, checkpoints
     and crash recovery included).  ``0``/``1`` keeps the scalar
     per-record path.
+
+    ``config.dynamic_mode=True`` builds the deletion-tolerant
+    :class:`~repro.core.dynamic.DynamicMinHashPredictor` instead:
+    ``delete``/``-`` records retract edges, a positive ``config.ttl``
+    expires idle ones, and both the serial and sharded paths (merges,
+    checkpoints, resume) stay bit-identical under any add/delete
+    interleaving.  Append-only configurations dead-letter deletes with
+    reason ``unsupported_delete``.
     """
     from repro.parallel import ShardedRunner
     from repro.stream.checkpoint import CheckpointManager
@@ -244,6 +263,8 @@ def _predictor_from_checkpoint_dir(directory: Path) -> MinHashLinkPredictor:
             if checkpoint is None:
                 raise ReproError(f"shard directory {shard_dir} holds no checkpoint")
             shards.append(checkpoint.predictor)
+        if shards and shards[0].config.dynamic_mode:
+            return merge_dynamic_shards(shards)
         return merge_shards(shards)
     checkpoint = CheckpointManager(directory).load_latest()
     if checkpoint is None:

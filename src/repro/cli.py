@@ -38,7 +38,7 @@ the production runtime (``ingest``, ``query``, ``serve``,
 * ``repro-linkpred monitor <metrics-file>`` — render a metrics
   snapshot (a ``--metrics-out`` JSON-lines flight record or a saved
   snapshot) as human-readable tables, or scrape a running server with
-  ``--url http://host:port/metrics``; see ``docs/OBSERVABILITY.md``.
+  ``--url http://host:port/v1/metrics``; see ``docs/OBSERVABILITY.md``.
 * ``repro-linkpred casebook`` — the adversarial input casebook: print
   the case taxonomy with default policies and repairs, and (with
   ``--check``) replay a labeled hostile corpus under all three policy
@@ -131,7 +131,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _config_from_args(args: argparse.Namespace) -> SketchConfig:
-    return SketchConfig(k=args.k, seed=args.seed)
+    # --dynamic / --ttl exist only on the ingest-flavored subcommands;
+    # everywhere else the getattr defaults keep the append-only config.
+    ttl = float(getattr(args, "ttl", 0.0) or 0.0)
+    dynamic = bool(getattr(args, "dynamic", False)) or ttl > 0.0
+    return SketchConfig(k=args.k, seed=args.seed, dynamic_mode=dynamic, ttl=ttl)
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -298,6 +302,7 @@ def _ingest_guard(args: argparse.Namespace):
     policies = (
         PolicySet.parse(args.case_policy) if args.case_policy else PolicySet()
     )
+    ttl = float(getattr(args, "ttl", 0.0) or 0.0)
     return StreamGuard(
         policies,
         self_loops=args.self_loops,
@@ -306,6 +311,7 @@ def _ingest_guard(args: argparse.Namespace):
             if args.hub_degree_limit is not None
             else DEFAULT_HUB_DEGREE_LIMIT
         ),
+        supports_deletes=bool(getattr(args, "dynamic", False)) or ttl > 0.0,
     )
 
 
@@ -707,7 +713,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
     if bool(args.metrics_file) == bool(args.url):
         raise ReproError(
-            "monitor needs exactly one of a metrics file or --url http://host:port/metrics"
+            "monitor needs exactly one of a metrics file or --url http://host:port/v1/metrics"
         )
     if args.url:
         loaded = _fetch_snapshot(args.url)
@@ -770,6 +776,7 @@ def _cmd_casebook(args: argparse.Namespace) -> int:
             args.seed,
             per_case=args.per_case,
             hub_degree_limit=args.hub_degree_limit,
+            with_deletes=args.with_deletes,
         )
         lines = generator.hostile_lines()
         with open(args.write_corpus, "w", encoding="utf-8") as handle:
@@ -800,6 +807,7 @@ def _cmd_casebook(args: argparse.Namespace) -> int:
         per_case=args.per_case,
         hub_degree_limit=args.hub_degree_limit,
         workers=args.check_workers,
+        with_deletes=args.with_deletes,
     )
     disposition_rows = [
         [row.case, row.mode, row.expected, f"{row.matched}/{row.total}"]
@@ -971,6 +979,21 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("source", help="dataset name or edge-list path")
     ingest.add_argument("--k", type=int, default=128, help="sketch slots per vertex")
     add_seed_argument(ingest)
+    ingest.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="deletion-tolerant (fully dynamic) sketches: accept "
+        "'op u v [t]' records where op is add/delete/+/- "
+        "(see docs/OPERATIONS.md)",
+    )
+    ingest.add_argument(
+        "--ttl",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sliding-window expiry: edges unseen for SECONDS of stream "
+        "time drop out of every estimate (implies --dynamic; 0: no expiry)",
+    )
     ingest.add_argument(
         "--workers",
         type=int,
@@ -1243,6 +1266,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the hostile corpus lines to this file",
     )
+    casebook.add_argument(
+        "--with-deletes",
+        action="store_true",
+        help="use the deletion-bearing corpus variant: valid add/delete "
+        "pairs in the clean backbone, delete_unseen_edge injections, "
+        "and dynamic-mode predictors for the convergence proofs",
+    )
     casebook.set_defaults(run=_cmd_casebook)
 
     monitor = commands.add_parser(
@@ -1258,7 +1288,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         default="",
         metavar="URL",
-        help="scrape a running server instead: http://host:port/metrics",
+        help="scrape a running server instead: http://host:port/v1/metrics",
     )
     add_seed_argument(monitor)
     monitor.set_defaults(run=_cmd_monitor)

@@ -15,7 +15,7 @@ Public entry points:
 """
 
 from repro.core.biased import BiasedMinHashLinkPredictor
-from repro.core.block import apply_edge_block, coerce_edge_batch
+from repro.core.block import apply_dynamic_block, apply_edge_block, coerce_edge_batch
 from repro.core.config import (
     SketchConfig,
     hoeffding_epsilon,
@@ -24,6 +24,11 @@ from repro.core.config import (
 )
 from repro.core.degrees import CountMinDegrees, DegreeTracker, ExactDegrees
 from repro.core.directed import DirectedExactOracle, DirectedMinHashPredictor
+from repro.core.dynamic import (
+    DynamicArrays,
+    DynamicMinHashPredictor,
+    merge_dynamic_shards,
+)
 from repro.core.lshindex import LshCandidateIndex, bands_for_threshold, lsh_threshold
 from repro.core.memory import MemoryReport, memory_report
 from repro.core.persistence import load_predictor, save_predictor
@@ -37,6 +42,8 @@ __all__ = [
     "DegreeTracker",
     "DirectedExactOracle",
     "DirectedMinHashPredictor",
+    "DynamicArrays",
+    "DynamicMinHashPredictor",
     "ExactDegrees",
     "LshCandidateIndex",
     "METHODS",
@@ -45,6 +52,7 @@ __all__ = [
     "PairEstimate",
     "SketchConfig",
     "WindowedMinHashPredictor",
+    "apply_dynamic_block",
     "apply_edge_block",
     "coerce_edge_batch",
     "bands_for_threshold",
@@ -55,6 +63,7 @@ __all__ = [
     "hoeffding_failure_probability",
     "load_predictor",
     "memory_report",
+    "merge_dynamic_shards",
     "merge_shards",
     "required_k",
     "save_predictor",

@@ -52,7 +52,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sketches.minhash import EMPTY_SLOT, KMinHash
 
-__all__ = ["coerce_edge_batch", "apply_edge_block"]
+__all__ = ["coerce_edge_batch", "coerce_timestamp_batch", "apply_edge_block", "apply_dynamic_block"]
 
 #: Largest hash a real key may occupy a slot with (EMPTY_SLOT is
 #: reserved; the scalar path applies the identical remap).
@@ -94,6 +94,35 @@ def coerce_edge_batch(us, vs) -> Tuple[np.ndarray, np.ndarray]:
             f"self-loop on vertex {int(us[index])} at batch index {index} is not allowed"
         )
     return us, vs
+
+
+def coerce_timestamp_batch(timestamps, count: int) -> np.ndarray:
+    """Validate a per-edge timestamp vector into a float64 array.
+
+    ``None`` means "no stream time": a zero vector, matching the scalar
+    default ``timestamp=0.0``.  Non-finite entries reject the whole
+    batch before any mutation, naming the first offending index.
+    """
+    if timestamps is None:
+        return np.zeros(count, dtype=np.float64)
+    try:
+        out = np.asarray(timestamps, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"timestamp batch is not float64-coercible: {error}"
+        ) from None
+    if out.ndim != 1 or out.shape[0] != count:
+        raise ConfigurationError(
+            f"timestamp batch must be a 1-d array of length {count}, "
+            f"got shape {out.shape}"
+        )
+    bad = ~np.isfinite(out)
+    if bad.any():
+        index = int(np.argmax(bad))
+        raise ConfigurationError(
+            f"non-finite timestamp {out[index]} at batch index {index}"
+        )
+    return out
 
 
 def apply_edge_block(predictor, us, vs) -> int:
@@ -253,4 +282,75 @@ def apply_edge_block(predictor, us, vs) -> int:
             sketch.update_count += arrivals[row]
 
     predictor._degrees.increment_block(us, vs)
+    return m
+
+
+def apply_dynamic_block(predictor, us, vs, timestamps=None, op: str = "add") -> int:
+    """Fold a homogeneous-op edge batch into a dynamic predictor.
+
+    The deletion-tolerant counterpart of :func:`apply_edge_block`: the
+    per-key state is a signed counter plus a last-seen time, so a batch
+    reduces to one ``(count delta, max timestamp)`` pair per unique
+    ``(target, key)`` arrival — ``np.unique`` groups the interleaved
+    arrival sequence, ``np.bincount`` sums the deltas, and
+    ``np.maximum.reduceat`` takes the per-pair timestamp maxima.  Counter
+    addition commutes, so unlike the append-only kernel there is no
+    witness tie-break to reproduce: the result equals the scalar loop
+    for *any* arrival order.  ``op`` selects the delete path (``delta =
+    -1`` per arrival); mixed-op batches must be split by the caller
+    (the stream runner flushes pending spans on op changes).
+
+    Validation happens up front — bad ids, self-loops, or non-finite
+    timestamps reject the whole batch before any mutation.  Returns the
+    number of edges applied.
+    """
+    if op not in ("add", "delete"):
+        raise ConfigurationError(f"op must be 'add' or 'delete', got {op!r}")
+    us, vs = coerce_edge_batch(us, vs)
+    m = us.shape[0]
+    ts = coerce_timestamp_batch(timestamps, m)
+    if m == 0:
+        return 0
+    delta_sign = 1 if op == "add" else -1
+
+    # Interleave exactly like the scalar loop: sketch(u) <- v, then
+    # sketch(v) <- u, per edge, each carrying the edge's timestamp.
+    targets = np.empty(2 * m, dtype=np.int64)
+    keys = np.empty(2 * m, dtype=np.int64)
+    times = np.empty(2 * m, dtype=np.float64)
+    targets[0::2] = us
+    targets[1::2] = vs
+    keys[0::2] = vs
+    keys[1::2] = us
+    times[0::2] = ts
+    times[1::2] = ts
+
+    unique_targets, rows = np.unique(targets, return_inverse=True)
+    unique_keys, key_inverse = np.unique(keys, return_inverse=True)
+    key_count = unique_keys.shape[0]
+
+    # Group arrivals by (target, key); counts sum and timestamps max
+    # within each group, giving one apply_delta call per unique pair.
+    codes = rows * np.int64(key_count) + key_inverse
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    sorted_times = times[order]
+    starts = np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]])
+    group_codes = sorted_codes[starts]
+    group_ops = np.diff(np.r_[starts, sorted_codes.shape[0]])
+    group_times = np.maximum.reduceat(sorted_times, starts)
+    group_targets = unique_targets[group_codes // key_count].tolist()
+    group_keys = unique_keys[group_codes % key_count].tolist()
+
+    sketch_of = predictor._sketch_of
+    sketch = None
+    last_target = None
+    for target, key, ops, stamp in zip(
+        group_targets, group_keys, group_ops.tolist(), group_times.tolist()
+    ):
+        if target != last_target:
+            sketch = sketch_of(target)
+            last_target = target
+        sketch.apply_delta(key, delta_sign * ops, stamp, ops=ops)
+    predictor._observe_time(float(ts.max()))
     return m

@@ -85,6 +85,17 @@ class SketchConfig:
         :mod:`repro.core.biased`).
     refresh_buffer:
         Biased/refresh only: per-vertex neighbor buffer capacity.
+    dynamic_mode:
+        Build the deletion-tolerant predictor
+        (:class:`~repro.core.dynamic.DynamicMinHashPredictor`): edges
+        can be retracted and, with a ``ttl``, expire.  Costs
+        counter-backed state per live neighbor instead of flat ``O(k)``
+        per vertex.
+    ttl:
+        Dynamic mode only: a neighbor with no activity for more than
+        ``ttl`` stream-time units (measured against the stream's
+        high-water timestamp, never a wall clock) stops counting toward
+        sketches and degrees.  ``0`` disables expiry.
     """
 
     k: int = 128
@@ -95,6 +106,8 @@ class SketchConfig:
     countmin_depth: int = 4
     weight_policy: str = "freeze"
     refresh_buffer: int = 256
+    dynamic_mode: bool = False
+    ttl: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -102,6 +115,20 @@ class SketchConfig:
         if self.degree_mode not in _DEGREE_MODES:
             raise ConfigurationError(
                 f"degree_mode must be one of {_DEGREE_MODES}, got {self.degree_mode!r}"
+            )
+        if not (math.isfinite(self.ttl) and self.ttl >= 0):
+            raise ConfigurationError(
+                f"ttl must be finite and non-negative, got {self.ttl}"
+            )
+        if self.ttl > 0 and not self.dynamic_mode:
+            raise ConfigurationError(
+                "ttl requires dynamic_mode=True (append-only sketches "
+                "cannot expire edges)"
+            )
+        if self.dynamic_mode and self.degree_mode != "exact":
+            raise ConfigurationError(
+                "dynamic_mode derives degrees from live neighbor counts and "
+                f"requires degree_mode='exact', got {self.degree_mode!r}"
             )
         if self.weight_policy not in _WEIGHT_POLICIES:
             raise ConfigurationError(

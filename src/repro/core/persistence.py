@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.config import SketchConfig
 from repro.core.degrees import ExactDegrees
+from repro.core.dynamic import DynamicArrays, DynamicMinHashPredictor
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import CheckpointCorruptError, ConfigurationError, ReproError, SketchStateError
 from repro.obs.registry import MetricsRegistry
@@ -125,7 +126,7 @@ def _savez_atomic(path_or_file: Union[PathLike, IO[bytes]], fields: Dict[str, np
 
 
 def save_predictor(
-    predictor: MinHashLinkPredictor,
+    predictor: Union[MinHashLinkPredictor, DynamicMinHashPredictor],
     path: Union[PathLike, IO[bytes]],
     *,
     metadata: Optional[Mapping[str, int]] = None,
@@ -152,21 +153,45 @@ def save_predictor(
             "only exact-degree predictors are checkpointable; "
             f"got degree_mode={predictor.config.degree_mode!r}"
         )
-    exported = predictor.export_arrays()
     track = predictor.config.track_witnesses
-    fields: Dict[str, np.ndarray] = {
-        "format_version": np.int64(FORMAT_VERSION),
-        "k": np.int64(predictor.config.k),
-        "seed": np.uint64(predictor.config.seed),
-        "track_witnesses": np.bool_(track),
-        "vertex_ids": exported.vertex_ids,
-        "values": exported.values,
-        "witnesses": (
-            exported.witnesses if track else np.empty((0, 0), dtype=np.int64)
-        ),
-        "update_counts": exported.update_counts,
-        "degrees": exported.degrees,
-    }
+    if isinstance(predictor, DynamicMinHashPredictor):
+        # Dynamic predictors checkpoint their *raw counter state* (the
+        # lossless CSR export), never the materialized views: a future
+        # merge may still need dead or negative counters, and liveness
+        # is recomputed from high_water/ttl on every query anyway.
+        dynamic = predictor.export_dynamic_arrays()
+        saved_rows = len(dynamic.vertex_ids)
+        fields: Dict[str, np.ndarray] = {
+            "format_version": np.int64(FORMAT_VERSION),
+            "dynamic": np.bool_(True),
+            "k": np.int64(predictor.config.k),
+            "seed": np.uint64(predictor.config.seed),
+            "track_witnesses": np.bool_(track),
+            "ttl": np.float64(predictor.config.ttl),
+            "high_water": np.float64(dynamic.high_water),
+            "vertex_ids": dynamic.vertex_ids,
+            "adj_indptr": dynamic.indptr,
+            "adj_keys": dynamic.keys,
+            "adj_counts": dynamic.counts,
+            "adj_last_seen": dynamic.last_seen,
+            "op_counts": dynamic.op_counts,
+        }
+    else:
+        exported = predictor.export_arrays()
+        saved_rows = len(exported.vertex_ids)
+        fields = {
+            "format_version": np.int64(FORMAT_VERSION),
+            "k": np.int64(predictor.config.k),
+            "seed": np.uint64(predictor.config.seed),
+            "track_witnesses": np.bool_(track),
+            "vertex_ids": exported.vertex_ids,
+            "values": exported.values,
+            "witnesses": (
+                exported.witnesses if track else np.empty((0, 0), dtype=np.int64)
+            ),
+            "update_counts": exported.update_counts,
+            "degrees": exported.degrees,
+        }
     for key, value in (metadata or {}).items():
         fields[_META_PREFIX + key] = np.int64(value)
     fields["sha256"] = np.frombuffer(bytes.fromhex(_payload_checksum(fields)), dtype=np.uint8)
@@ -181,7 +206,7 @@ def save_predictor(
             metrics.counter(
                 "persist_bytes_written_total", "Compressed checkpoint bytes written"
             ).inc(written)
-    return len(exported.vertex_ids)
+    return saved_rows
 
 
 def _position_of(path: Union[PathLike, IO[bytes]]) -> Optional[int]:
@@ -210,7 +235,9 @@ def _archive_bytes(path: Union[PathLike, IO[bytes]], before: Optional[int]) -> O
         return None
 
 
-def load_predictor(path: Union[PathLike, IO[bytes]]) -> MinHashLinkPredictor:
+def load_predictor(
+    path: Union[PathLike, IO[bytes]],
+) -> Union[MinHashLinkPredictor, DynamicMinHashPredictor]:
     """Reconstruct a predictor from a checkpoint written by
     :func:`save_predictor`.
 
@@ -227,7 +254,7 @@ def load_predictor_with_metadata(
     path: Union[PathLike, IO[bytes]],
     *,
     metrics: Optional[MetricsRegistry] = None,
-) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
+) -> Tuple[Union[MinHashLinkPredictor, DynamicMinHashPredictor], Dict[str, int]]:
     """Like :func:`load_predictor`, also returning the metadata mapping
     stored at save time (empty dict if none was supplied).
 
@@ -272,13 +299,37 @@ _REQUIRED_FIELDS = (
     "degrees",
 )
 
+#: Schema of a dynamic (deletion-tolerant) checkpoint: the raw CSR
+#: counter state instead of materialized slot matrices.  The ``dynamic``
+#: flag field selects which inventory applies.
+_DYNAMIC_REQUIRED_FIELDS = (
+    "format_version",
+    "dynamic",
+    "k",
+    "seed",
+    "track_witnesses",
+    "ttl",
+    "high_water",
+    "vertex_ids",
+    "adj_indptr",
+    "adj_keys",
+    "adj_counts",
+    "adj_last_seen",
+    "op_counts",
+)
 
-def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
+
+def _restore(
+    archive, name: str
+) -> Tuple[Union[MinHashLinkPredictor, DynamicMinHashPredictor], Dict[str, int]]:
     fields = {field: archive[field] for field in archive.files}
     # Field inventory before anything else: a valid .npz that is not a
     # predictor checkpoint at all (or a half-schema from some other
-    # tool) must fail with a diagnosis, not a KeyError traceback.
-    missing = [field for field in _REQUIRED_FIELDS if field not in fields]
+    # tool) must fail with a diagnosis, not a KeyError traceback.  The
+    # ``dynamic`` flag selects which schema the archive claims to be.
+    is_dynamic = "dynamic" in fields and bool(fields["dynamic"])
+    required = _DYNAMIC_REQUIRED_FIELDS if is_dynamic else _REQUIRED_FIELDS
+    missing = [field for field in required if field not in fields]
     if missing:
         raise CheckpointCorruptError(
             f"checkpoint {name} is not a predictor checkpoint archive: "
@@ -308,6 +359,8 @@ def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
             k=int(fields["k"]),
             seed=int(fields["seed"]),
             track_witnesses=bool(fields["track_witnesses"]),
+            dynamic_mode=is_dynamic,
+            ttl=float(fields["ttl"]) if is_dynamic else 0.0,
         )
     except ConfigurationError as error:
         # Checksummed but unusable: the archive was written with a
@@ -316,6 +369,25 @@ def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
             f"checkpoint {name} carries an incompatible sketch "
             f"configuration: {error}"
         ) from error
+    metadata = {
+        field[len(_META_PREFIX):]: int(value)
+        for field, value in fields.items()
+        if field.startswith(_META_PREFIX)
+    }
+    if is_dynamic:
+        restored = DynamicMinHashPredictor.from_dynamic_arrays(
+            config,
+            DynamicArrays(
+                vertex_ids=fields["vertex_ids"],
+                indptr=fields["adj_indptr"],
+                keys=fields["adj_keys"],
+                counts=fields["adj_counts"],
+                last_seen=fields["adj_last_seen"],
+                op_counts=fields["op_counts"],
+                high_water=float(fields["high_water"]),
+            ),
+        )
+        return restored, metadata
     predictor = MinHashLinkPredictor(config)
     vertex_ids = fields["vertex_ids"]
     values = fields["values"]
@@ -332,9 +404,4 @@ def _restore(archive, name: str) -> Tuple[MinHashLinkPredictor, Dict[str, int]]:
         )
         if degrees[row]:
             degree_table._counts[vertex] = int(degrees[row])
-    metadata = {
-        field[len(_META_PREFIX):]: int(value)
-        for field, value in fields.items()
-        if field.startswith(_META_PREFIX)
-    }
     return predictor, metadata

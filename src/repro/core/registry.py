@@ -1,8 +1,9 @@
 """Factory for predictor methods by name.
 
 Experiments, the CLI and downstream users construct methods from string
-names (``"minhash"``, ``"biased"``, ``"exact"``, ``"edge_reservoir"``,
-``"neighbor_reservoir"``), so one configuration file can sweep over
+names (``"minhash"``, ``"biased"``, ``"dynamic"``, ``"exact"``,
+``"edge_reservoir"``, ``"neighbor_reservoir"``), so one configuration
+file can sweep over
 methods without touching code.  The factory translates a
 :class:`~repro.core.config.SketchConfig` into each method's own notion
 of "equivalent parameters" — in particular, the equal-space rules used
@@ -15,6 +16,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.biased import BiasedMinHashLinkPredictor
 from repro.core.config import SketchConfig
+from repro.core.dynamic import DynamicMinHashPredictor
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import ConfigurationError
 from repro.exact.baselines import EdgeReservoirBaseline, NeighborReservoirBaseline
@@ -30,6 +32,10 @@ def _build_minhash(config: SketchConfig, expected_vertices: Optional[int]) -> Li
 
 def _build_biased(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
     return BiasedMinHashLinkPredictor(config)
+
+
+def _build_dynamic(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
+    return DynamicMinHashPredictor(config)
 
 
 def _build_exact(config: SketchConfig, expected_vertices: Optional[int]) -> LinkPredictor:
@@ -60,6 +66,7 @@ def _build_neighbor_reservoir(
 METHODS: Dict[str, Callable[[SketchConfig, Optional[int]], LinkPredictor]] = {
     "minhash": _build_minhash,
     "biased": _build_biased,
+    "dynamic": _build_dynamic,
     "exact": _build_exact,
     "edge_reservoir": _build_edge_reservoir,
     "neighbor_reservoir": _build_neighbor_reservoir,

@@ -13,13 +13,16 @@ from repro.graph.io import (
     VertexRelabeler,
     iter_edge_list,
     parse_edge_line,
+    parse_stream_record,
     read_edge_list,
     scan_edge_list,
     write_edge_list,
 )
 from repro.graph.stream import (
+    OPS,
     Edge,
     EdgeStream,
+    StreamRecord,
     StreamStats,
     checkpoints,
     deduplicated,
@@ -42,6 +45,8 @@ __all__ = [
     "DirectedGraph",
     "Edge",
     "EdgeStream",
+    "OPS",
+    "StreamRecord",
     "StreamStats",
     "TimestampStats",
     "VertexRelabeler",
@@ -53,6 +58,7 @@ __all__ = [
     "iter_edge_list",
     "LineDiagnostic",
     "parse_edge_line",
+    "parse_stream_record",
     "scan_edge_list",
     "prefix",
     "rate_profile",

@@ -28,13 +28,14 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Union
 
 from repro.errors import ConfigurationError, StreamFormatError
-from repro.graph.stream import Edge
+from repro.graph.stream import Edge, StreamRecord
 
 __all__ = [
     "read_edge_list",
     "iter_edge_list",
     "scan_edge_list",
     "parse_edge_line",
+    "parse_stream_record",
     "LineDiagnostic",
     "write_edge_list",
     "VertexRelabeler",
@@ -48,6 +49,18 @@ PathLike = Union[str, Path]
 _ALIEN_DELIMITERS = (",", ";", "|")
 _ALIEN_SPLIT = re.compile(r"[\s,;|]+")
 
+#: Leading operation tokens a fully dynamic feed may carry.  ``+``/``-``
+#: are the compact sigil spelling; ``add``/``delete``/``del`` the
+#: verbose one.  A line with no operation token is an ``add`` — that is
+#: the entire back-compat story for append-only edge lists.
+OP_TOKENS = {
+    "+": "add",
+    "add": "add",
+    "-": "delete",
+    "delete": "delete",
+    "del": "delete",
+}
+
 
 def _carries_hostile_chars(token: str) -> bool:
     """True when the token holds control (Cc) or format (Cf) characters
@@ -55,55 +68,89 @@ def _carries_hostile_chars(token: str) -> bool:
     return any(unicodedata.category(char) in ("Cc", "Cf") for char in token)
 
 
-def _parse_vertex_token(token: str, line_number: Optional[int]) -> int:
+def _parse_vertex_token(token: str, field: str, line_number: Optional[int]) -> int:
     """One vertex token → non-negative int, or a typed reject.
 
     Deliberately stricter than ``int()``: Python's parser accepts
     underscores (``1_0``), an explicit sign (``+5``), surrounding
     whitespace, and non-ASCII decimal digits (``"١٢"``), all of which
     indicate a mangled upstream rather than a well-formed id.  Only
-    canonical ASCII digit runs pass.
+    canonical ASCII digit runs pass.  ``field`` names the record field
+    (``"u"``/``"v"``) so error messages speak the schema, not a column
+    index.
     """
     if token.isascii() and token.isdigit():
         return int(token)
     if not token.isascii() or _carries_hostile_chars(token):
         raise StreamFormatError(
-            f"vertex token {token!r} carries non-ASCII or control characters",
+            f"vertex {field}: token {token!r} carries non-ASCII or control "
+            "characters",
             line_number=line_number,
             reason="bad_encoding",
         )
     if token.startswith("-") and token[1:].isdigit():
         raise StreamFormatError(
-            f"negative vertex id {token!r}",
+            f"vertex {field}: negative id {token!r}",
             line_number=line_number,
             reason="negative_vertex",
         )
     raise StreamFormatError(
-        f"non-integer vertex id {token!r} "
+        f"vertex {field}: non-integer id {token!r} "
         "(pass a VertexRelabeler for labelled data)",
         line_number=line_number,
         reason="non_integer_vertex",
     )
 
 
-def parse_edge_line(
+def _parse_timestamp_token(token: str, line_number: Optional[int]) -> float:
+    """The ``timestamp`` field → finite float, or a typed reject."""
+    try:
+        timestamp = float(token)
+    except ValueError:
+        raise StreamFormatError(
+            f"timestamp: non-numeric value {token!r}",
+            line_number=line_number,
+            reason="bad_timestamp",
+        ) from None
+    if not math.isfinite(timestamp):
+        raise StreamFormatError(
+            f"timestamp: non-finite value {token!r} (nan/inf poison "
+            "temporal ordering)",
+            line_number=line_number,
+            reason="nonfinite_timestamp",
+        )
+    return timestamp
+
+
+def parse_stream_record(
     text: str,
     *,
     line_number: Optional[int] = None,
     default_timestamp: float = 0.0,
     relabeler: Optional["VertexRelabeler"] = None,
-) -> Edge:
-    """Parse one SNAP data line (``u v`` or ``u v timestamp``) into an
-    :class:`Edge`.
+    accept_ops: bool = True,
+) -> StreamRecord:
+    """Parse one data line into a typed :class:`StreamRecord`.
 
-    The single parsing authority: the eager readers below and the
-    fault-tolerant ingestion runtime (:mod:`repro.stream`) both call
-    this, so "what is a well-formed record" has exactly one definition.
+    The single parsing authority: the eager readers below, the legacy
+    :func:`parse_edge_line` wrapper and the fault-tolerant ingestion
+    runtime (:mod:`repro.stream`) all route through this, so "what is a
+    well-formed record" has exactly one definition.  Accepted layouts::
+
+        u v                      # add, timestamp = default_timestamp
+        u v timestamp            # add
+        + u v [timestamp]        # add, explicit sigil
+        - u v [timestamp]        # delete
+        add u v [timestamp]      # add, verbose token
+        delete u v [timestamp]   # delete  (also: del)
+
     Raises :class:`StreamFormatError` whose ``reason`` attribute is a
-    dead-letter vocabulary slug (``bad_arity``, ``non_integer_vertex``,
-    ``negative_vertex``, ``bad_timestamp``, ``mixed_delimiter``,
-    ``bad_encoding``, ``nonfinite_timestamp``).  Self-loop policy is
-    the *caller's* decision — a self-loop parses fine here.
+    dead-letter vocabulary slug (``bad_op``, ``bad_arity``,
+    ``non_integer_vertex``, ``negative_vertex``, ``bad_timestamp``,
+    ``mixed_delimiter``, ``bad_encoding``, ``nonfinite_timestamp``) and
+    whose message names the record *field* (``op``, ``vertex u``,
+    ``vertex v``, ``timestamp``) rather than a column index.  Self-loop
+    policy is the *caller's* decision — a self-loop parses fine here.
 
     Vertex tokens must be canonical ASCII digit runs — Python-int
     lenience (``int("1_0")``, ``int("+5")``, fullwidth digits) is
@@ -111,10 +158,32 @@ def parse_edge_line(
     tag the line ``bad_encoding``.  Timestamps must be finite:
     ``float()`` happily parses ``nan``/``inf``, which would poison
     temporal ordering downstream, so those tag ``nonfinite_timestamp``.
+
+    With ``accept_ops=False`` the operation token is not recognised and
+    the legacy append-only grammar applies (op-looking tokens fall into
+    the vertex-field rejects, exactly as before the record redesign).
     """
     fields = text.split()
+    op = "add"
+    if accept_ops and fields:
+        head = fields[0]
+        if head in OP_TOKENS:
+            op = OP_TOKENS[head]
+            fields = fields[1:]
+        elif len(fields) == 4 and not (head.isascii() and head.isdigit()):
+            # Four fields can only be well-formed as ``op u v t`` — a
+            # non-numeric head that is no known op is a botched op
+            # token, not an arity slip.
+            raise StreamFormatError(
+                f"op: leading token {head!r} is not an operation "
+                "(expected add, delete, del, + or -)",
+                line_number=line_number,
+                reason="bad_op",
+            )
     if relabeler is None and any(d in text for d in _ALIEN_DELIMITERS):
         candidate = [part for part in _ALIEN_SPLIT.split(text) if part]
+        if candidate and candidate[0] in OP_TOKENS:
+            candidate = candidate[1:]
         if 2 <= len(candidate) <= 3:
             raise StreamFormatError(
                 "fields are joined by ,/;/| delimiters instead of whitespace "
@@ -124,68 +193,87 @@ def parse_edge_line(
             )
     if len(fields) not in (2, 3):
         raise StreamFormatError(
-            f"expected 2 or 3 whitespace-separated fields, got {len(fields)}",
+            "expected fields <u> <v> [<timestamp>] with an optional leading "
+            f"op token, got {len(fields)} fields",
             line_number=line_number,
             reason="bad_arity",
         )
     if relabeler is not None:
-        for field in fields[:2]:
+        for name, field in zip(("u", "v"), fields[:2]):
             if _carries_hostile_chars(field):
                 raise StreamFormatError(
-                    f"vertex label {field!r} carries control or format characters",
+                    f"vertex {name}: label {field!r} carries control or "
+                    "format characters",
                     line_number=line_number,
                     reason="bad_encoding",
                 )
         u = relabeler.encode(fields[0])
         v = relabeler.encode(fields[1])
     else:
-        u = _parse_vertex_token(fields[0], line_number)
-        v = _parse_vertex_token(fields[1], line_number)
+        u = _parse_vertex_token(fields[0], "u", line_number)
+        v = _parse_vertex_token(fields[1], "v", line_number)
     if len(fields) == 3:
-        try:
-            timestamp = float(fields[2])
-        except ValueError:
-            raise StreamFormatError(
-                f"non-numeric timestamp {fields[2]!r}",
-                line_number=line_number,
-                reason="bad_timestamp",
-            ) from None
-        if not math.isfinite(timestamp):
-            raise StreamFormatError(
-                f"non-finite timestamp {fields[2]!r} (nan/inf poison "
-                "temporal ordering)",
-                line_number=line_number,
-                reason="nonfinite_timestamp",
-            )
+        timestamp = _parse_timestamp_token(fields[2], line_number)
     else:
         timestamp = default_timestamp
-    return Edge(u, v, timestamp)
+    return StreamRecord(op, u, v, timestamp)
+
+
+def parse_edge_line(
+    text: str,
+    *,
+    line_number: Optional[int] = None,
+    default_timestamp: float = 0.0,
+    relabeler: Optional["VertexRelabeler"] = None,
+) -> Edge:
+    """Parse one append-only SNAP data line (``u v`` or ``u v
+    timestamp``) into an :class:`Edge`.
+
+    Back-compat wrapper over :func:`parse_stream_record` with operation
+    tokens disabled: the legacy grammar cannot express deletions, so a
+    ``-``/``delete`` line falls into the usual vertex-field rejects
+    instead of silently becoming an add.  Callers that want the dynamic
+    grammar parse records instead.
+    """
+    record = parse_stream_record(
+        text,
+        line_number=line_number,
+        default_timestamp=default_timestamp,
+        relabeler=relabeler,
+        accept_ops=False,
+    )
+    return record.edge
 
 
 class LineDiagnostic(NamedTuple):
-    """One data line's parse outcome: exactly one of ``edge``/``error``
-    is set.  ``raw`` is the stripped line text for dead-letter triage."""
+    """One data line's parse outcome: exactly one of ``record``/``error``
+    is set.  ``raw`` is the stripped line text for dead-letter triage.
+    ``edge`` is a convenience view of the parsed record's edge."""
 
     line_number: int
     raw: str
     edge: Optional[Edge] = None
     error: Optional[StreamFormatError] = None
+    record: Optional[StreamRecord] = None
 
 
 def scan_edge_list(
     path: PathLike,
     relabeler: Optional["VertexRelabeler"] = None,
     allow_self_loops: bool = False,
+    accept_ops: bool = False,
 ) -> Iterator[LineDiagnostic]:
     """Stream per-line parse diagnostics instead of aborting on the
     first malformed line.
 
     Yields one :class:`LineDiagnostic` per data line — a parsed
-    ``edge`` or the typed ``error`` (with ``.reason``) it produced —
-    which is exactly the shape a dead-letter channel wants.  Comments
-    and blank lines are skipped; dropped self-loops (when
-    ``allow_self_loops`` is false) are skipped silently, matching
-    :func:`iter_edge_list`.
+    ``record`` (with its ``edge`` view) or the typed ``error`` (with
+    ``.reason``) it produced — which is exactly the shape a dead-letter
+    channel wants.  Comments and blank lines are skipped; dropped
+    self-loops (when ``allow_self_loops`` is false) are skipped
+    silently, matching :func:`iter_edge_list`.  With ``accept_ops``
+    the dynamic grammar applies and diagnostics may carry ``delete``
+    records; the default keeps the legacy append-only grammar.
     """
     index = 0
     with open(path, "r", encoding="utf-8") as handle:
@@ -194,18 +282,19 @@ def scan_edge_list(
             if not text or text.startswith(("#", "%")):
                 continue
             try:
-                edge = parse_edge_line(
+                record = parse_stream_record(
                     text,
                     line_number=line_number,
                     default_timestamp=float(index),
                     relabeler=relabeler,
+                    accept_ops=accept_ops,
                 )
             except StreamFormatError as error:
                 yield LineDiagnostic(line_number, text, error=error)
                 continue
-            if edge.u == edge.v and not allow_self_loops:
+            if record.u == record.v and not allow_self_loops:
                 continue  # SNAP files occasionally carry self-loops; drop them
-            yield LineDiagnostic(line_number, text, edge=edge)
+            yield LineDiagnostic(line_number, text, edge=record.edge, record=record)
             index += 1
 
 

@@ -25,6 +25,8 @@ from repro.sketches.hyperloglog import HyperLogLog
 __all__ = [
     "Edge",
     "EdgeStream",
+    "OPS",
+    "StreamRecord",
     "edge_key",
     "from_pairs",
     "with_timestamps",
@@ -60,6 +62,57 @@ class Edge(NamedTuple):
 
 #: Type alias used throughout: anything iterable over edges is a stream.
 EdgeStream = Iterable[Edge]
+
+#: The closed vocabulary of stream operations a record can carry.
+OPS = ("add", "delete")
+
+
+class StreamRecord(NamedTuple):
+    """One typed stream operation: add or delete an undirected edge.
+
+    This is the canonical ingest unit across parsers, the guard, the
+    runner, workers and the dead-letter channel.  The historical
+    ``(u, v[, t])`` tuple contract could not express *operations*, so
+    fully dynamic feeds (follows/unfollows, session expiry) had no
+    first-class spelling; every legacy input shape is coerced into a
+    ``StreamRecord`` with ``op="add"`` by the back-compat shim in
+    :func:`repro.stream.policies.coerce_stream_record`.
+
+    ``op`` is one of :data:`OPS`; ``weight`` is carried for weighted
+    back-ends and ignored by the set-semantics predictors.
+    """
+
+    op: str
+    u: int
+    v: int
+    timestamp: float = 0.0
+    weight: float = 1.0
+
+    @property
+    def edge(self) -> Edge:
+        """The ``(u, v, timestamp)`` edge this operation touches."""
+        return Edge(self.u, self.v, self.timestamp)
+
+    def canonical(self) -> "StreamRecord":
+        """The same record with endpoints in ``(min, max)`` order."""
+        if self.u <= self.v:
+            return self
+        return StreamRecord(self.op, self.v, self.u, self.timestamp, self.weight)
+
+    @classmethod
+    def add_edge(cls, u: int, v: int, timestamp: float = 0.0, weight: float = 1.0) -> "StreamRecord":
+        """An ``add`` operation (the legacy, append-only record kind)."""
+        return cls("add", u, v, timestamp, weight)
+
+    @classmethod
+    def delete_edge(cls, u: int, v: int, timestamp: float = 0.0, weight: float = 1.0) -> "StreamRecord":
+        """A ``delete`` operation retracting a previously added edge."""
+        return cls("delete", u, v, timestamp, weight)
+
+    @classmethod
+    def from_edge(cls, edge: Edge, op: str = "add", weight: float = 1.0) -> "StreamRecord":
+        """Wrap an :class:`Edge` as an operation record."""
+        return cls(op, edge.u, edge.v, edge.timestamp, weight)
 
 
 def edge_key(u: int, v: int) -> int:

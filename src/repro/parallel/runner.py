@@ -46,8 +46,10 @@ import time
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import SketchConfig
+from repro.core.dynamic import merge_dynamic_shards
 from repro.core.predictor import MinHashLinkPredictor, merge_shards
 from repro.errors import ConfigurationError, DeadLetterError, WorkerCrashError
+from repro.graph.stream import StreamRecord
 from repro.obs.registry import MetricsRegistry
 from repro.parallel.partition import shard_of
 from repro.parallel.worker import shard_directory, shard_worker_main
@@ -162,6 +164,11 @@ class ShardedRunner:
                 raise ConfigurationError(
                     "the guard's self_loops setting must match the runner's"
                 )
+            if guard.supports_deletes and not self.config.dynamic_mode:
+                raise ConfigurationError(
+                    "a delete-admitting guard needs a dynamic configuration; "
+                    "build with SketchConfig(dynamic_mode=True)"
+                )
             self.guard = guard
         else:
             if isinstance(policies, str):
@@ -169,7 +176,11 @@ class ShardedRunner:
             # Guard state lives coordinator-side: one process sees every
             # record in stream order, so stream-level detection is
             # deterministic and identical to the serial runner's.
-            self.guard = StreamGuard(policies, self_loops=self_loops)
+            self.guard = StreamGuard(
+                policies,
+                self_loops=self_loops,
+                supports_deletes=self.config.dynamic_mode,
+            )
         self.policies = self.guard.policies
         self.chunk_records = chunk_records
         self.queue_depth = queue_depth
@@ -385,12 +396,12 @@ class ShardedRunner:
         verdict = self.guard.evaluate(record)
         disposition = verdict.disposition
         if disposition == "ok":
-            self._route(record, verdict.edge, buffers)
+            self._route(record, self._accepted_record(verdict), buffers)
         elif disposition == "normalized":
             for case in verdict.cases:
                 self._m_normalized.labels(case).inc()
             if verdict.edge is not None:
-                self._route(record, verdict.edge, buffers)
+                self._route(record, self._accepted_record(verdict), buffers)
             else:
                 self._m_norm_removed.inc()  # the repair was removal
         elif disposition == "drop":
@@ -419,8 +430,23 @@ class ShardedRunner:
             self._m_dead_reasons.labels(verdict.reason).inc()
         self.offset = record.offset + 1
 
-    def _route(self, record: SourceRecord, edge, buffers: List[list]) -> None:
-        shard = shard_of(edge.u, edge.v, self.workers, self.config.seed)
+    @staticmethod
+    def _accepted_record(verdict) -> StreamRecord:
+        """The typed record behind an accepting verdict (synthesized
+        from the legacy edge view for guards predating the field)."""
+        if verdict.record is not None:
+            return verdict.record
+        edge = verdict.edge
+        return StreamRecord.add_edge(edge.u, edge.v, edge.timestamp)
+
+    def _route(
+        self, record: SourceRecord, accepted: StreamRecord, buffers: List[list]
+    ) -> None:
+        # shard_of is symmetric in (u, v), so an edge's delete always
+        # lands on the shard that saw its add — the counter algebra
+        # cancels locally whenever the ops meet in one shard, and still
+        # merges exactly when they don't (resume can split them).
+        shard = shard_of(accepted.u, accepted.v, self.workers, self.config.seed)
         if record.offset < self.shard_offsets[shard]:
             # Already reflected in that shard's checkpoint: a
             # resume replays from min(shard offsets) and skips
@@ -428,7 +454,15 @@ class ShardedRunner:
             self._m_replayed.inc()
         else:
             buffer = buffers[shard]
-            buffer.append((record.offset, edge.u, edge.v))
+            buffer.append(
+                (
+                    record.offset,
+                    accepted.u,
+                    accepted.v,
+                    0 if accepted.op == "add" else 1,
+                    accepted.timestamp,
+                )
+            )
             self._m_ok[shard].inc()
             if len(buffer) >= self.chunk_records:
                 self._put(shard, ("edges", buffer))
@@ -519,7 +553,10 @@ class ShardedRunner:
             self.shard_records[shard] = payload["records_ok"]
             self._m_checkpoints.inc(payload["checkpoints_written"])
         merge_started = self.clock()
-        self.predictor = merge_shards(
+        reduce_shards = (
+            merge_dynamic_shards if self.config.dynamic_mode else merge_shards
+        )
+        self.predictor = reduce_shards(
             [self._done[shard]["predictor"] for shard in range(self.workers)]
         )
         self.merge_seconds = self.clock() - merge_started
@@ -589,6 +626,7 @@ class ShardedRunner:
             "merge_seconds": self.merge_seconds,
             "source_exhausted": self.source_exhausted,
             "vertices": self.predictor.vertex_count if self.predictor else 0,
+            "dynamic": self.config.dynamic_mode,
         }
 
     def __repr__(self) -> str:

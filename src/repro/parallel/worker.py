@@ -6,8 +6,10 @@ seed, same hash bank as every sibling — mergeability requires equal
 configs) and consumes only the edges the coordinator routes to its
 shard.  The protocol over the bounded task queue:
 
-* ``("edges", [(offset, u, v), ...])`` — a chunk of validated edges
-  owned by this shard, global stream offsets ascending,
+* ``("edges", [(offset, u, v, op, timestamp), ...])`` — a chunk of
+  validated records owned by this shard, global stream offsets
+  ascending; ``op`` is 0 for an add, 1 for a delete (the coordinator
+  guard admits deletes only under a dynamic configuration),
 * ``("finish",)`` — the source is exhausted: write a final checkpoint
   (so a completed stream never replays) and report the shard state,
 * ``("halt",)`` — stop *without* a final checkpoint.  This is what a
@@ -35,6 +37,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.core.config import SketchConfig
+from repro.core.dynamic import DynamicMinHashPredictor
 from repro.errors import WorkerCrashError
 from repro.core.predictor import MinHashLinkPredictor
 from repro.stream.checkpoint import CheckpointManager
@@ -73,7 +76,10 @@ def shard_worker_main(
             manager = CheckpointManager(
                 shard_directory(checkpoint_dir, shard), keep=keep
             )
-        predictor = MinHashLinkPredictor(config)
+        dynamic = config.dynamic_mode
+        predictor = (
+            DynamicMinHashPredictor(config) if dynamic else MinHashLinkPredictor(config)
+        )
         offset = 0  # global stream offset this shard is committed through
         generation = None
         if resume and manager is not None:
@@ -84,7 +90,6 @@ def shard_worker_main(
                 generation = checkpoint.generation
         result_queue.put(("ready", shard, offset, generation))
 
-        update = predictor.update
         records_ok = 0
         checkpoints_written = 0
         since_checkpoint = 0
@@ -103,10 +108,31 @@ def shard_worker_main(
                         if checkpoint_every:
                             take = min(take, checkpoint_every - since_checkpoint)
                         span = eligible[applied : applied + take]
-                        predictor.update_block(
-                            [entry[1] for entry in span],
-                            [entry[2] for entry in span],
-                        )
+                        if dynamic:
+                            # The batched kernel applies one op per
+                            # call: clip the span to its leading
+                            # homogeneous-op run.
+                            span_op = span[0][3]
+                            run = 1
+                            while run < len(span) and span[run][3] == span_op:
+                                run += 1
+                            span = span[:run]
+                            take = run
+                            fold = (
+                                predictor.delete_block
+                                if span_op
+                                else predictor.update_block
+                            )
+                            fold(
+                                [entry[1] for entry in span],
+                                [entry[2] for entry in span],
+                                [entry[4] for entry in span],
+                            )
+                        else:
+                            predictor.update_block(
+                                [entry[1] for entry in span],
+                                [entry[2] for entry in span],
+                            )
                         offset = span[-1][0] + 1
                         records_ok += take
                         since_checkpoint += take
@@ -116,10 +142,16 @@ def shard_worker_main(
                             checkpoints_written += 1
                             since_checkpoint = 0
                     continue
-                for record_offset, u, v in message[1]:
+                for record_offset, u, v, op, timestamp in message[1]:
                     if record_offset < offset:
                         continue  # replayed record already in a checkpoint
-                    update(u, v)
+                    if dynamic:
+                        if op:
+                            predictor.delete(u, v, timestamp)
+                        else:
+                            predictor.update(u, v, timestamp)
+                    else:
+                        predictor.update(u, v)
                     offset = record_offset + 1
                     records_ok += 1
                     since_checkpoint += 1

@@ -1,7 +1,7 @@
 """Closed-loop load generator for the serving tier.
 
 ``run_load`` drives a running :class:`~repro.serve.server.SketchServer`
-with N worker threads, each issuing ``POST /score`` batches over a
+with N worker threads, each issuing ``POST /v1/score`` batches over a
 persistent keep-alive connection and waiting for the response before
 sending the next (closed-loop: concurrency is exactly ``workers``, so
 measured latency is honest — no coordinated-omission from an open-loop
@@ -184,7 +184,7 @@ def _worker(
             if connection is None:
                 connection = http.client.HTTPConnection(host, port, timeout=timeout)
             connection.request(
-                "POST", "/score", body=body, headers={"Content-Type": "application/json"}
+                "POST", "/v1/score", body=body, headers={"Content-Type": "application/json"}
             )
             response = connection.getresponse()
             payload = response.read()

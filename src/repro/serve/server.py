@@ -22,20 +22,23 @@ generation number and fingerprint it was answered from, which is how
 the atomicity suite and ``bench_e17_serving`` prove the swap is torn-
 read-free.
 
-Endpoints:
+Endpoints (the versioned ``/v1/...`` spellings are canonical; the
+unprefixed paths are permanent aliases for pre-versioning clients, and
+every response carries ``X-Repro-Api-Version`` naming the version that
+answered it):
 
-* ``POST /score`` — score a pair batch.  Body is JSON
+* ``POST /v1/score`` — score a pair batch.  Body is JSON
   (``{"pairs": [[u, v], ...], "measure": "jaccard"}``) or the CLI's
   pair-file text format (``u v`` lines, ``#`` comments); responses are
   JSON or CSV (``?format=csv``), in the exact shapes ``repro-linkpred
   query`` emits.
-* ``GET /topk/<vertex>`` — the engine's pruned top-k
+* ``GET /v1/topk/<vertex>`` — the engine's pruned top-k
   (``?measure=&k=&prune=``).
-* ``GET /healthz`` — liveness + the runner/engine ``stats()`` dicts.
-* ``GET /readyz`` — readiness: a generation is published, the server
+* ``GET /v1/healthz`` — liveness + the runner/engine ``stats()`` dicts.
+* ``GET /v1/readyz`` — readiness: a generation is published, the server
   is not draining, and (when ingest is live) the served generation is
   not stale; 503 otherwise, with the reason.
-* ``GET /metrics`` — Prometheus text exposition of the shared
+* ``GET /v1/metrics`` — Prometheus text exposition of the shared
   registry (``Accept: application/json`` or ``?format=json`` returns
   the :func:`repro.obs.export.snapshot` JSON instead).
 
@@ -83,6 +86,12 @@ _JSON = "application/json"
 _TEXT = "text/plain; charset=utf-8"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
+#: The HTTP API version this server speaks.  ``/v1/...`` paths are the
+#: canonical spellings; unprefixed paths alias to the same handlers,
+#: and every response names its version in ``X-Repro-Api-Version``.
+_API_VERSION = "1"
+_API_PREFIX = f"/v{_API_VERSION}"
+
 #: The attributes the ingest thread publishes to the event-loop side.
 #: Everything the asyncio side needs from a swap hangs off the one
 #: Generation reference — number, fingerprint, offset, published_at —
@@ -129,14 +138,21 @@ class Generation:
 
 
 class _Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
+
+    A leading ``/v1`` prefix is normalized away here, so routing and
+    handlers see one canonical path whichever spelling the client used.
+    """
 
     __slots__ = ("method", "path", "query", "headers", "body", "close")
 
     def __init__(self, method: str, target: str, headers: Dict[str, str], body: bytes) -> None:
         self.method = method
         parsed = urllib.parse.urlsplit(target)
-        self.path = parsed.path
+        path = parsed.path
+        if path == _API_PREFIX or path.startswith(_API_PREFIX + "/"):
+            path = path[len(_API_PREFIX):] or "/"
+        self.path = path
         self.query = {k: v[-1] for k, v in urllib.parse.parse_qs(parsed.query).items()}
         self.headers = headers
         self.body = body
@@ -722,6 +738,7 @@ class SketchServer:
             f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close or self._draining else 'keep-alive'}",
+            f"X-Repro-Api-Version: {_API_VERSION}",
         ]
         for name, value in (extra_headers or {}).items():
             lines.append(f"{name}: {value}")
@@ -785,11 +802,11 @@ class SketchServer:
     async def _dispatch(self, request: _Request, endpoint: str) -> Tuple[int, bytes]:
         if endpoint == "score":
             if request.method != "POST":
-                raise _HttpError(405, "POST /score")
+                raise _HttpError(405, "POST /v1/score")
             return await self._handle_score(request)
         if endpoint == "topk":
             if request.method != "GET":
-                raise _HttpError(405, "GET /topk/<vertex>")
+                raise _HttpError(405, "GET /v1/topk/<vertex>")
             return await self._handle_topk(request)
         if request.method != "GET":
             raise _HttpError(405, f"GET /{endpoint}")

@@ -11,6 +11,7 @@ from repro.sketches.base import MergeableSummary, StreamSummary
 from repro.sketches.bloom import BloomFilter
 from repro.sketches.bottomk import BottomK
 from repro.sketches.countmin import CountMin
+from repro.sketches.dynamic import DynamicKMinHash
 from repro.sketches.hyperloglog import HyperLogLog
 from repro.sketches.minhash import EMPTY_SLOT, NO_WITNESS, KMinHash
 from repro.sketches.reservoir import Reservoir
@@ -20,6 +21,7 @@ __all__ = [
     "StreamSummary",
     "MergeableSummary",
     "KMinHash",
+    "DynamicKMinHash",
     "EMPTY_SLOT",
     "NO_WITNESS",
     "BottomK",

@@ -1,0 +1,284 @@
+"""Deletion-tolerant k-mins sketches backed by signed neighbor counters.
+
+A plain :class:`~repro.sketches.minhash.KMinHash` is a *monotone* fold:
+slot minima only ever decrease, so an edge deletion cannot be applied —
+the retracted neighbor may be the very key holding a slot minimum, and
+the second-smallest hash was never kept.  The fully dynamic literature
+("A Fast Sketch Method for Mining User Similarities over Fully Dynamic
+Graph Streams", PAPERS.md) resolves this with *counter-backed*
+structures: keep an exactly-mergeable account of the multiset of
+arrivals and retractions, and derive the min-structure from the live
+survivors on demand.
+
+:class:`DynamicKMinHash` is that structure for one vertex: a map
+``neighbor key → (signed count, last-seen stream time)``.  The algebra
+is a ℤ-module — merge adds counts and maxes timestamps per key — so
+merge is commutative and associative *by construction*, under any
+interleaving of adds and deletes (the hypothesis suite proves it).  A
+key is **live** when its count is positive and, under a TTL, its last
+activity is within ``ttl`` of the caller-supplied stream time ``now``
+(always stream time, never a wall clock: the determinism contract of
+this package forbids ambient time, and TTL expiry must replay
+bit-identically).  :meth:`materialize` folds the live keys into an
+ordinary :class:`KMinHash` view — smallest key wins hash ties, so the
+view is a pure function of the live set, independent of operation
+order — and every downstream consumer (estimators, packed matrices,
+fingerprints) works unchanged.
+
+Space is ``O(live + retracted-but-referenced)`` per vertex rather than
+``O(k)`` — the price of exact deletability; the TTL story bounds it on
+expiring workloads because :meth:`compact` can drop dead entries whose
+timestamps can no longer matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SketchStateError
+from repro.hashing import HashBank
+from repro.sketches.minhash import EMPTY_SLOT, KMinHash
+
+__all__ = ["DynamicKMinHash"]
+
+
+class DynamicKMinHash(object):
+    """A deletion-tolerant neighbor-set sketch for one vertex.
+
+    Parameters
+    ----------
+    bank:
+        The shared :class:`~repro.hashing.HashBank`; materialized views
+        are comparable with any :class:`KMinHash` built from an equal
+        bank.
+    track_witnesses:
+        Whether materialized views carry argmin witnesses.
+
+    Notes
+    -----
+    ``add``/``remove`` accept any non-negative key and never raise on a
+    retraction of an absent key — the count simply goes negative, which
+    keeps the merge algebra exact when operations arrive out of order
+    across shards (a delete may be merged before its add).  Policy-level
+    handling of deletes-of-unseen-edges belongs to the stream guard, not
+    the sketch.
+    """
+
+    __slots__ = ("bank", "track_witnesses", "_entries", "op_count")
+
+    def __init__(self, bank: HashBank, track_witnesses: bool = True) -> None:
+        self.bank = bank
+        self.track_witnesses = track_witnesses
+        #: key → [signed live count, last-seen stream time]
+        self._entries: Dict[int, List[float]] = {}
+        #: Total operations folded in (adds + removes); additive under
+        #: merge, so serial and merged shard states report identically.
+        self.op_count = 0
+
+    @property
+    def compatibility_token(self) -> tuple:
+        return ("DynamicKMinHash", self.bank.seed, self.bank.size)
+
+    @property
+    def k(self) -> int:
+        """Number of slots (hash functions) of materialized views."""
+        return self.bank.size
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, key: int, timestamp: float = 0.0) -> None:
+        """Fold an edge arrival toward ``key`` in (``O(1)``)."""
+        self._apply(key, 1, timestamp)
+
+    def remove(self, key: int, timestamp: float = 0.0) -> None:
+        """Fold an edge retraction of ``key`` in (``O(1)``)."""
+        self._apply(key, -1, timestamp)
+
+    def _apply(self, key: int, delta: int, timestamp: float) -> None:
+        if key < 0:
+            raise ConfigurationError(f"keys must be non-negative, got {key}")
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = [delta, timestamp]
+        else:
+            entry[0] += delta
+            if timestamp > entry[1]:
+                entry[1] = timestamp
+        self.op_count += 1
+
+    def apply_delta(self, key: int, delta: int, timestamp: float, ops: int = 1) -> None:
+        """Fold an aggregated ``(count delta, max timestamp)`` for one
+        key in — the batched-kernel entry point (one call per *unique*
+        key of a batch instead of one per operation)."""
+        if key < 0:
+            raise ConfigurationError(f"keys must be non-negative, got {key}")
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = [delta, timestamp]
+        else:
+            entry[0] += delta
+            if timestamp > entry[1]:
+                entry[1] = timestamp
+        self.op_count += ops
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def live_keys(self, now: float = 0.0, ttl: float = 0.0) -> List[int]:
+        """The live neighbor keys, sorted ascending.
+
+        Live means a positive signed count and, when ``ttl > 0``, last
+        activity within ``ttl`` of the stream time ``now``.
+        """
+        if ttl > 0.0:
+            alive = [
+                key
+                for key, entry in self._entries.items()
+                if entry[0] > 0 and now - entry[1] <= ttl
+            ]
+        else:
+            alive = [key for key, entry in self._entries.items() if entry[0] > 0]
+        return sorted(alive)
+
+    def live_degree(self, now: float = 0.0, ttl: float = 0.0) -> int:
+        """Number of live neighbors (the vertex's dynamic degree)."""
+        if ttl > 0.0:
+            return sum(
+                1
+                for entry in self._entries.values()
+                if entry[0] > 0 and now - entry[1] <= ttl
+            )
+        return sum(1 for entry in self._entries.values() if entry[0] > 0)
+
+    def items(self) -> Iterator[Tuple[int, int, float]]:
+        """All ``(key, signed count, last_seen)`` entries, key-sorted —
+        the canonical serialization order for checkpoints."""
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            yield key, int(entry[0]), float(entry[1])
+
+    def compact(self, now: float = 0.0, ttl: float = 0.0) -> int:
+        """Drop zero-count entries (and, under a TTL, expired ones).
+
+        Only entries whose removal cannot change any future
+        materialization *given no further merges* are eligible; call on
+        sealed states (post-merge, pre-checkpoint) to bound memory on
+        expiring workloads.  Returns the number of entries dropped.
+        """
+        if ttl > 0.0:
+            dead = [
+                key
+                for key, entry in self._entries.items()
+                if entry[0] == 0 or (entry[0] > 0 and now - entry[1] > ttl)
+            ]
+        else:
+            dead = [key for key, entry in self._entries.items() if entry[0] == 0]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(self, now: float = 0.0, ttl: float = 0.0) -> KMinHash:
+        """Derive the :class:`KMinHash` view of the live neighbor set.
+
+        A pure function of the live set: slot minima are column minima
+        of the batch-hashed live keys, and on equal hashes the
+        *smallest key* wins the witness — so any operation order (and
+        any shard merge order) producing the same live set materializes
+        the identical view, which is what makes dynamic fingerprints
+        comparable across serial and sharded ingestion.
+        """
+        view = KMinHash(self.bank, track_witnesses=self.track_witnesses)
+        keys = self.live_keys(now, ttl)
+        view.update_count = self.op_count
+        if not keys:
+            return view
+        key_array = np.asarray(keys, dtype=np.int64)
+        hashes = self.bank.values_block(key_array.astype(np.uint64))
+        # Mirror KMinHash.update_hashed: the maximal hash value is
+        # remapped down so EMPTY_SLOT is never produced by a real key.
+        hashes = np.minimum(hashes, EMPTY_SLOT - np.uint64(1))
+        view.values = hashes.min(axis=0)
+        if self.track_witnesses:
+            # argmin returns the first (= smallest, keys are sorted)
+            # row achieving each column minimum.
+            view.witnesses = key_array[np.argmin(hashes, axis=0)]
+        return view
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "DynamicKMinHash") -> "DynamicKMinHash":
+        """Combine two counter states (new object): counts add,
+        last-seen times max, per key — the ℤ-module sum, commutative
+        and associative under any add/delete interleaving."""
+        if other.compatibility_token != self.compatibility_token:
+            raise SketchStateError(
+                "cannot merge dynamic sketches from different hash banks "
+                f"({self.compatibility_token} vs {other.compatibility_token})"
+            )
+        if other.track_witnesses != self.track_witnesses:
+            raise SketchStateError(
+                "cannot merge a witness-tracking dynamic sketch with a "
+                "non-tracking one"
+            )
+        merged = DynamicKMinHash(self.bank, track_witnesses=self.track_witnesses)
+        entries: Dict[int, List[float]] = {
+            key: list(entry) for key, entry in self._entries.items()
+        }
+        for key, entry in other._entries.items():
+            mine = entries.get(key)
+            if mine is None:
+                entries[key] = list(entry)
+            else:
+                mine[0] += entry[0]
+                if entry[1] > mine[1]:
+                    mine[1] = entry[1]
+        merged._entries = entries
+        merged.op_count = self.op_count + other.op_count
+        return merged
+
+    def copy(self) -> "DynamicKMinHash":
+        dup = DynamicKMinHash(self.bank, track_witnesses=self.track_witnesses)
+        dup._entries = {key: list(entry) for key, entry in self._entries.items()}
+        dup.op_count = self.op_count
+        return dup
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of distinct keys currently accounted (live or not)."""
+        return len(self._entries)
+
+    def nominal_bytes(self) -> int:
+        """Nominal packed bytes: 24 per entry (key, count, last-seen)."""
+        return 24 * len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicKMinHash):
+            return NotImplemented
+        if other.compatibility_token != self.compatibility_token:
+            return False
+        if other.track_witnesses != self.track_witnesses:
+            return False
+        return list(self.items()) == list(other.items())
+
+    def __hash__(self) -> int:  # mutable container: identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicKMinHash(k={self.k}, entries={len(self._entries)}, "
+            f"ops={self.op_count})"
+        )

@@ -135,6 +135,12 @@ CASEBOOK: Tuple[Case, ...] = (
         "10 11 nan",
     ),
     Case(
+        "bad_op", "parse", "quarantine", False,
+        "none — an unknown operation token has no sound reading",
+        "an 'upsert' op from a CDC feed leaking into the add/delete grammar",
+        "upd 1 2 3",
+    ),
+    Case(
         "duplicate_edge", "stream", "normalize", True,
         "drop the re-send (first occurrence already counted)",
         "at-least-once delivery re-sending a batch after an ack timeout",
@@ -157,6 +163,18 @@ CASEBOOK: Tuple[Case, ...] = (
         "drop edges past the per-vertex degree limit",
         "the ATLAS author-inflation case: one entity absorbs the graph",
         "0 16  (after vertex 0 reached the hub limit)",
+    ),
+    Case(
+        "delete_unseen_edge", "stream", "quarantine", True,
+        "drop the retraction (there is nothing to retract)",
+        "a compaction job replaying tombstones for rows another shard owned",
+        "- 17 18  (edge (17, 18) was never added)",
+    ),
+    Case(
+        "unsupported_delete", "stream", "quarantine", True,
+        "drop the retraction (an append-only sink cannot apply it)",
+        "a retractable CDC feed pointed at an append-only consumer",
+        "- 0 1  (consumer not in dynamic mode)",
     ),
 )
 
@@ -218,7 +236,18 @@ class SyntheticCorpusGenerator:
 
     ``bad_record_type`` is the one case a *text* corpus cannot carry
     (it is by definition a non-text record); the policy matrix covers
-    it with tuple-record fixtures instead.
+    it with tuple-record fixtures instead.  ``unsupported_delete`` is
+    likewise corpus-excluded: it is a property of the *consumer* (an
+    append-only sink), not of any line, so it is pinned by unit tests
+    against an append-only guard rather than injected here.
+
+    ``with_deletes=True`` emits the fully dynamic variant: the clean
+    backbone additionally carries matched add/delete pairs (valid
+    retractions are pristine lines in every mode) and the hostile tail
+    gains ``delete_unseen_edge`` injections.  A deletion-bearing corpus
+    must be ingested under a delete-capable guard and a
+    ``dynamic_mode`` predictor — :meth:`guard` wires the former
+    automatically.
 
     Everything is a pure function of the constructor arguments — two
     generators with equal arguments emit identical corpora, which is
@@ -230,6 +259,7 @@ class SyntheticCorpusGenerator:
         "mixed_delimiter",
         "bad_encoding",
         "bad_arity",
+        "bad_op",
         "non_integer_vertex",
         "negative_vertex",
         "self_loop",
@@ -241,6 +271,9 @@ class SyntheticCorpusGenerator:
         "far_future_timestamp",
     )
 
+    #: Extra cases a deletion-bearing corpus carries.
+    DELETE_CASES = ("delete_unseen_edge",)
+
     def __init__(
         self,
         seed: int = 0,
@@ -251,6 +284,7 @@ class SyntheticCorpusGenerator:
         hub_degree_limit: int = 6,
         max_timestamp: float = DEFAULT_MAX_TIMESTAMP,
         base_timestamp: float = 1_000.0,
+        with_deletes: bool = False,
     ) -> None:
         if vertices < 4:
             raise ConfigurationError(f"vertices must be >= 4, got {vertices}")
@@ -269,8 +303,15 @@ class SyntheticCorpusGenerator:
         self.hub_degree_limit = hub_degree_limit
         self.max_timestamp = float(max_timestamp)
         self.base_timestamp = float(base_timestamp)
+        self.with_deletes = with_deletes
 
     # ------------------------------------------------------------------
+
+    def text_cases(self) -> Tuple[str, ...]:
+        """The cases this corpus actually injects, in emission order."""
+        if self.with_deletes:
+            return self.TEXT_CASES + self.DELETE_CASES
+        return self.TEXT_CASES
 
     def generate(self) -> List[CorpusLine]:
         rng = random.Random(self.seed)
@@ -314,8 +355,18 @@ class SyntheticCorpusGenerator:
         for u, v in backbone_pairs:
             pristine(u, v)
 
+        # Matched add/delete pairs: a valid retraction is a pristine
+        # line of a deletion-bearing stream (every mode applies it).
+        if self.with_deletes:
+            for _ in range(self.per_case):
+                u, v = fresh_pair()
+                add_text = f"{u} {v} {ts():g}"
+                lines.append(CorpusLine(add_text, None, dict(_PRISTINE), add_text))
+                del_text = f"- {u} {v} {ts():g}"
+                lines.append(CorpusLine(del_text, None, dict(_PRISTINE), del_text))
+
         # Hostile injections, per_case each, timestamp poisoners last.
-        for case in self.TEXT_CASES:
+        for case in self.text_cases():
             for _ in range(self.per_case):
                 lines.append(self._inject(case, rng, backbone_pairs, ts, fresh_pair))
         return lines
@@ -332,6 +383,17 @@ class SyntheticCorpusGenerator:
         if case == "bad_arity":
             u, v = fresh_pair()
             return CorpusLine(f"{u} {v} {ts():g} trailing-junk", case, _hostile("quarantined"), None)
+        if case == "bad_op":
+            u, v = fresh_pair()
+            token = ("upd", "upsert", "merge")[rng.randrange(3)]
+            return CorpusLine(
+                f"{token} {u} {v} {ts():g}", case, _hostile("quarantined"), None
+            )
+        if case == "delete_unseen_edge":
+            u, v = fresh_pair()
+            return CorpusLine(
+                f"- {u} {v} {ts():g}", case, _hostile("dropped"), None
+            )
         if case == "non_integer_vertex":
             u, v = fresh_pair()
             return CorpusLine(f"v{u} v{v}", case, _hostile("quarantined"), None)
@@ -377,11 +439,13 @@ class SyntheticCorpusGenerator:
         return [line.clean_text for line in self.generate() if line.clean_text is not None]
 
     def guard(self, policies: Optional[PolicySet]) -> StreamGuard:
-        """A guard configured with this corpus's thresholds."""
+        """A guard configured with this corpus's thresholds (delete-
+        capable iff the corpus carries deletions)."""
         return StreamGuard(
             policies,
             hub_degree_limit=self.hub_degree_limit,
             max_timestamp=self.max_timestamp,
+            supports_deletes=self.with_deletes,
         )
 
 
@@ -433,7 +497,13 @@ def replay_dead_letters(
         verdict = guard.evaluate(record, policies=active)
         outcome = _disposition_of(verdict)
         if outcome == "applied":
-            predictor.update(verdict.edge.u, verdict.edge.v)
+            typed = verdict.record
+            if typed is not None and hasattr(predictor, "apply"):
+                # A dynamic predictor replays the typed operation (a
+                # repaired record may be a retraction, not an add).
+                predictor.apply(typed)
+            else:
+                predictor.update(verdict.edge.u, verdict.edge.v)
             applied += 1
         elif outcome == "dropped":
             removed += 1
@@ -522,19 +592,31 @@ def check_casebook(
     hub_degree_limit: int = 6,
     config: Optional[SketchConfig] = None,
     workers: int = 0,
+    with_deletes: bool = False,
 ) -> CasebookReport:
     """Run the whole casebook and report dispositions + convergence.
 
     ``workers > 1`` additionally proves both convergence properties
     through the sharded runner (spawning real worker processes).
+    ``with_deletes`` runs the deletion-bearing corpus variant instead:
+    delete-capable guards, ``dynamic_mode`` predictors, and the
+    ``delete_unseen_edge`` case in the matrix — the same convergence
+    proofs now exercising the retraction path end to end.
     """
     from repro.stream.runner import StreamRunner
 
     generator = SyntheticCorpusGenerator(
-        seed, per_case=per_case, hub_degree_limit=hub_degree_limit
+        seed,
+        per_case=per_case,
+        hub_degree_limit=hub_degree_limit,
+        with_deletes=with_deletes,
     )
     corpus = generator.generate()
-    config = config or SketchConfig(k=16, seed=seed)
+    config = config or SketchConfig(k=16, seed=seed, dynamic_mode=with_deletes)
+    if with_deletes and not config.dynamic_mode:
+        raise ConfigurationError(
+            "a deletion-bearing corpus needs dynamic_mode=True in its config"
+        )
 
     # -- disposition matrix -------------------------------------------
     table = _run_guard_table(corpus, generator)
@@ -554,7 +636,7 @@ def check_casebook(
                     f"{line.case} under {mode}: line {offset} ({line.text!r}) "
                     f"landed {observed}, expected {expected}"
                 )
-        for case in generator.TEXT_CASES:
+        for case in generator.text_cases():
             total, matched = per_case_counts[case]
             expected = corpus[
                 next(i for i, l in enumerate(corpus) if l.case == case)

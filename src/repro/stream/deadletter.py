@@ -49,11 +49,14 @@ REASONS = (
     "mixed_delimiter",        # fields joined by , ; | instead of whitespace
     "bad_encoding",           # control/format chars or non-ASCII digits
     "nonfinite_timestamp",    # timestamp parses to nan / inf / -inf
+    "bad_op",                 # leading operation token is not add/delete
     # -- stream level (casebook policies) ------------------------------
     "duplicate_edge",         # edge already accepted earlier in the stream
     "out_of_order_timestamp", # timestamp regresses behind the high-water mark
     "far_future_timestamp",   # timestamp beyond the configured horizon
     "hub_anomaly",            # vertex degree exploded past the hub limit
+    "delete_unseen_edge",     # delete of an edge the stream never added
+    "unsupported_delete",     # delete reaching an append-only (non-dynamic) sink
 )
 
 PathLike = Union[str, Path]

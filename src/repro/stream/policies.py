@@ -25,10 +25,12 @@ in one of three modes:
 
 Two layers cooperate:
 
-* **parse level** — :func:`coerce_record` (shared verbatim by the
-  serial :class:`~repro.stream.runner.StreamRunner` and the sharded
+* **parse level** — :func:`coerce_stream_record` (shared verbatim by
+  the serial :class:`~repro.stream.runner.StreamRunner` and the sharded
   coordinator in :mod:`repro.parallel`) validates one raw record via
-  :func:`repro.graph.io.parse_edge_line`;
+  :func:`repro.graph.io.parse_stream_record`, coercing every legacy
+  shape — text line, ``(u, v[, t])`` tuple, :class:`Edge` — into a
+  typed :class:`~repro.graph.stream.StreamRecord`;
 * **stream level** — :class:`StreamGuard` additionally tracks
   cross-record state (seen-edge set, per-vertex degrees, the timestamp
   high-water mark) to detect ``duplicate_edge``,
@@ -49,8 +51,8 @@ import unicodedata
 from typing import Dict, Mapping, NamedTuple, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, StreamFormatError
-from repro.graph.io import parse_edge_line
-from repro.graph.stream import Edge
+from repro.graph.io import OP_TOKENS, parse_stream_record
+from repro.graph.stream import OPS, Edge, StreamRecord
 from repro.stream.deadletter import REASONS
 from repro.stream.sources import SourceRecord
 
@@ -64,6 +66,7 @@ __all__ = [
     "StreamGuard",
     "ContractViolation",
     "coerce_record",
+    "coerce_stream_record",
 ]
 
 #: The three per-case handling modes, from least to most forgiving.
@@ -84,10 +87,13 @@ DEFAULT_POLICIES: Dict[str, str] = {
     "mixed_delimiter": "normalize",
     "bad_encoding": "normalize",
     "nonfinite_timestamp": "quarantine",
+    "bad_op": "quarantine",
     "duplicate_edge": "normalize",
     "out_of_order_timestamp": "normalize",
     "far_future_timestamp": "quarantine",
     "hub_anomaly": "quarantine",
+    "delete_unseen_edge": "quarantine",
+    "unsupported_delete": "quarantine",
 }
 
 #: Degree past which one vertex is a hub anomaly (the "ATLAS author
@@ -117,55 +123,115 @@ class ContractViolation(Exception):
         self.detail = detail
 
 
-def coerce_record(record: SourceRecord, self_loops: str = "quarantine") -> Optional[Edge]:
-    """Validate one raw record into an :class:`Edge` (or ``None``).
+def _coerce_vertex_pair(u: object, v: object, value: object) -> Tuple[int, int]:
+    """Validate the ``u``/``v`` fields of a structured record."""
+    if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
+        raise ContractViolation("non_integer_vertex", f"non-integer vertex field in {value!r}")
+    if u < 0 or v < 0:
+        raise ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
+    return u, v
+
+
+def _coerce_timestamp(raw: object, value: object, field: str = "timestamp") -> float:
+    """Validate a float-valued field (``timestamp``/``weight``) of a
+    structured record."""
+    try:
+        timestamp = float(raw)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ContractViolation("bad_timestamp", f"{field}: non-numeric value {raw!r}") from None
+    if not math.isfinite(timestamp):
+        raise ContractViolation(
+            "nonfinite_timestamp", f"{field}: non-finite value {raw!r}"
+        )
+    return timestamp
+
+
+def coerce_stream_record(
+    record: SourceRecord,
+    self_loops: str = "quarantine",
+    accept_ops: bool = True,
+) -> Optional[StreamRecord]:
+    """Validate one raw record into a typed :class:`StreamRecord`.
 
     The single record-contract implementation shared by the serial
     runner and the sharded coordinator — both paths must accept and
     reject *exactly* the same records or parallel ingestion could not
-    be bit-identical to serial.  ``None`` means "drop silently" (a
-    self-loop under ``self_loops="drop"``); contract violations raise
+    be bit-identical to serial.  Accepted input shapes:
+
+    * a text line (the full dynamic grammar of
+      :func:`repro.graph.io.parse_stream_record` when ``accept_ops``,
+      else the legacy append-only grammar);
+    * a :class:`StreamRecord` (fields are validated, not trusted);
+    * an :class:`Edge` or a ``(u, v[, t])`` tuple/list — the legacy
+      shapes, coerced to ``op="add"`` records (the back-compat shim).
+
+    ``None`` means "drop silently" (a self-loop under
+    ``self_loops="drop"``); contract violations raise
     :class:`ContractViolation`.
     """
     value = record.value
     if isinstance(value, str):
         try:
-            edge = parse_edge_line(
+            parsed = parse_stream_record(
                 value,
                 line_number=record.line_number,
                 default_timestamp=float(record.offset),
+                accept_ops=accept_ops,
             )
         except StreamFormatError as error:
             raise ContractViolation(error.reason or "bad_arity", str(error)) from None
+    elif isinstance(value, StreamRecord):
+        if value.op not in OPS:
+            raise ContractViolation(
+                "bad_op", f"op: {value.op!r} is not one of {'/'.join(OPS)}"
+            )
+        u, v = _coerce_vertex_pair(value.u, value.v, value)
+        timestamp = _coerce_timestamp(value.timestamp, value)
+        weight = _coerce_timestamp(value.weight, value, field="weight")
+        parsed = StreamRecord(value.op, u, v, timestamp, weight)
     elif isinstance(value, (tuple, list)):
         if len(value) not in (2, 3):
-            raise ContractViolation("bad_arity", f"expected 2 or 3 fields, got {len(value)}")
-        u, v = value[0], value[1]
-        if not isinstance(u, int) or not isinstance(v, int) or isinstance(u, bool) or isinstance(v, bool):
-            raise ContractViolation("non_integer_vertex", f"non-integer vertex in {value!r}")
-        if u < 0 or v < 0:
-            raise ContractViolation("negative_vertex", f"negative vertex id in {value!r}")
+            raise ContractViolation(
+                "bad_arity",
+                f"expected fields (u, v[, timestamp]), got {len(value)} fields",
+            )
+        u, v = _coerce_vertex_pair(value[0], value[1], value)
         if len(value) == 3:
-            try:
-                timestamp = float(value[2])
-            except (TypeError, ValueError):
-                raise ContractViolation("bad_timestamp", f"non-numeric timestamp {value[2]!r}") from None
-            if not math.isfinite(timestamp):
-                raise ContractViolation(
-                    "nonfinite_timestamp", f"non-finite timestamp {value[2]!r}"
-                )
+            timestamp = _coerce_timestamp(value[2], value)
         else:
             timestamp = float(record.offset)
-        edge = Edge(u, v, timestamp)
+        parsed = StreamRecord("add", u, v, timestamp)
     else:
         raise ContractViolation(
-            "bad_record_type", f"record is a {type(value).__name__}, not a line or tuple"
+            "bad_record_type",
+            f"record is a {type(value).__name__}, not a line, tuple or StreamRecord",
         )
-    if edge.u == edge.v:
+    if parsed.u == parsed.v:
         if self_loops == "drop":
             return None
-        raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
-    return edge
+        raise ContractViolation("self_loop", f"self-loop on vertex {parsed.u}")
+    return parsed
+
+
+def coerce_record(record: SourceRecord, self_loops: str = "quarantine") -> Optional[Edge]:
+    """Validate one raw record into an :class:`Edge` (or ``None``).
+
+    Back-compat wrapper over :func:`coerce_stream_record` with the
+    legacy append-only contract: text lines use the op-less grammar and
+    a structured ``delete`` record is a contract violation
+    (``unsupported_delete``) because an :class:`Edge` cannot express
+    the operation.  Callers that understand operations coerce stream
+    records instead.
+    """
+    parsed = coerce_stream_record(record, self_loops, accept_ops=False)
+    if parsed is None:
+        return None
+    if parsed.op != "add":
+        raise ContractViolation(
+            "unsupported_delete",
+            f"delete of edge ({parsed.u}, {parsed.v}) reached an append-only consumer",
+        )
+    return parsed.edge
 
 
 class PolicySet:
@@ -264,6 +330,11 @@ class GuardVerdict(NamedTuple):
       ``self_loops="drop"``);
     * ``"quarantine"`` — dead-letter with ``reason``/``detail``;
     * ``"strict"`` — the case's mode demands failing the stream.
+
+    ``record`` is the typed operation the verdict is about (set
+    whenever ``edge`` is — ``edge`` stays the legacy view consumers
+    predating the record redesign read; op-aware consumers read
+    ``record.op``).
     """
 
     disposition: str
@@ -271,6 +342,7 @@ class GuardVerdict(NamedTuple):
     reason: Optional[str]
     detail: str
     cases: Tuple[str, ...]
+    record: Optional[StreamRecord] = None
 
 
 class StreamGuard:
@@ -296,6 +368,7 @@ class StreamGuard:
         self_loops: str = "quarantine",
         hub_degree_limit: int = DEFAULT_HUB_DEGREE_LIMIT,
         max_timestamp: float = DEFAULT_MAX_TIMESTAMP,
+        supports_deletes: bool = False,
     ) -> None:
         if self_loops not in ("quarantine", "drop"):
             raise ConfigurationError(
@@ -311,6 +384,12 @@ class StreamGuard:
         self.self_loops = self_loops
         self.hub_degree_limit = hub_degree_limit
         self.max_timestamp = float(max_timestamp)
+        #: Whether the downstream sink can retract edges.  A ``delete``
+        #: against an append-only sink is judged ``unsupported_delete``
+        #: (and never mutates detector state); with a dynamic sink the
+        #: guard instead checks ``delete_unseen_edge`` and, on accept,
+        #: retracts the edge from its own seen/degree state.
+        self.supports_deletes = supports_deletes
         self._seen: Set[Tuple[int, int]] = set()
         self._degrees: Dict[int, int] = {}
         self._high_water = float("-inf")
@@ -341,16 +420,22 @@ class StreamGuard:
         """
         active = policies if policies is not None else self.policies
         try:
-            edge = coerce_record(record, self.self_loops)
+            parsed = coerce_stream_record(record, self.self_loops)
         except ContractViolation as violation:
             if active is None:
                 return GuardVerdict("quarantine", None, violation.reason, violation.detail, ())
             return self._parse_verdict(record, violation, active)
-        if edge is None:
+        if parsed is None:
             return GuardVerdict("drop", None, "self_loop", "", ())
         if active is None:
-            return GuardVerdict("ok", edge, None, "", ())
-        return self._stream_verdict(edge, [], active)
+            if parsed.op == "delete" and not self.supports_deletes:
+                return GuardVerdict(
+                    "quarantine", None, "unsupported_delete",
+                    f"delete of edge ({parsed.u}, {parsed.v}) reached an "
+                    "append-only consumer", (),
+                )
+            return GuardVerdict("ok", parsed.edge, None, "", (), parsed)
+        return self._stream_verdict(parsed, [], active)
 
     def _parse_verdict(
         self, record: SourceRecord, violation: ContractViolation, policies: PolicySet
@@ -361,7 +446,7 @@ class StreamGuard:
         if mode == "quarantine":
             return GuardVerdict("quarantine", None, violation.reason, violation.detail, ())
         try:
-            edge = self._repair(record, violation)
+            repaired = self._repair(record, violation)
         except ContractViolation as secondary:
             # No sound repair, or the repair uncovered a second defect:
             # fall back to that violation's own mode (never normalize —
@@ -369,21 +454,49 @@ class StreamGuard:
             fallback = policies.mode_for(secondary.reason)
             disposition = "strict" if fallback == "strict" else "quarantine"
             return GuardVerdict(disposition, None, secondary.reason, secondary.detail, ())
-        if edge is None:
+        if repaired is None:
             # The repair was removal (a self-loop under normalize).
             return GuardVerdict(
                 "normalized", None, violation.reason, violation.detail, (violation.reason,)
             )
-        return self._stream_verdict(edge, [violation.reason], policies)
+        return self._stream_verdict(repaired, [violation.reason], policies)
 
     def _stream_verdict(
-        self, edge: Edge, cases: list, policies: PolicySet
+        self, parsed: StreamRecord, cases: list, policies: PolicySet
     ) -> GuardVerdict:
-        key = (edge.u, edge.v) if edge.u <= edge.v else (edge.v, edge.u)
-        # Duplicate first: identity does not depend on the timestamp, so
-        # a verbatim re-send (whose stale timestamp would also look
-        # out-of-order) is named for what it is.
-        if key in self._seen:
+        key = (parsed.u, parsed.v) if parsed.u <= parsed.v else (parsed.v, parsed.u)
+        if parsed.op == "delete":
+            # Sink capability first: against an append-only sink no
+            # delete can apply, whatever edge it names, and detector
+            # state must stay untouched.
+            if not self.supports_deletes:
+                detail = (
+                    f"delete of edge {key} reached an append-only consumer "
+                    "(enable dynamic mode for retractable streams)"
+                )
+                verdict = self._judge("unsupported_delete", detail, cases, policies)
+                if verdict is not None:
+                    return verdict
+                return GuardVerdict(
+                    "normalized", None, "unsupported_delete", detail,
+                    tuple(cases + ["unsupported_delete"]),
+                )
+            # Unseen next: like duplicate-first for adds, identity does
+            # not depend on the timestamp, so a retraction of an edge
+            # the stream never added is named for what it is.
+            if key not in self._seen:
+                detail = f"delete of edge {key} which the stream never added"
+                verdict = self._judge("delete_unseen_edge", detail, cases, policies)
+                if verdict is not None:
+                    return verdict
+                return GuardVerdict(
+                    "normalized", None, "delete_unseen_edge", detail,
+                    tuple(cases + ["delete_unseen_edge"]),
+                )
+        elif key in self._seen:
+            # Duplicate first: identity does not depend on the
+            # timestamp, so a verbatim re-send (whose stale timestamp
+            # would also look out-of-order) is named for what it is.
             detail = f"edge {key} already accepted earlier in the stream"
             verdict = self._judge("duplicate_edge", detail, cases, policies)
             if verdict is not None:
@@ -392,30 +505,43 @@ class StreamGuard:
                 "normalized", None, "duplicate_edge", detail,
                 tuple(cases + ["duplicate_edge"]),
             )
-        if edge.timestamp > self.max_timestamp:
+        if parsed.timestamp > self.max_timestamp:
             detail = (
-                f"timestamp {edge.timestamp:g} beyond the far-future horizon "
+                f"timestamp {parsed.timestamp:g} beyond the far-future horizon "
                 f"{self.max_timestamp:g}"
             )
             verdict = self._judge("far_future_timestamp", detail, cases, policies)
             if verdict is not None:
                 return verdict
-            edge = Edge(edge.u, edge.v, self.max_timestamp)
+            parsed = parsed._replace(timestamp=self.max_timestamp)
             cases.append("far_future_timestamp")
-        if self._high_water > float("-inf") and edge.timestamp < self._high_water:
+        if self._high_water > float("-inf") and parsed.timestamp < self._high_water:
             detail = (
-                f"timestamp {edge.timestamp:g} regresses behind the stream "
+                f"timestamp {parsed.timestamp:g} regresses behind the stream "
                 f"high-water mark {self._high_water:g}"
             )
             verdict = self._judge("out_of_order_timestamp", detail, cases, policies)
             if verdict is not None:
                 return verdict
-            edge = Edge(edge.u, edge.v, self._high_water)
+            parsed = parsed._replace(timestamp=self._high_water)
             cases.append("out_of_order_timestamp")
-        degree_u = self._degrees.get(edge.u, 0)
-        degree_v = self._degrees.get(edge.v, 0)
+        if parsed.op == "delete":
+            # Accepted delete: retract the edge from the detector state
+            # so a later re-add is a fresh edge, not a duplicate.
+            self._seen.discard(key)
+            self._degrees[parsed.u] = max(0, self._degrees.get(parsed.u, 0) - 1)
+            self._degrees[parsed.v] = max(0, self._degrees.get(parsed.v, 0) - 1)
+            if parsed.timestamp > self._high_water:
+                self._high_water = parsed.timestamp
+            if cases:
+                return GuardVerdict(
+                    "normalized", parsed.edge, cases[0], "", tuple(cases), parsed
+                )
+            return GuardVerdict("ok", parsed.edge, None, "", (), parsed)
+        degree_u = self._degrees.get(parsed.u, 0)
+        degree_v = self._degrees.get(parsed.v, 0)
         if degree_u >= self.hub_degree_limit or degree_v >= self.hub_degree_limit:
-            hub = edge.u if degree_u >= self.hub_degree_limit else edge.v
+            hub = parsed.u if degree_u >= self.hub_degree_limit else parsed.v
             detail = (
                 f"vertex {hub} already has degree {max(degree_u, degree_v)} "
                 f"(hub limit {self.hub_degree_limit})"
@@ -428,13 +554,15 @@ class StreamGuard:
             )
         # Accepted: commit the detector state.
         self._seen.add(key)
-        self._degrees[edge.u] = degree_u + 1
-        self._degrees[edge.v] = degree_v + 1
-        if edge.timestamp > self._high_water:
-            self._high_water = edge.timestamp
+        self._degrees[parsed.u] = degree_u + 1
+        self._degrees[parsed.v] = degree_v + 1
+        if parsed.timestamp > self._high_water:
+            self._high_water = parsed.timestamp
         if cases:
-            return GuardVerdict("normalized", edge, cases[0], "", tuple(cases))
-        return GuardVerdict("ok", edge, None, "", ())
+            return GuardVerdict(
+                "normalized", parsed.edge, cases[0], "", tuple(cases), parsed
+            )
+        return GuardVerdict("ok", parsed.edge, None, "", (), parsed)
 
     def _judge(
         self, reason: str, detail: str, cases: list, policies: PolicySet
@@ -454,10 +582,10 @@ class StreamGuard:
 
     def _repair(
         self, record: SourceRecord, violation: ContractViolation
-    ) -> Optional[Edge]:
+    ) -> Optional[StreamRecord]:
         """The deterministic repair for one parse-level case.
 
-        Returns the repaired edge (``None`` = repaired by removal) or
+        Returns the repaired record (``None`` = repaired by removal) or
         raises :class:`ContractViolation` when the case is unrepairable
         or the repaired text still violates the contract.
         """
@@ -468,9 +596,18 @@ class StreamGuard:
             # Substitute the stream offset — the same default an
             # untimestamped record gets, so ordering stays monotone.
             if isinstance(value, str):
-                return self._reparse(" ".join(value.split()[:2]), record)
-            trimmed = SourceRecord(record.offset, tuple(value[:2]), record.line_number)
-            return coerce_record(trimmed, self.self_loops)
+                tokens = value.split()
+                keep = 3 if tokens and tokens[0] in OP_TOKENS else 2
+                return self._reparse(" ".join(tokens[:keep]), record)
+            if isinstance(value, StreamRecord):
+                trimmed = SourceRecord(
+                    record.offset,
+                    value._replace(timestamp=float(record.offset)),
+                    record.line_number,
+                )
+            else:
+                trimmed = SourceRecord(record.offset, tuple(value[:2]), record.line_number)
+            return coerce_stream_record(trimmed, self.self_loops)
         if reason == "mixed_delimiter" and isinstance(value, str):
             parts = [part for part in _ALIEN_SPLIT.split(value) if part]
             return self._reparse(" ".join(parts), record)
@@ -480,21 +617,21 @@ class StreamGuard:
             reason, f"no sound normalizer for {reason}: {violation.detail}"
         )
 
-    def _reparse(self, text: str, record: SourceRecord) -> Optional[Edge]:
+    def _reparse(self, text: str, record: SourceRecord) -> Optional[StreamRecord]:
         """Re-run the repaired text through the full parse contract."""
         try:
-            edge = parse_edge_line(
+            parsed = parse_stream_record(
                 text,
                 line_number=record.line_number,
                 default_timestamp=float(record.offset),
             )
         except StreamFormatError as error:
             raise ContractViolation(error.reason or "bad_arity", str(error)) from None
-        if edge.u == edge.v:
+        if parsed.u == parsed.v:
             if self.self_loops == "drop":
                 return None
-            raise ContractViolation("self_loop", f"self-loop on vertex {edge.u}")
-        return edge
+            raise ContractViolation("self_loop", f"self-loop on vertex {parsed.u}")
+        return parsed
 
 
 def _strip_hostile_encoding(text: str) -> str:

@@ -25,10 +25,19 @@ offset is below the checkpoint's.
 
 Record contract — a record must be one of:
 
-* a text line parseable by :func:`repro.graph.io.parse_edge_line`,
+* a text line parseable by :func:`repro.graph.io.parse_stream_record`
+  (optionally op-prefixed: ``add``/``+``/``delete``/``del``/``-``),
+* a typed :class:`~repro.graph.stream.StreamRecord`,
 * a ``(u, v)`` or ``(u, v, timestamp)`` tuple of non-negative ints
-  (an :class:`~repro.graph.stream.Edge` qualifies), or
+  (an :class:`~repro.graph.stream.Edge` qualifies; coerced to an
+  ``add`` record), or
 * anything else → dead-letter reason ``bad_record_type``.
+
+Deletions are consumed only by dynamic predictors (built from
+``SketchConfig(dynamic_mode=True)``); on an append-only runner any
+delete dead-letters with reason ``unsupported_delete``, and a delete of
+an edge the guarded stream never added dead-letters as
+``delete_unseen_edge``.
 
 Violations are handled per the ``policy``: ``"quarantine"`` (default)
 dead-letters and continues; ``"strict"`` raises
@@ -44,9 +53,10 @@ import time
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.core.config import SketchConfig
+from repro.core.dynamic import DynamicMinHashPredictor
 from repro.core.predictor import MinHashLinkPredictor
 from repro.errors import ConfigurationError, DeadLetterError
-from repro.graph.stream import Edge
+from repro.graph.stream import Edge, StreamRecord
 from repro.obs.export import PeriodicReporter
 from repro.obs.registry import MetricsRegistry
 from repro.stream.checkpoint import CheckpointManager
@@ -167,7 +177,14 @@ class StreamRunner:
         if guard is not None and policies is not None:
             raise ConfigurationError("pass policies or a pre-built guard, not both")
         self.source = source
-        self.predictor = predictor or MinHashLinkPredictor(config)
+        if predictor is not None:
+            self.predictor = predictor
+        elif config is not None and config.dynamic_mode:
+            self.predictor = DynamicMinHashPredictor(config)
+        else:
+            self.predictor = MinHashLinkPredictor(config)
+        #: Whether the predictor consumes deletes (and timestamps).
+        self.dynamic = isinstance(self.predictor, DynamicMinHashPredictor)
         self.checkpoints = checkpoint_manager
         self.checkpoint_every = checkpoint_every
         self.dead_letters = dead_letters or MemoryDeadLetters()
@@ -178,18 +195,35 @@ class StreamRunner:
                 raise ConfigurationError(
                     "the guard's self_loops setting must match the runner's"
                 )
+            if guard.supports_deletes and not self.dynamic:
+                raise ConfigurationError(
+                    "a delete-admitting guard needs a dynamic predictor; "
+                    "append-only sketches cannot retract edges "
+                    "(build with SketchConfig(dynamic_mode=True))"
+                )
             self.guard = guard
         else:
             if isinstance(policies, str):
                 policies = PolicySet.parse(policies)
-            self.guard = StreamGuard(policies, self_loops=self_loops)
+            # A dynamic predictor admits deletes through the guard;
+            # append-only predictors keep the legacy contract where any
+            # delete dead-letters as ``unsupported_delete``.
+            self.guard = StreamGuard(
+                policies, self_loops=self_loops, supports_deletes=self.dynamic
+            )
         self.policies = self.guard.policies
         self.clock = clock
         self.reporter = reporter
         self.batch_size = batch_size
-        # Guard-accepted edges awaiting an update_block flush.
+        # Guard-accepted edges awaiting an update_block flush.  Dynamic
+        # spans also carry timestamps and must stay homogeneous in op
+        # (the batched kernel applies one op per call), so an op change
+        # flushes the pending span first — order across ops is
+        # preserved exactly as the scalar loop would apply them.
         self._pending_us: list = []
         self._pending_vs: list = []
+        self._pending_ts: list = []
+        self._pending_op: Optional[str] = None
         #: Committed offset: every record below it is reflected in state.
         self.offset = 0
         self.resumed_from: Optional[int] = None  # generation, if resumed
@@ -354,27 +388,55 @@ class StreamRunner:
         else:
             self.predictor.update(u, v)
 
+    def _ingest_record(self, accepted: StreamRecord) -> None:
+        """Apply (or buffer) one guard-accepted typed record.
+
+        Dynamic predictors consume the op and timestamp; append-only
+        predictors receive the legacy edge view (the guard has already
+        dead-lettered any delete before it reaches them).
+        """
+        if not self.dynamic:
+            self._ingest_edge(accepted.u, accepted.v)
+            return
+        if self.batch_size > 1:
+            if self._pending_op is not None and accepted.op != self._pending_op:
+                self._flush_pending()
+            self._pending_op = accepted.op
+            self._pending_us.append(accepted.u)
+            self._pending_vs.append(accepted.v)
+            self._pending_ts.append(accepted.timestamp)
+            if len(self._pending_us) >= self.batch_size:
+                self._flush_pending()
+        else:
+            self.predictor.apply(accepted)
+
     def _flush_pending(self) -> None:
         """Fold every buffered edge into the predictor (bit-identical
-        to having applied them scalar, per the ``update_block``
-        contract)."""
+        to having applied them scalar, per the ``update_block`` /
+        ``delete_block`` contracts)."""
         if self._pending_us:
             us, self._pending_us = self._pending_us, []
             vs, self._pending_vs = self._pending_vs, []
-            self.predictor.update_block(us, vs)
+            ts, self._pending_ts = self._pending_ts, []
+            op, self._pending_op = self._pending_op, None
+            if not self.dynamic:
+                self.predictor.update_block(us, vs)
+            elif op == "delete":
+                self.predictor.delete_block(us, vs, ts)
+            else:
+                self.predictor.update_block(us, vs, ts)
 
     def _consume(self, record: SourceRecord) -> None:
         verdict = self.guard.evaluate(record)
         disposition = verdict.disposition
         if disposition == "ok":
-            edge = verdict.edge
-            self._ingest_edge(edge.u, edge.v)
+            self._ingest_record(self._accepted_record(verdict))
             self._m_ok.inc()
         elif disposition == "normalized":
             for case in verdict.cases:
                 self._m_normalized.labels(case).inc()
             if verdict.edge is not None:
-                self._ingest_edge(verdict.edge.u, verdict.edge.v)
+                self._ingest_record(self._accepted_record(verdict))
                 self._m_ok.inc()
             else:
                 self._m_norm_removed.inc()  # the repair was removal
@@ -392,6 +454,16 @@ class StreamRunner:
         self._since_checkpoint += 1
         if self.reporter is not None:
             self.reporter.tick()
+
+    @staticmethod
+    def _accepted_record(verdict: GuardVerdict) -> StreamRecord:
+        """The typed record behind an accepting verdict (synthesized
+        from the legacy edge view for guards predating the record
+        field)."""
+        if verdict.record is not None:
+            return verdict.record
+        edge = verdict.edge
+        return StreamRecord.add_edge(edge.u, edge.v, edge.timestamp)
 
     def _coerce(self, record: SourceRecord) -> Optional[Edge]:
         """Validate one raw record; ``None`` means "drop silently"."""
@@ -512,4 +584,5 @@ class StreamRunner:
             "resumed_from_generation": self.resumed_from,
             "source_exhausted": self.source_exhausted,
             "vertices": self.predictor.vertex_count,
+            "dynamic": self.dynamic,
         }

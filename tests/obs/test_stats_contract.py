@@ -29,6 +29,7 @@ RUNNER_STATS_KEYS = {
     "dead_lettered",
     "dropped",
     "duplicate_edges_detected",
+    "dynamic",
     "last_checkpoint_age_seconds",
     "last_checkpoint_offset",
     "normalized",
@@ -90,6 +91,7 @@ PINNED_RUNNER_STATS = {
     "dead_lettered": 5,
     "dropped": 0,
     "duplicate_edges_detected": 0,
+    "dynamic": False,
     "last_checkpoint_age_seconds": None,
     "last_checkpoint_offset": None,
     "normalized": 0,

@@ -1,0 +1,249 @@
+"""Property tests for the fully dynamic (deletion-tolerant) algebra.
+
+The deletion-mode contract mirrors the append-only one, but over a
+richer carrier: per-vertex sketches are ℤ-modules (signed key counts
+plus a last-seen time), so the whole pipeline must stay exact under
+*any* interleaving of adds and deletes:
+
+* sharding any op sequence and merging the shard predictors equals
+  applying it serially (the bit-identical guarantee sharded ingestion
+  rests on),
+* ``merge`` is commutative and associative,
+* the batched kernel (``update_block``/``delete_block``) equals the
+  scalar loop,
+* a checkpoint written mid-stream and resumed reproduces the
+  uninterrupted run exactly — deletes included,
+* deleting everything that was added returns to the empty state.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicMinHashPredictor, SketchConfig, merge_dynamic_shards
+from repro.core.persistence import load_predictor, save_predictor
+from repro.stream.casebook import sketch_fingerprint
+
+CONFIG = SketchConfig(k=16, seed=7, dynamic_mode=True)
+
+# One drawn list defines everything: each element is (u, v, shard tag,
+# delete?).  Deletes are applied only when the edge is currently live,
+# which keeps every sequence valid without the guard's help.
+tagged_ops = st.lists(
+    st.tuples(
+        st.integers(0, 12),
+        st.integers(0, 12),
+        st.integers(0, 3),
+        st.booleans(),
+    ).filter(lambda t: t[0] != t[1]),
+    max_size=60,
+)
+
+
+def _materialize_ops(raw):
+    """Turn drawn tuples into a valid (op, u, v, t, shard) sequence.
+
+    A drawn delete retracts the oldest still-live edge incident to the
+    drawn pair's shard-agnostic multiset; if nothing is live it becomes
+    an add.  Timestamps are the sequence index: strictly increasing.
+    """
+    live = []
+    ops = []
+    for index, (u, v, shard, is_delete) in enumerate(raw):
+        key = (u, v) if u <= v else (v, u)
+        if is_delete and live:
+            del_key, del_shard = live.pop(0)
+            ops.append(("delete", del_key[0], del_key[1], float(index), del_shard))
+        else:
+            live.append((key, shard))
+            ops.append(("add", key[0], key[1], float(index), shard))
+    return ops
+
+
+def _apply_serial(ops, config=CONFIG):
+    predictor = DynamicMinHashPredictor(config)
+    for op, u, v, t, _ in ops:
+        if op == "add":
+            predictor.update(u, v, t)
+        else:
+            predictor.delete(u, v, t)
+    return predictor
+
+
+def _state(predictor):
+    """Comparable full logical state: fingerprint + raw CSR arrays."""
+    arrays = predictor.export_dynamic_arrays()
+    return (
+        sketch_fingerprint(predictor),
+        [array.tolist() for array in arrays[:-1]],
+        arrays.high_water,
+    )
+
+
+class TestShardingEqualsSerial:
+    @settings(max_examples=60, deadline=None)
+    @given(tagged_ops)
+    def test_merge_fold_of_shards_equals_serial(self, raw):
+        ops = _materialize_ops(raw)
+        serial = _apply_serial(ops)
+        shards = [DynamicMinHashPredictor(CONFIG) for _ in range(4)]
+        for op, u, v, t, shard in ops:
+            if op == "add":
+                shards[shard].update(u, v, t)
+            else:
+                shards[shard].delete(u, v, t)
+        merged = merge_dynamic_shards(shards)
+        assert _state(merged) == _state(serial)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tagged_ops)
+    def test_merge_commutes(self, raw):
+        ops = _materialize_ops(raw)
+        left = [DynamicMinHashPredictor(CONFIG) for _ in range(2)]
+        right = [DynamicMinHashPredictor(CONFIG) for _ in range(2)]
+        for op, u, v, t, shard in ops:
+            for pair in (left, right):
+                target = pair[shard % 2]
+                if op == "add":
+                    target.update(u, v, t)
+                else:
+                    target.delete(u, v, t)
+        ab = left[0].merge(left[1])
+        ba = right[1].merge(right[0])
+        assert _state(ab) == _state(ba)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tagged_ops)
+    def test_merge_associates(self, raw):
+        ops = _materialize_ops(raw)
+
+        def build():
+            shards = [DynamicMinHashPredictor(CONFIG) for _ in range(3)]
+            for op, u, v, t, shard in ops:
+                target = shards[shard % 3]
+                if op == "add":
+                    target.update(u, v, t)
+                else:
+                    target.delete(u, v, t)
+            return shards
+
+        a, b, c = build()
+        grouped_left = a.merge(b).merge(c)
+        a2, b2, c2 = build()
+        grouped_right = a2.merge(b2.merge(c2))
+        assert _state(grouped_left) == _state(grouped_right)
+
+
+class TestBlockEqualsScalar:
+    @settings(max_examples=40, deadline=None)
+    @given(tagged_ops)
+    def test_homogeneous_runs_through_kernel_match_scalar(self, raw):
+        ops = _materialize_ops(raw)
+        scalar = _apply_serial(ops)
+        batched = DynamicMinHashPredictor(CONFIG)
+        index = 0
+        while index < len(ops):
+            run = index + 1
+            while run < len(ops) and ops[run][0] == ops[index][0]:
+                run += 1
+            span = ops[index:run]
+            us = [entry[1] for entry in span]
+            vs = [entry[2] for entry in span]
+            ts = [entry[3] for entry in span]
+            if span[0][0] == "add":
+                batched.update_block(us, vs, ts)
+            else:
+                batched.delete_block(us, vs, ts)
+            index = run
+        assert _state(batched) == _state(scalar)
+
+
+class TestCheckpointKillAndResume:
+    @settings(max_examples=40, deadline=None)
+    @given(tagged_ops, st.integers(0, 59))
+    def test_resume_mid_stream_reproduces_uninterrupted_run(self, raw, cut_at):
+        ops = _materialize_ops(raw)
+        cut = min(cut_at, len(ops))
+        uninterrupted = _apply_serial(ops)
+
+        first_leg = _apply_serial(ops[:cut])
+        buffer = io.BytesIO()
+        save_predictor(first_leg, buffer, metadata={"stream_offset": cut})
+        buffer.seek(0)
+        resumed = load_predictor(buffer)
+        assert isinstance(resumed, DynamicMinHashPredictor)
+        for op, u, v, t, _ in ops[cut:]:
+            if op == "add":
+                resumed.update(u, v, t)
+            else:
+                resumed.delete(u, v, t)
+        assert _state(resumed) == _state(uninterrupted)
+
+
+class TestDeletionInverts:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=30,
+        )
+    )
+    def test_deleting_everything_added_returns_to_empty(self, pairs):
+        predictor = DynamicMinHashPredictor(CONFIG)
+        for index, (u, v) in enumerate(pairs):
+            predictor.update(u, v, float(index))
+        for index, (u, v) in enumerate(pairs):
+            predictor.delete(u, v, float(len(pairs) + index))
+        predictor.compact()
+        empty = DynamicMinHashPredictor(CONFIG)
+        assert sketch_fingerprint(predictor) == sketch_fingerprint(empty)
+        for u, v in pairs:
+            assert predictor.degree(u) == 0
+            assert predictor.score(u, v, "jaccard") == pytest.approx(0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.data(),
+    )
+    def test_delete_then_readd_equals_plain_add_history(self, pairs, data):
+        """Retracting an edge and re-adding it matches never retracting
+        it, up to op counts (which deliberately record churn)."""
+        victim = data.draw(st.sampled_from(pairs))
+        churned = DynamicMinHashPredictor(CONFIG)
+        plain = DynamicMinHashPredictor(CONFIG)
+        t = 0.0
+        for u, v in pairs:
+            churned.update(u, v, t)
+            plain.update(u, v, t)
+            t += 1.0
+        churned.delete(victim[0], victim[1], t)
+        churned.update(victim[0], victim[1], t + 1.0)
+        for u, v in set(pairs):
+            assert churned.score(u, v, "jaccard") == pytest.approx(
+                plain.score(u, v, "jaccard")
+            )
+            assert churned.degree(u) == plain.degree(u)
+
+    def test_ttl_expires_stale_edges(self):
+        config = SketchConfig(k=16, seed=7, dynamic_mode=True, ttl=10.0)
+        predictor = DynamicMinHashPredictor(config)
+        predictor.update(1, 2, 0.0)  # expires once the clock passes 10.0
+        predictor.update(1, 4, 100.0)
+        predictor.update(3, 4, 100.0)
+        assert predictor.degree(1) == 1
+        assert predictor.score(1, 2, "common_neighbors") == pytest.approx(0.0)
+        assert predictor.score(1, 3, "common_neighbors") > 0.0  # share 4

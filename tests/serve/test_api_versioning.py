@@ -1,0 +1,112 @@
+"""The versioned HTTP surface: /v1 paths, aliases, and the version header.
+
+The redesign's contract: ``/v1/...`` spellings are canonical, the
+unprefixed paths are permanent aliases answered by the same handlers,
+and *every* response — success, client error, 404 — names the API
+version in ``X-Repro-Api-Version``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.core.predictor import MinHashLinkPredictor
+from repro.serve.server import SketchServer
+
+
+def warm_predictor(edges=400, vertices=40, seed=3, k=16):
+    predictor = MinHashLinkPredictor(
+        SketchConfig(k=k, seed=seed, track_witnesses=True)
+    )
+    rng = np.random.default_rng(seed)
+    for u, v in rng.integers(0, vertices, size=(edges, 2)).tolist():
+        if u != v:
+            predictor.update(u, v)
+    return predictor
+
+
+@pytest.fixture(scope="module")
+def harness():
+    server = SketchServer(predictor=warm_predictor(), host="127.0.0.1", port=0)
+    thread = threading.Thread(
+        target=lambda: server.run(install_signals=False), daemon=True
+    )
+    thread.start()
+    assert server.wait_ready(10), "server never became ready"
+
+    def request(method, path, body=None, headers=None):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers or {})
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()
+
+    yield request
+    server.request_shutdown()
+    assert server.wait_finished(15), "drain hung"
+
+
+SCORE_BODY = json.dumps({"pairs": [[0, 7], [1, 8]], "measure": "jaccard"})
+JSON_HEADERS = {"Content-Type": "application/json"}
+
+
+class TestVersionedPaths:
+    def test_v1_score_works(self, harness):
+        status, headers, payload = harness("POST", "/v1/score", SCORE_BODY, JSON_HEADERS)
+        assert status == 200
+        assert len(json.loads(payload)["results"]) == 2
+
+    def test_unprefixed_score_is_a_bit_identical_alias(self, harness):
+        v1 = harness("POST", "/v1/score", SCORE_BODY, JSON_HEADERS)
+        legacy = harness("POST", "/score", SCORE_BODY, JSON_HEADERS)
+        assert v1[0] == legacy[0] == 200
+        assert v1[2] == legacy[2]
+
+    def test_v1_topk_aliases_unprefixed(self, harness):
+        v1 = harness("GET", "/v1/topk/0?measure=jaccard&k=3")
+        legacy = harness("GET", "/topk/0?measure=jaccard&k=3")
+        assert v1[0] == legacy[0] == 200
+        assert v1[2] == legacy[2]
+
+    @pytest.mark.parametrize("probe", ["healthz", "readyz", "metrics"])
+    def test_v1_probes_work(self, harness, probe):
+        status, headers, _ = harness("GET", f"/v1/{probe}")
+        assert status == 200
+
+    def test_unknown_v1_route_is_404(self, harness):
+        assert harness("GET", "/v1/nope")[0] == 404
+
+    def test_bare_v1_is_404_not_500(self, harness):
+        assert harness("GET", "/v1")[0] == 404
+
+
+class TestVersionHeader:
+    def test_success_carries_version(self, harness):
+        _, headers, _ = harness("POST", "/v1/score", SCORE_BODY, JSON_HEADERS)
+        assert headers["X-Repro-Api-Version"] == "1"
+
+    def test_legacy_alias_carries_version_too(self, harness):
+        _, headers, _ = harness("GET", "/healthz")
+        assert headers["X-Repro-Api-Version"] == "1"
+
+    def test_errors_carry_version(self, harness):
+        status, headers, _ = harness("GET", "/no-such-route")
+        assert status == 404
+        assert headers["X-Repro-Api-Version"] == "1"
+
+    def test_method_errors_carry_version_and_v1_hint(self, harness):
+        status, headers, payload = harness("GET", "/v1/score")
+        assert status == 405
+        assert headers["X-Repro-Api-Version"] == "1"
+        assert "/v1/score" in json.loads(payload)["error"]

@@ -78,9 +78,23 @@ class TestCorpusGenerator:
         for line in corpus:
             if line.case is not None:
                 by_case.setdefault(line.case, []).append(line)
-        # bad_record_type is tuple-only; every other case gets per_case lines.
-        assert set(by_case) == set(REASONS) - {"bad_record_type"}
+        # bad_record_type is tuple-only; the delete cases belong to the
+        # with_deletes variant (delete_unseen_edge) and the unit matrix
+        # (unsupported_delete is a consumer property, not a corpus line).
+        assert set(by_case) == set(REASONS) - {
+            "bad_record_type",
+            "delete_unseen_edge",
+            "unsupported_delete",
+        }
         assert all(len(lines) == 3 for lines in by_case.values())
+
+    def test_deletion_variant_adds_the_delete_case(self):
+        corpus = SyntheticCorpusGenerator(
+            seed=0, per_case=3, with_deletes=True
+        ).generate()
+        cases = {line.case for line in corpus if line.case is not None}
+        assert "delete_unseen_edge" in cases
+        assert "bad_op" in cases
 
     def test_clean_lines_substitute_repairs(self):
         generator = SyntheticCorpusGenerator(seed=0)
@@ -157,6 +171,7 @@ class TestConvergence:
         # excludes them too, so convergence is unaffected.
         assert report.still_quarantined == {
             "bad_arity": 2,
+            "bad_op": 2,
             "negative_vertex": 2,
             "non_integer_vertex": 2,
         }
@@ -180,6 +195,7 @@ class TestConvergence:
         )
         assert set(report.still_quarantined) == {
             "bad_arity",
+            "bad_op",
             "negative_vertex",
             "non_integer_vertex",
         }
@@ -212,8 +228,8 @@ class TestCheckCasebook:
         assert report.mismatches == []
         assert report.normalize_converged and report.replay_converged
         assert report.sharded_normalize_converged is None
-        # 12 text cases x 3 modes, every row fully matched.
-        assert len(report.rows) == 36
+        # 13 text cases x 3 modes, every row fully matched.
+        assert len(report.rows) == 39
         assert all(row.matched == row.total for row in report.rows)
 
     def test_sharded_check_passes(self):

@@ -29,6 +29,7 @@ class TestSurface:
         # The facade's stable contract: exactly these names, no drift.
         assert repro.api.__all__ == [
             "IngestReport",
+            "StreamRecord",
             "build_predictor",
             "evaluate",
             "ingest",
